@@ -1,0 +1,216 @@
+(* Benchmark harness for the reproduction.
+
+   Running this executable does two things:
+
+   1. REPRODUCTION — regenerates every table of the paper (Tables 1-8) at
+      the default workload sizes, prints them in the paper's layout, and
+      prints a shape comparison against the published numbers. It also runs
+      the three extension ablations from DESIGN.md.
+
+   2. TIMING — one Bechamel [Test.make] per paper table, measuring the cost
+      of regenerating that table. To keep sampling times sane the timed
+      variants run on reduced workloads (smaller Livermore loop sizes and a
+      thinner parameter sweep); the printed reproduction above always uses
+      the full defaults. *)
+
+module E = Mfu.Experiments
+module R = Mfu.Reporting
+module P = Mfu.Paper_data
+module Livermore = Mfu_loops.Livermore
+module Config = Mfu_isa.Config
+module Sim_types = Mfu_sim.Sim_types
+module Single_issue = Mfu_sim.Single_issue
+module Buffer_issue = Mfu_sim.Buffer_issue
+module Ruu = Mfu_sim.Ruu
+module Limits = Mfu_limits.Limits
+
+(* -- part 1: reproduce the paper ------------------------------------------- *)
+
+let print_comparison title paper measured =
+  print_endline (R.render_comparison ~title (R.compare_cells ~paper ~measured));
+  print_newline ()
+
+let reproduce () =
+  print_endline "=== Reproduction: Pleszkun & Sohi 1988, Tables 1-8 ===";
+  print_newline ();
+  let t1 = E.table1 () in
+  Mfu_util.Table.print (R.render_table1 t1);
+  print_comparison "Table 1 shape vs paper"
+    (P.flatten_table1 P.table1)
+    (R.flatten_measured_table1 t1);
+  Mfu_util.Table.print (R.render_table2 (E.table2 ()));
+  let buffer_tables =
+    [
+      (3, "Table 3. Multiple issue units, sequential issue, scalar code", E.table3, P.table3);
+      (4, "Table 4. Multiple issue units, sequential issue, vectorizable code", E.table4, P.table4);
+      (5, "Table 5. Multiple issue units, out-of-order issue, scalar code", E.table5, P.table5);
+      (6, "Table 6. Multiple issue units, out-of-order issue, vectorizable code", E.table6, P.table6);
+    ]
+  in
+  List.iter
+    (fun (n, title, compute, paper) ->
+      let t = compute () in
+      Mfu_util.Table.print (R.render_buffer_table ~title t);
+      let name = Printf.sprintf "t%d" n in
+      print_comparison
+        (Printf.sprintf "Table %d shape vs paper" n)
+        (P.flatten_buffer ~name paper)
+        (R.flatten_measured_buffer ~name t))
+    buffer_tables;
+  let ruu_tables =
+    [
+      (7, "Table 7. Multiple issue units with dependency resolution, scalar code", E.table7, P.table7);
+      (8, "Table 8. Multiple issue units with dependency resolution, vectorizable code", E.table8, P.table8);
+    ]
+  in
+  List.iter
+    (fun (n, title, compute, paper) ->
+      let t = compute () in
+      Mfu_util.Table.print (R.render_ruu_table ~title t);
+      let name = Printf.sprintf "t%d" n in
+      print_comparison
+        (Printf.sprintf "Table %d shape vs paper" n)
+        (P.flatten_ruu ~name paper)
+        (R.flatten_measured_ruu ~name t))
+    ruu_tables;
+  print_endline "=== Extension ablations (DESIGN.md A1-A6) ===";
+  print_newline ();
+  Mfu_util.Table.print
+    (R.render_speculation (E.ablation_speculation ~config:Config.m11br5 ()));
+  Mfu_util.Table.print (R.render_latency (E.ablation_latency ~config_name:"M11BR5" ()));
+  Mfu_util.Table.print (R.render_xbar (E.ablation_xbar ~config:Config.m11br5 ()));
+  Mfu_util.Table.print
+    (R.render_scheduling (E.ablation_scheduling ~config:Config.m11br5 ()));
+  Mfu_util.Table.print (R.render_section33 (E.section33 ~config:Config.m11br5 ()));
+  Mfu_util.Table.print
+    (R.render_alignment
+       ~title:
+         "Ablation A6. Instruction buffer alignment, OOO issue, scalar code (M11BR5)"
+       (E.ablation_alignment ~config:Config.m11br5
+          ~class_:Livermore.Scalar ()));
+  Mfu_util.Table.print
+    (R.render_banks (E.ablation_banks ~config:Config.m11br5 ()));
+  Mfu_util.Table.print (R.render_extended (E.extended_study ~config:Config.m11br5 ()));
+  Mfu_util.Table.print
+    (R.render_vectorization (E.vectorization_study ~config:Config.m11br5 ()));
+  Mfu_util.Table.print
+    (R.render_conclusions ~paper:P.conclusions (E.conclusions ()))
+
+(* -- part 2: bechamel timing ------------------------------------------------ *)
+
+(* Reduced workloads so one table regeneration fits a sampling quota. *)
+let small_loops =
+  lazy
+    [
+      Livermore.loop1 ~n:24 ();
+      Livermore.loop3 ~n:32 ();
+      Livermore.loop5 ~n:32 ();
+      Livermore.loop12 ~n:32 ();
+    ]
+
+let small_traces = lazy (List.map Livermore.trace (Lazy.force small_loops))
+
+let rate_over_traces simulate =
+  Mfu_util.Stats.harmonic_mean
+    (List.map (fun t -> Sim_types.issue_rate (simulate t)) (Lazy.force small_traces))
+
+let bench_table1 () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun org -> ignore (rate_over_traces (Single_issue.simulate ~config org)))
+        Single_issue.all_organizations)
+    Config.all
+
+let bench_table2 () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun t -> ignore (Limits.analyze ~config t))
+        (Lazy.force small_traces))
+    Config.all
+
+let bench_buffer policy () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun stations ->
+          List.iter
+            (fun bus ->
+              ignore
+                (rate_over_traces
+                   (Buffer_issue.simulate ~config ~policy ~stations ~bus)))
+            [ Sim_types.N_bus; Sim_types.One_bus ])
+        [ 1; 4; 8 ])
+    Config.all
+
+let bench_ruu () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun ruu_size ->
+          List.iter
+            (fun issue_units ->
+              List.iter
+                (fun bus ->
+                  ignore
+                    (rate_over_traces
+                       (Ruu.simulate ~config ~issue_units ~ruu_size ~bus)))
+                [ Sim_types.N_bus; Sim_types.One_bus ])
+            [ 1; 4 ])
+        [ 10; 50 ])
+    Config.all
+
+let tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"table1:single-issue organizations" (Staged.stage bench_table1);
+    Test.make ~name:"table2:dataflow+resource limits" (Staged.stage bench_table2);
+    Test.make ~name:"table3:in-order multi-issue (scalar slice)"
+      (Staged.stage (bench_buffer Buffer_issue.In_order));
+    Test.make ~name:"table4:in-order multi-issue (vector slice)"
+      (Staged.stage (bench_buffer Buffer_issue.In_order));
+    Test.make ~name:"table5:ooo multi-issue (scalar slice)"
+      (Staged.stage (bench_buffer Buffer_issue.Out_of_order));
+    Test.make ~name:"table6:ooo multi-issue (vector slice)"
+      (Staged.stage (bench_buffer Buffer_issue.Out_of_order));
+    Test.make ~name:"table7:RUU sweep (scalar slice)" (Staged.stage bench_ruu);
+    Test.make ~name:"table8:RUU sweep (vector slice)" (Staged.stage bench_ruu);
+  ]
+
+let run_benchmarks () =
+  let open Bechamel in
+  print_endline "=== Bechamel: cost of regenerating each table (reduced workloads) ===";
+  print_newline ();
+  (* warm the memoized traces so allocation noise stays out of the loop *)
+  ignore (Lazy.force small_traces);
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name wks ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock wks
+          with
+          | ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] ->
+                  Printf.printf "%-45s %10.3f ms/run\n%!" name (est /. 1e6)
+              | _ -> Printf.printf "%-45s (no estimate)\n%!" name)
+          | exception _ -> Printf.printf "%-45s (analysis failed)\n%!" name)
+        results)
+    tests;
+  print_newline ()
+
+let () =
+  let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
+  let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
+  if not bench_only then reproduce ();
+  if not tables_only then run_benchmarks ()

@@ -1,0 +1,1 @@
+bin/trace_tool.ml: Arg Cmd Cmdliner Format List Mfu_asm Mfu_exec Mfu_isa Mfu_kern Mfu_limits Mfu_loops Mfu_sim Printf String Term

@@ -1,0 +1,100 @@
+(* Regenerate the paper's tables (and the extension ablations) from the
+   simulators, optionally with a shape comparison against the published
+   numbers. *)
+
+let output_table ~csv t =
+  if csv then print_string (Mfu_util.Table.to_csv t) else Mfu_util.Table.print t
+
+let table_of_int ~compare ~csv n =
+  let module E = Mfu.Experiments in
+  let module R = Mfu.Reporting in
+  let module P = Mfu.Paper_data in
+  let print_cmp title paper measured =
+    if compare then
+      print_endline (R.render_comparison ~title (R.compare_cells ~paper ~measured))
+  in
+  match n with
+  | 1 ->
+      let t = E.table1 () in
+      output_table ~csv (R.render_table1 t);
+      print_cmp "Table 1 shape vs paper"
+        (P.flatten_table1 P.table1)
+        (R.flatten_measured_table1 t)
+  | 2 -> output_table ~csv (R.render_table2 (E.table2 ()))
+  | 3 | 4 | 5 | 6 ->
+      let t, title, paper =
+        match n with
+        | 3 -> (E.table3 (), "Table 3. Sequential issue, scalar code", P.table3)
+        | 4 -> (E.table4 (), "Table 4. Sequential issue, vectorizable code", P.table4)
+        | 5 -> (E.table5 (), "Table 5. Out-of-order issue, scalar code", P.table5)
+        | _ -> (E.table6 (), "Table 6. Out-of-order issue, vectorizable code", P.table6)
+      in
+      output_table ~csv (R.render_buffer_table ~title t);
+      let name = Printf.sprintf "t%d" n in
+      print_cmp (Printf.sprintf "Table %d shape vs paper" n)
+        (P.flatten_buffer ~name paper)
+        (R.flatten_measured_buffer ~name t)
+  | 7 | 8 ->
+      let t, title, paper =
+        match n with
+        | 7 -> (E.table7 (), "Table 7. RUU dependency resolution, scalar code", P.table7)
+        | _ -> (E.table8 (), "Table 8. RUU dependency resolution, vectorizable code", P.table8)
+      in
+      output_table ~csv (R.render_ruu_table ~title t);
+      let name = Printf.sprintf "t%d" n in
+      print_cmp (Printf.sprintf "Table %d shape vs paper" n)
+        (P.flatten_ruu ~name paper)
+        (R.flatten_measured_ruu ~name t)
+  | _ -> invalid_arg "table number must be 1..8"
+
+let run_ablations () =
+  let module E = Mfu.Experiments in
+  let module R = Mfu.Reporting in
+  let config = Mfu_isa.Config.m11br5 in
+  Mfu_util.Table.print (R.render_speculation (E.ablation_speculation ~config ()));
+  Mfu_util.Table.print (R.render_latency (E.ablation_latency ~config_name:"M11BR5" ()));
+  Mfu_util.Table.print (R.render_xbar (E.ablation_xbar ~config ()));
+  Mfu_util.Table.print (R.render_scheduling (E.ablation_scheduling ~config ()));
+  Mfu_util.Table.print (R.render_section33 (E.section33 ~config ()));
+  Mfu_util.Table.print
+    (R.render_alignment
+       ~title:
+         "Ablation A6. Instruction buffer alignment, OOO issue, scalar code (M11BR5)"
+       (E.ablation_alignment ~config ~class_:Mfu_loops.Livermore.Scalar ()));
+  Mfu_util.Table.print (R.render_banks (E.ablation_banks ~config ()));
+  Mfu_util.Table.print (R.render_extended (E.extended_study ~config ()));
+  Mfu_util.Table.print (R.render_vectorization (E.vectorization_study ~config ()));
+  Mfu_util.Table.print
+    (R.render_conclusions ~paper:Mfu.Paper_data.conclusions (E.conclusions ()))
+
+let run table ablations compare csv =
+  (match table with
+  | Some n -> table_of_int ~compare ~csv n
+  | None ->
+      List.iter (table_of_int ~compare ~csv) [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+  if ablations then run_ablations ()
+
+open Cmdliner
+
+let table =
+  let doc = "Regenerate only paper table $(docv) (1..8); default: all." in
+  Arg.(value & opt (some int) None & info [ "t"; "table" ] ~docv:"N" ~doc)
+
+let ablations =
+  let doc = "Also run the extension ablations (A1-A3 in DESIGN.md)." in
+  Arg.(value & flag & info [ "a"; "ablations" ] ~doc)
+
+let compare =
+  let doc = "Print shape-comparison statistics against the paper's numbers." in
+  Arg.(value & flag & info [ "c"; "compare" ] ~doc)
+
+let csv =
+  let doc = "Emit the tables as CSV instead of aligned text." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the tables of Pleszkun & Sohi 1988" in
+  let info = Cmd.info "mfu-tables" ~doc in
+  Cmd.v info Term.(const run $ table $ ablations $ compare $ csv)
+
+let () = exit (Cmd.eval cmd)

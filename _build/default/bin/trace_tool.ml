@@ -1,0 +1,101 @@
+(* Inspect a Livermore loop: kernel source, generated assembly, trace
+   statistics, per-organization issue rates and dataflow limits. *)
+
+module Livermore = Mfu_loops.Livermore
+module Codegen = Mfu_kern.Codegen
+module Trace = Mfu_exec.Trace
+module Config = Mfu_isa.Config
+module Limits = Mfu_limits.Limits
+module Single_issue = Mfu_sim.Single_issue
+module Sim_types = Mfu_sim.Sim_types
+
+let show_kernel (l : Livermore.loop) =
+  Format.printf "Livermore loop %d: %s (%s)@.@.%a@." l.number l.title
+    (Livermore.classification_to_string l.classification)
+    Mfu_kern.Ast.pp_kernel l.kernel
+
+let show_asm (l : Livermore.loop) =
+  let compiled = Livermore.compiled l in
+  print_string (Mfu_asm.Program.disassemble compiled.Codegen.program)
+
+let show_stats (l : Livermore.loop) =
+  let trace = Livermore.trace l in
+  Format.printf "%a@." Trace.pp_stats (Trace.stats trace)
+
+let show_rates (l : Livermore.loop) =
+  let trace = Livermore.trace l in
+  Format.printf "issue rates:@.";
+  List.iter
+    (fun config ->
+      let rates =
+        List.map
+          (fun org ->
+            Printf.sprintf "%s %.3f"
+              (Single_issue.organization_to_string org)
+              (Sim_types.issue_rate (Single_issue.simulate ~config org trace)))
+          Single_issue.all_organizations
+      in
+      Format.printf "  %-7s %s@." (Config.name config)
+        (String.concat "  " rates))
+    Config.all;
+  Format.printf "limits:@.";
+  List.iter
+    (fun config ->
+      let lim = Limits.analyze ~config trace in
+      Format.printf
+        "  %-7s pseudo-dataflow %.2f  serial %.2f  resource %.2f  actual %.2f@."
+        (Config.name config) lim.Limits.pseudo_dataflow
+        lim.Limits.serial_dataflow lim.Limits.resource (Limits.actual lim))
+    Config.all
+
+let find_loop number =
+  if number >= 1 && number <= 14 then Livermore.loop number
+  else
+    match
+      List.find_opt
+        (fun (l : Livermore.loop) -> l.Livermore.number = number)
+        (Mfu_loops.Extended.all ())
+    with
+    | Some l -> l
+    | None ->
+        invalid_arg "loop must be 1..14 or one of the extended kernels 18-24"
+
+let run number what =
+  let l = find_loop number in
+  match what with
+  | `Kernel -> show_kernel l
+  | `Asm -> show_asm l
+  | `Stats -> show_stats l
+  | `Rates -> show_rates l
+  | `All ->
+      show_kernel l;
+      print_newline ();
+      show_asm l;
+      print_newline ();
+      show_stats l;
+      show_rates l
+
+open Cmdliner
+
+let number =
+  let doc = "Livermore loop number (1..14, or 18/19/20/21/23/24 for the \
+             extended kernels)." in
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"LOOP" ~doc)
+
+let what =
+  let doc = "What to show: kernel, asm, stats, rates or all." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("kernel", `Kernel); ("asm", `Asm); ("stats", `Stats);
+             ("rates", `Rates); ("all", `All) ])
+        `All
+    & info [ "s"; "show" ] ~docv:"WHAT" ~doc)
+
+let cmd =
+  let doc = "inspect a Livermore loop: source, assembly, trace, rates" in
+  let info = Cmd.info "mfu-trace" ~doc in
+  Cmd.v info Term.(const run $ number $ what)
+
+let () = exit (Cmd.eval cmd)

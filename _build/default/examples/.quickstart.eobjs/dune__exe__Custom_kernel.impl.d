@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array List Mfu_exec Mfu_isa Mfu_kern Mfu_limits Mfu_sim Mfu_util Printf

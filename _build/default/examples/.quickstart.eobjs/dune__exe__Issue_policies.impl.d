@@ -1,0 +1,1 @@
+examples/issue_policies.ml: Array List Mfu_isa Mfu_limits Mfu_loops Mfu_sim Mfu_util Printf Sys

@@ -1,0 +1,1 @@
+examples/limits_explorer.ml: List Mfu_isa Mfu_limits Mfu_loops Mfu_sim Mfu_util Printf

@@ -1,0 +1,1 @@
+examples/limits_explorer.mli:

@@ -1,0 +1,1 @@
+examples/predictors.ml: List Mfu_isa Mfu_loops Mfu_sim Mfu_util Printf

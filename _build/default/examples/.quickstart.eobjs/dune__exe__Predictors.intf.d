@@ -1,0 +1,1 @@
+examples/predictors.mli:

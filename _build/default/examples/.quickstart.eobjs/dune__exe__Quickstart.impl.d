@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Mfu_exec Mfu_isa Mfu_kern Mfu_sim Printf

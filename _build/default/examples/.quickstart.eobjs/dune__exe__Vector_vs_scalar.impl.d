@@ -1,0 +1,1 @@
+examples/vector_vs_scalar.ml: List Mfu_isa Mfu_loops Mfu_sim Mfu_util Printf

@@ -1,0 +1,1 @@
+examples/vector_vs_scalar.mli:

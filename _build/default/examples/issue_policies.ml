@@ -1,0 +1,61 @@
+(* The paper's Section 5 story on one workload: how far do more issue
+   stations take you under each issue policy, and what does the result-bus
+   interconnect cost?
+
+   Run with: dune exec examples/issue_policies.exe [LOOP] *)
+
+module Livermore = Mfu_loops.Livermore
+module Config = Mfu_isa.Config
+module Buffer_issue = Mfu_sim.Buffer_issue
+module Ruu = Mfu_sim.Ruu
+module Sim_types = Mfu_sim.Sim_types
+module Limits = Mfu_limits.Limits
+module Table = Mfu_util.Table
+
+let () =
+  let number =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 3
+  in
+  let l = Livermore.loop number in
+  let trace = Livermore.trace l in
+  let config = Config.m11br5 in
+  Printf.printf "Livermore loop %d (%s), machine M11BR5, %d instructions\n\n"
+    l.Livermore.number l.Livermore.title (Array.length trace);
+
+  let rate r = Sim_types.issue_rate r in
+  let t =
+    Table.create
+      ~title:"issue rate by policy, station count and result-bus model"
+      ~columns:
+        [
+          ("Stations", Table.Right);
+          ("In-order N-Bus", Table.Right); ("In-order 1-Bus", Table.Right);
+          ("OOO N-Bus", Table.Right); ("OOO 1-Bus", Table.Right);
+          ("RUU(50) N-Bus", Table.Right); ("RUU(50) 1-Bus", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun stations ->
+      let buf policy bus =
+        rate (Buffer_issue.simulate ~config ~policy ~stations ~bus trace)
+      in
+      let ruu bus =
+        rate (Ruu.simulate ~config ~issue_units:stations ~ruu_size:50 ~bus trace)
+      in
+      Table.add_row t
+        [
+          string_of_int stations;
+          Table.cell_f2 (buf Buffer_issue.In_order Sim_types.N_bus);
+          Table.cell_f2 (buf Buffer_issue.In_order Sim_types.One_bus);
+          Table.cell_f2 (buf Buffer_issue.Out_of_order Sim_types.N_bus);
+          Table.cell_f2 (buf Buffer_issue.Out_of_order Sim_types.One_bus);
+          Table.cell_f2 (ruu Sim_types.N_bus);
+          Table.cell_f2 (ruu Sim_types.One_bus);
+        ])
+    [ 1; 2; 3; 4; 6; 8 ];
+  Table.print t;
+
+  let lim = Limits.analyze ~config trace in
+  Printf.printf "dataflow limit %.2f, serial limit %.2f, resource limit %.2f\n"
+    lim.Limits.pseudo_dataflow lim.Limits.serial_dataflow lim.Limits.resource

@@ -1,0 +1,58 @@
+(* Branch handling in the RUU machine: what the paper's no-prediction
+   assumption costs, per Livermore loop.
+
+   The paper's issue stage stalls on every branch until it resolves. This
+   example sweeps the branch-handling ladder (stall -> static predict-taken
+   -> 2-bit bimodal -> oracle) across all 14 loops on the 4-wide RUU
+   machine and shows where prediction matters: loops whose bottleneck is a
+   loop-carried recurrence gain nothing; independent-iteration loops gain
+   a lot.
+
+   Run with: dune exec examples/predictors.exe *)
+
+module Livermore = Mfu_loops.Livermore
+module Ruu = Mfu_sim.Ruu
+module Sim_types = Mfu_sim.Sim_types
+module Config = Mfu_isa.Config
+module Table = Mfu_util.Table
+
+let () =
+  let config = Config.m11br5 in
+  let t =
+    Table.create
+      ~title:"RUU(50), 4 issue units, M11BR5: issue rate by branch handling"
+      ~columns:
+        [
+          ("Loop", Table.Left); ("Class", Table.Left);
+          ("Stall", Table.Right); ("Static taken", Table.Right);
+          ("Bimodal(256)", Table.Right); ("Oracle", Table.Right);
+          ("Oracle gain", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let trace = Livermore.trace l in
+      let rate branches =
+        Sim_types.issue_rate
+          (Ruu.simulate ~branches ~config ~issue_units:4 ~ruu_size:50
+             ~bus:Sim_types.N_bus trace)
+      in
+      let stall = rate Ruu.Stall in
+      let oracle = rate Ruu.Oracle in
+      Table.add_row t
+        [
+          Printf.sprintf "LL%d" l.number;
+          Livermore.classification_to_string l.classification;
+          Table.cell_f2 stall;
+          Table.cell_f2 (rate Ruu.Static_taken);
+          Table.cell_f2 (rate (Ruu.Bimodal 256));
+          Table.cell_f2 oracle;
+          Printf.sprintf "%+.0f%%" (100.0 *. ((oracle /. stall) -. 1.0));
+        ])
+    (Livermore.all ());
+  Table.print t;
+  print_endline
+    "Loops dominated by a loop-carried recurrence (5, 11) gain nothing from";
+  print_endline
+    "prediction; loops with independent iterations (3, 4, 12) gain the most."

@@ -1,0 +1,65 @@
+(* The context behind the paper's "vectorizable" classification: on a CRAY,
+   those loops would not run through the scalar unit at all. This example
+   pits the naive scalar compilation of loops 1, 7 and 12 against
+   hand-vectorized CRAY code on the same machine model, then shows how far
+   the paper's best scalar machine (4-wide RUU) closes the gap.
+
+   Run with: dune exec examples/vector_vs_scalar.exe *)
+
+module Livermore = Mfu_loops.Livermore
+module Vec = Mfu_loops.Vectorized
+module Si = Mfu_sim.Single_issue
+module Ruu = Mfu_sim.Ruu
+module Sim_types = Mfu_sim.Sim_types
+module Config = Mfu_isa.Config
+module Table = Mfu_util.Table
+
+let () =
+  let config = Config.m11br5 in
+  let t =
+    Table.create
+      ~title:"cycles to execute each kernel (M11BR5)"
+      ~columns:
+        [
+          ("Loop", Table.Left);
+          ("Scalar, CRAY-like", Table.Right);
+          ("Scalar, RUU(50) x4", Table.Right);
+          ("Vector unit", Table.Right);
+          ("Vector speedup", Table.Right);
+          ("RUU closes", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun (vt : Vec.t) ->
+      let scalar_trace = Livermore.trace vt.Vec.loop in
+      let cray =
+        (Si.simulate ~config Si.Cray_like scalar_trace).Sim_types.cycles
+      in
+      let ruu =
+        (Ruu.simulate ~config ~issue_units:4 ~ruu_size:50
+           ~bus:Sim_types.N_bus scalar_trace)
+          .Sim_types.cycles
+      in
+      let vector =
+        (Si.simulate ~config Si.Cray_like (Vec.trace vt)).Sim_types.cycles
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "LL%d" vt.Vec.loop.number;
+          string_of_int cray;
+          string_of_int ruu;
+          string_of_int vector;
+          Printf.sprintf "%.1fx" (float_of_int cray /. float_of_int vector);
+          Printf.sprintf "%.0f%%"
+            (100.0
+            *. float_of_int (cray - ruu)
+            /. float_of_int (cray - vector));
+        ])
+    (Vec.all ());
+  Table.print t;
+  print_endline
+    "Even the paper's most aggressive scalar machine recovers only part of";
+  print_endline
+    "the vector unit's advantage — which is why the paper studies the";
+  print_endline "*scalar* loops: vectorizable ones have a better home."

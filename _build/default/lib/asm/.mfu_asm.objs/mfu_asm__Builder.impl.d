@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Array List Mfu_isa Printf Program

@@ -1,0 +1,1 @@
+lib/asm/builder.mli: Mfu_isa Program

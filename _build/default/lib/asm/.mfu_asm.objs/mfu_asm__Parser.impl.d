@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Array List Mfu_isa Option Printf Program String

@@ -1,0 +1,1 @@
+lib/asm/parser.mli: Mfu_isa Program

@@ -1,0 +1,1 @@
+lib/asm/program.ml: Array Buffer Format Hashtbl List Mfu_isa Option Printf

@@ -1,0 +1,1 @@
+lib/asm/program.mli: Format Mfu_isa

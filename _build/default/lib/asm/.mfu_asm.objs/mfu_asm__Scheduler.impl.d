@@ -1,0 +1,1 @@
+lib/asm/scheduler.ml: Array Hashtbl List Mfu_isa Program

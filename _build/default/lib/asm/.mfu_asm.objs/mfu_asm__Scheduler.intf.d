@@ -1,0 +1,1 @@
+lib/asm/scheduler.mli: Mfu_isa Program

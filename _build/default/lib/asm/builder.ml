@@ -1,0 +1,26 @@
+type t = {
+  mutable rev_instrs : Mfu_isa.Instr.t list;
+  mutable count : int;
+  mutable labels : (string * int) list;
+  mutable next_fresh : int;
+}
+
+let create () = { rev_instrs = []; count = 0; labels = []; next_fresh = 0 }
+
+let emit t ins =
+  t.rev_instrs <- ins :: t.rev_instrs;
+  t.count <- t.count + 1
+
+let emit_list t = List.iter (emit t)
+let label t name = t.labels <- (name, t.count) :: t.labels
+
+let fresh_label t stem =
+  let n = t.next_fresh in
+  t.next_fresh <- n + 1;
+  Printf.sprintf "%s.%d" stem n
+
+let here t = t.count
+
+let finish t =
+  let instrs = Array.of_list (List.rev t.rev_instrs) in
+  Program.make_exn ~instrs ~labels:t.labels

@@ -1,0 +1,35 @@
+(** Imperative construction of programs, in emission order.
+
+    Typical use:
+    {[
+      let b = Builder.create () in
+      Builder.label b "loop";
+      Builder.emit b (S_load (Reg.S 1, Reg.A 1, 0));
+      ...
+      Builder.emit b (Branch (Nonzero, "loop"));
+      Builder.emit b Halt;
+      let program = Builder.finish b
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val emit : t -> Mfu_isa.Instr.t -> unit
+(** Append an instruction. *)
+
+val emit_list : t -> Mfu_isa.Instr.t list -> unit
+
+val label : t -> string -> unit
+(** Bind a label to the next emitted instruction's index. *)
+
+val fresh_label : t -> string -> string
+(** [fresh_label b stem] returns a label name unique within this builder,
+    derived from [stem]; it does not bind it. *)
+
+val here : t -> int
+(** Index the next emitted instruction will have. *)
+
+val finish : t -> Program.t
+(** Assemble. @raise Invalid_argument on assembly errors (see
+    {!Program.make}). *)

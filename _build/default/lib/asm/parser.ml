@@ -1,0 +1,292 @@
+module Instr = Mfu_isa.Instr
+module Reg = Mfu_isa.Reg
+
+(* -- small string helpers -------------------------------------------------- *)
+
+let strip s =
+  let n = String.length s in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_ws s.[!i] do incr i done;
+  while !j >= !i && is_ws s.[!j] do decr j done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+let split_on_string ~sep s =
+  (* split at the FIRST occurrence of [sep]; None if absent *)
+  let sl = String.length sep and n = String.length s in
+  let rec find i =
+    if i + sl > n then None
+    else if String.sub s i sl = sep then Some i
+    else find (i + 1)
+  in
+  Option.map
+    (fun i -> (String.sub s 0 i, String.sub s (i + sl) (n - i - sl)))
+    (find 0)
+
+let parse_reg token =
+  let token = strip token in
+  if token = "VL" then Some Reg.VL
+  else if String.length token < 2 then None
+  else
+    let idx = int_of_string_opt (String.sub token 1 (String.length token - 1)) in
+    match (token.[0], idx) with
+    | 'A', Some i -> Some (Reg.A i)
+    | 'S', Some i -> Some (Reg.S i)
+    | 'B', Some i -> Some (Reg.B i)
+    | 'T', Some i -> Some (Reg.T i)
+    | 'V', Some i -> Some (Reg.V i)
+    | _ -> None
+
+let parse_int token = int_of_string_opt (strip token)
+let parse_float token = float_of_string_opt (strip token)
+
+(* parse "mem[A2+7]" -> (base reg, displacement) *)
+let parse_mem token =
+  let token = strip token in
+  let n = String.length token in
+  if n < 6 || String.sub token 0 4 <> "mem[" || token.[n - 1] <> ']' then None
+  else
+    let inner = String.sub token 4 (n - 5) in
+    match split_on_string ~sep:"+" inner with
+    | Some (base, disp) -> (
+        match (parse_reg base, parse_int disp) with
+        | Some b, Some d -> Some (b, d)
+        | _ -> None)
+    | None -> (
+        (* allow a negative displacement written as A2-3 *)
+        match split_on_string ~sep:"-" inner with
+        | Some (base, disp) -> (
+            match (parse_reg base, parse_int disp) with
+            | Some b, Some d -> Some (b, -d)
+            | _ -> None)
+        | None -> Option.map (fun b -> (b, 0)) (parse_reg inner))
+
+let is_a = function Reg.A _ -> true | _ -> false
+let is_s = function Reg.S _ -> true | _ -> false
+let is_b = function Reg.B _ -> true | _ -> false
+let is_t = function Reg.T _ -> true | _ -> false
+let is_v = function Reg.V _ -> true | _ -> false
+
+(* the right-hand side of a register assignment *)
+let parse_rhs dest rhs =
+  let rhs = strip rhs in
+  let binop sep mk =
+    match split_on_string ~sep:(" " ^ sep ^ " ") rhs with
+    | Some (l, r) -> (
+        match (parse_reg l, parse_reg r) with
+        | Some a, Some b -> Some (mk a b)
+        | _ -> None)
+    | None -> None
+  in
+  let shift sep mk =
+    match split_on_string ~sep:(" " ^ sep ^ " ") rhs with
+    | Some (l, r) -> (
+        match (parse_reg l, parse_int r) with
+        | Some a, Some k -> Some (mk a k)
+        | _ -> None)
+    | None -> None
+  in
+  let try_ops () =
+    (* order matters: match the float-suffixed operators first *)
+    let candidates =
+      [
+        (fun () ->
+          binop "+f" (fun a b ->
+              if is_v dest && is_s a then Instr.V_fadd_sv (dest, a, b)
+              else if is_v dest then Instr.V_fadd (dest, a, b)
+              else Instr.S_fadd (dest, a, b)));
+        (fun () ->
+          binop "-f" (fun a b ->
+              if is_v dest then Instr.V_fsub (dest, a, b)
+              else Instr.S_fsub (dest, a, b)));
+        (fun () ->
+          binop "*f" (fun a b ->
+              if is_v dest && is_s a then Instr.V_fmul_sv (dest, a, b)
+              else if is_v dest then Instr.V_fmul (dest, a, b)
+              else Instr.S_fmul (dest, a, b)));
+        (fun () -> binop "+i" (fun a b -> Instr.S_iadd (dest, a, b)));
+        (fun () ->
+          binop "+" (fun a b ->
+              if is_a dest then Instr.A_add (dest, a, b)
+              else Instr.S_iadd (dest, a, b)));
+        (fun () -> binop "-" (fun a b -> Instr.A_sub (dest, a, b)));
+        (fun () -> binop "*" (fun a b -> Instr.A_mul (dest, a, b)));
+        (fun () ->
+          binop "&" (fun a b ->
+              if is_a dest then Instr.A_and (dest, a, b)
+              else Instr.S_and (dest, a, b)));
+        (fun () -> binop "|" (fun a b -> Instr.S_or (dest, a, b)));
+        (fun () -> binop "^" (fun a b -> Instr.S_xor (dest, a, b)));
+        (fun () -> shift "<<" (fun a k -> Instr.S_shl (dest, a, k)));
+        (fun () -> shift ">>" (fun a k -> Instr.S_shr (dest, a, k)));
+      ]
+    in
+    List.fold_left
+      (fun acc f -> match acc with Some _ -> acc | None -> f ())
+      None candidates
+  in
+  let prefixed prefix =
+    let pl = String.length prefix in
+    if
+      String.length rhs > pl + 1
+      && String.sub rhs 0 pl = prefix
+      && rhs.[String.length rhs - 1] = ')'
+    then Some (strip (String.sub rhs pl (String.length rhs - pl - 1)))
+    else None
+  in
+  match parse_mem rhs with
+  | Some (base, disp) ->
+      if is_s dest then Some (Instr.S_load (dest, base, disp))
+      else if is_v dest then Some (Instr.V_load (dest, base, disp))
+      else Some (Instr.A_load (dest, base, disp))
+  | None -> (
+      match prefixed "float(" with
+      | Some inner ->
+          Option.map (fun r -> Instr.A_to_s (dest, r)) (parse_reg inner)
+      | None -> (
+          match prefixed "trunc(" with
+          | Some inner ->
+              Option.map (fun r -> Instr.S_to_a (dest, r)) (parse_reg inner)
+          | None ->
+              if String.length rhs > 2 && String.sub rhs 0 2 = "1/" then
+                Option.map
+                  (fun r ->
+                    if is_v dest then Instr.V_recip (dest, r)
+                    else Instr.S_recip (dest, r))
+                  (parse_reg (String.sub rhs 2 (String.length rhs - 2)))
+              else
+                match try_ops () with
+                | Some i -> Some i
+                | None -> (
+                    (* plain register transfer or immediate *)
+                    match parse_reg rhs with
+                    | Some src -> (
+                        match (dest, src) with
+                        | d, s when is_a d && is_a s -> Some (Instr.A_mov (d, s))
+                        | d, s when is_s d && is_s s -> Some (Instr.S_mov (d, s))
+                        | d, s when is_t d && is_s s -> Some (Instr.S_to_t (d, s))
+                        | d, s when is_s d && is_t s -> Some (Instr.T_to_s (d, s))
+                        | d, s when is_b d && is_a s -> Some (Instr.A_to_b (d, s))
+                        | d, s when is_a d && is_b s -> Some (Instr.B_to_a (d, s))
+                        | Reg.VL, s when is_a s -> Some (Instr.Set_vl s)
+                        | _ -> None)
+                    | None ->
+                        if is_a dest then
+                          Option.map (fun k -> Instr.A_imm (dest, k)) (parse_int rhs)
+                        else if is_s dest then
+                          Option.map
+                            (fun x -> Instr.S_imm (dest, x))
+                            (parse_float rhs)
+                        else None)))
+
+let parse_branch line =
+  (* "br A0=0, label" / "br A0<>0, label" / "br A0>=0, label" / "br A0<0, label" *)
+  match split_on_string ~sep:"," line with
+  | None -> None
+  | Some (cond_part, label) -> (
+      let label = strip label in
+      if label = "" then None
+      else
+        let cond_part = strip cond_part in
+        match cond_part with
+        | "br A0=0" -> Some (Instr.Branch (Instr.Zero, label))
+        | "br A0<>0" -> Some (Instr.Branch (Instr.Nonzero, label))
+        | "br A0>=0" -> Some (Instr.Branch (Instr.Plus, label))
+        | "br A0<0" -> Some (Instr.Branch (Instr.Minus, label))
+        | "br S0=0" -> Some (Instr.Branch_s (Instr.Zero, label))
+        | "br S0<>0" -> Some (Instr.Branch_s (Instr.Nonzero, label))
+        | "br S0>=0" -> Some (Instr.Branch_s (Instr.Plus, label))
+        | "br S0<0" -> Some (Instr.Branch_s (Instr.Minus, label))
+        | _ -> None)
+
+let parse_instruction line =
+  let line = strip line in
+  let fail () = Error (Printf.sprintf "cannot parse instruction %S" line) in
+  if line = "halt" then Ok Instr.Halt
+  else if String.length line > 5 && String.sub line 0 5 = "jump " then
+    let label = strip (String.sub line 5 (String.length line - 5)) in
+    if label = "" then fail () else Ok (Instr.Jump label)
+  else if String.length line > 3 && String.sub line 0 3 = "br " then
+    match parse_branch line with Some i -> Ok i | None -> fail ()
+  else
+    match split_on_string ~sep:"<-" line with
+    | None -> fail ()
+    | Some (lhs, rhs) -> (
+        let lhs = strip lhs in
+        match parse_mem lhs with
+        | Some (base, disp) -> (
+            (* store *)
+            match parse_reg rhs with
+            | Some v when is_s v -> Ok (Instr.S_store (v, base, disp))
+            | Some v when is_a v -> Ok (Instr.A_store (v, base, disp))
+            | Some v when is_v v -> Ok (Instr.V_store (v, base, disp))
+            | _ -> fail ())
+        | None -> (
+            match parse_reg lhs with
+            | None -> fail ()
+            | Some dest -> (
+                match parse_rhs dest rhs with
+                | Some i -> Ok i
+                | None -> fail ())))
+
+let strip_comment line =
+  let cut c s =
+    match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut ';' (cut '#' line)
+
+(* drop the disassembler's leading address column if present *)
+let drop_address line =
+  let line = strip line in
+  match String.index_opt line ' ' with
+  | Some i when int_of_string_opt (String.sub line 0 i) <> None ->
+      strip (String.sub line i (String.length line - i))
+  | _ -> line
+
+let is_label_line line =
+  String.length line > 1
+  && line.[String.length line - 1] = ':'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = ':')
+       line
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let instrs = ref [] in
+  let labels = ref [] in
+  let count = ref 0 in
+  let error = ref None in
+  List.iteri
+    (fun lineno raw ->
+      if !error = None then begin
+        let line = strip (strip_comment raw) in
+        if line <> "" then
+          if is_label_line line then
+            labels :=
+              (String.sub line 0 (String.length line - 1), !count) :: !labels
+          else
+            let line = drop_address line in
+            if line <> "" then
+              match parse_instruction line with
+              | Ok i ->
+                  instrs := i :: !instrs;
+                  incr count
+              | Error m ->
+                  error := Some (Printf.sprintf "line %d: %s" (lineno + 1) m)
+      end)
+    lines;
+  match !error with
+  | Some m -> Error m
+  | None ->
+      Program.make ~instrs:(Array.of_list (List.rev !instrs)) ~labels:!labels
+
+let parse_exn source =
+  match parse source with
+  | Ok p -> p
+  | Error m -> invalid_arg ("Parser.parse_exn: " ^ m)

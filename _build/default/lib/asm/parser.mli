@@ -1,0 +1,28 @@
+(** Textual assembler: parses the CRAY-flavoured syntax printed by
+    {!Mfu_isa.Instr.to_string} / {!Program.disassemble} back into programs.
+
+    Source format, one instruction per line:
+
+    {v
+    start:
+      A1 <- 100
+      S1 <- mem[A1+0]      ; comments run to end of line
+      S2 <- S1 *f S1
+      mem[A1+1] <- S2
+      br A0<>0, start
+      halt
+    v}
+
+    - labels are [name:] lines (or prefixes of instruction lines);
+    - an optional leading integer (the disassembler's address column) is
+      ignored, so [Program.disassemble] output parses back unchanged;
+    - [;] and [#] start comments; blank lines are skipped. *)
+
+val parse : string -> (Program.t, string) result
+(** Parse and assemble a whole source. Error messages carry line numbers. *)
+
+val parse_exn : string -> Program.t
+(** @raise Invalid_argument on parse or assembly errors. *)
+
+val parse_instruction : string -> (Mfu_isa.Instr.t, string) result
+(** Parse a single instruction (no label, no comment). *)

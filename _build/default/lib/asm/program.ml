@@ -1,0 +1,99 @@
+module Instr = Mfu_isa.Instr
+
+type t = {
+  instrs : Instr.t array;
+  label_table : (string, int) Hashtbl.t;
+  targets : int option array; (* resolved branch target per instruction *)
+}
+
+let check_labels instrs labels =
+  let n = Array.length instrs in
+  let table = Hashtbl.create 16 in
+  let rec bind = function
+    | [] -> Ok table
+    | (name, idx) :: rest ->
+        if Hashtbl.mem table name then
+          Error (Printf.sprintf "duplicate label %S" name)
+        else if idx < 0 || idx > n then
+          Error (Printf.sprintf "label %S out of range (%d)" name idx)
+        else (
+          Hashtbl.add table name idx;
+          bind rest)
+  in
+  bind labels
+
+let check_instrs instrs table =
+  let n = Array.length instrs in
+  let error = ref None in
+  Array.iteri
+    (fun i ins ->
+      if !error = None then begin
+        (match Instr.validate ins with
+        | Ok () -> ()
+        | Error msg ->
+            error := Some (Printf.sprintf "instruction %d: %s" i msg));
+        match Instr.branch_target ins with
+        | None -> ()
+        | Some l ->
+            if not (Hashtbl.mem table l) then
+              error := Some (Printf.sprintf "instruction %d: unbound label %S" i l)
+      end)
+    instrs;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      if n = 0 then Error "empty program"
+      else begin
+        match instrs.(n - 1) with
+        | Instr.Halt | Instr.Jump _ -> Ok ()
+        | _ -> Error "program must end with Halt or Jump"
+      end
+
+let make ~instrs ~labels =
+  let instrs = Array.copy instrs in
+  match check_labels instrs labels with
+  | Error _ as e -> e
+  | Ok table -> (
+      match check_instrs instrs table with
+      | Error _ as e -> e
+      | Ok () ->
+          let targets =
+            Array.map
+              (fun ins ->
+                Option.map (Hashtbl.find table) (Instr.branch_target ins))
+              instrs
+          in
+          Ok { instrs; label_table = table; targets })
+
+let make_exn ~instrs ~labels =
+  match make ~instrs ~labels with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Program.make_exn: " ^ msg)
+
+let length t = Array.length t.instrs
+let instr t i = t.instrs.(i)
+let instrs t = Array.copy t.instrs
+let resolve t name = Hashtbl.find t.label_table name
+let target t i = t.targets.(i)
+
+let labels t =
+  Hashtbl.fold (fun name idx acc -> (name, idx) :: acc) t.label_table []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let static_parcels t =
+  Array.fold_left (fun acc ins -> acc + Instr.parcels ins) 0 t.instrs
+
+let disassemble t =
+  let by_index = Hashtbl.create 16 in
+  List.iter (fun (name, idx) -> Hashtbl.add by_index idx name) (labels t);
+  let buf = Buffer.create 512 in
+  Array.iteri
+    (fun i ins ->
+      List.iter
+        (fun name -> Buffer.add_string buf (name ^ ":\n"))
+        (Hashtbl.find_all by_index i);
+      Buffer.add_string buf (Printf.sprintf "  %4d  %s\n" i (Instr.to_string ins)))
+    t.instrs;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (disassemble t)

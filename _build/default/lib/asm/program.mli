@@ -1,0 +1,47 @@
+(** Assembled programs: a vector of instructions with resolved labels.
+
+    A program is built with {!Mfu_asm.Builder} and is immutable afterwards.
+    Branch targets remain symbolic in {!Mfu_isa.Instr.t}; the program
+    carries the label table used to resolve them to instruction indices. *)
+
+type t
+
+val make :
+  instrs:Mfu_isa.Instr.t array -> labels:(string * int) list -> (t, string) result
+(** Assemble. Fails when a label is duplicated, bound out of range, or when
+    an instruction references an unbound label, names an invalid register,
+    or the program lacks a terminating [Halt] on every fall-through path
+    (we require the last instruction to be [Halt] or [Jump]). *)
+
+val make_exn :
+  instrs:Mfu_isa.Instr.t array -> labels:(string * int) list -> t
+(** Like {!make}. @raise Invalid_argument on assembly errors. *)
+
+val length : t -> int
+(** Number of static instructions. *)
+
+val instr : t -> int -> Mfu_isa.Instr.t
+(** [instr t i] is the instruction at index [i]. *)
+
+val instrs : t -> Mfu_isa.Instr.t array
+(** A copy of the instruction vector. *)
+
+val resolve : t -> string -> int
+(** Index bound to a label. @raise Not_found for unbound labels (cannot
+    happen for labels referenced by the program itself). *)
+
+val target : t -> int -> int option
+(** [target t i] is the resolved branch target of instruction [i], if it is
+    a branch. *)
+
+val labels : t -> (string * int) list
+(** All label bindings, sorted by index. *)
+
+val static_parcels : t -> int
+(** Total static code size in parcels. *)
+
+val disassemble : t -> string
+(** Multi-line listing with label annotations, for debugging and the
+    [trace] tool. *)
+
+val pp : Format.formatter -> t -> unit

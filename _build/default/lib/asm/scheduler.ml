@@ -1,0 +1,116 @@
+module Instr = Mfu_isa.Instr
+module Reg = Mfu_isa.Reg
+module Fu = Mfu_isa.Fu
+
+let block_boundaries program =
+  let n = Program.length program in
+  let starts = Hashtbl.create 16 in
+  Hashtbl.replace starts 0 ();
+  List.iter
+    (fun (_, idx) -> if idx < n then Hashtbl.replace starts idx ())
+    (Program.labels program);
+  for i = 0 to n - 1 do
+    if Instr.is_branch (Program.instr program i) && i + 1 < n then
+      Hashtbl.replace starts (i + 1) ()
+  done;
+  let start_list =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) starts [])
+  in
+  let rec ranges = function
+    | [] -> []
+    | [ lo ] -> [ (lo, n) ]
+    | lo :: (hi :: _ as rest) -> (lo, hi) :: ranges rest
+  in
+  ranges start_list
+
+(* Dependence test between an earlier instruction [a] and a later one [b]
+   in the same block: must [b] stay after [a]? *)
+let depends a b =
+  let dest_a = Instr.dest a and dest_b = Instr.dest b in
+  let raw =
+    match dest_a with
+    | Some d -> List.exists (Reg.equal d) (Instr.srcs b)
+    | None -> false
+  in
+  let waw =
+    match (dest_a, dest_b) with
+    | Some da, Some db -> Reg.equal da db
+    | _ -> false
+  in
+  let war =
+    match dest_b with
+    | Some d -> List.exists (Reg.equal d) (Instr.srcs a)
+    | None -> false
+  in
+  let mem =
+    (* conservative static memory ordering: a store is a barrier against
+       every other memory reference *)
+    (Instr.is_store a && (Instr.is_store b || Instr.is_load b))
+    || (Instr.is_load a && Instr.is_store b)
+  in
+  raw || waw || war || mem
+
+let instr_latency latencies i = Fu.latency latencies (Instr.fu i)
+
+(* Schedule one block (an array of instructions). The final instruction of
+   a block ending in a branch or Halt is pinned in place. *)
+let schedule_block ~latencies instrs =
+  let len = Array.length instrs in
+  if len <= 1 then instrs
+  else begin
+    let pinned_last =
+      match instrs.(len - 1) with
+      | i when Instr.is_branch i -> true
+      | Instr.Halt -> true
+      | _ -> false
+    in
+    let m = if pinned_last then len - 1 else len in
+    (* successor lists and predecessor counts over the first [m] entries;
+       the pinned terminator depends on everything implicitly. *)
+    let succs = Array.make m [] in
+    let pred_count = Array.make m 0 in
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        if depends instrs.(i) instrs.(j) then begin
+          succs.(i) <- j :: succs.(i);
+          pred_count.(j) <- pred_count.(j) + 1
+        end
+      done
+    done;
+    (* priority: latency-weighted height to block end *)
+    let height = Array.make m 0 in
+    for i = m - 1 downto 0 do
+      let tail = List.fold_left (fun acc j -> max acc height.(j)) 0 succs.(i) in
+      height.(i) <- instr_latency latencies instrs.(i) + tail
+    done;
+    (* greedy topological order: deepest ready node first, original order
+       breaking ties *)
+    let scheduled = Array.make len instrs.(0) in
+    let taken = Array.make m false in
+    for slot = 0 to m - 1 do
+      let best = ref (-1) in
+      for i = 0 to m - 1 do
+        if (not taken.(i)) && pred_count.(i) = 0 then
+          if !best < 0 || height.(i) > height.(!best) then best := i
+      done;
+      let i = !best in
+      assert (i >= 0);
+      taken.(i) <- true;
+      pred_count.(i) <- -1;
+      List.iter (fun j -> pred_count.(j) <- pred_count.(j) - 1) succs.(i);
+      scheduled.(slot) <- instrs.(i)
+    done;
+    if pinned_last then scheduled.(len - 1) <- instrs.(len - 1);
+    scheduled
+  end
+
+let schedule ~latencies program =
+  let instrs = Program.instrs program in
+  let out = Array.copy instrs in
+  List.iter
+    (fun (lo, hi) ->
+      let block = Array.sub instrs lo (hi - lo) in
+      let scheduled = schedule_block ~latencies block in
+      Array.blit scheduled 0 out lo (hi - lo))
+    (block_boundaries program);
+  Program.make_exn ~instrs:out ~labels:(Program.labels program)

@@ -1,0 +1,26 @@
+(** Basic-block list scheduler — the paper's "software code scheduling".
+
+    The paper's conclusions note that issue-stage blockage can be reduced
+    by software code scheduling as well as by hardware dependency
+    resolution. This pass reorders instructions *within* each basic block
+    (never across labels, branches or [Halt]) to separate producers from
+    consumers, using classic latency-weighted list scheduling:
+
+    - dependence edges: RAW, WAW and WAR on registers, plus conservative
+      memory ordering (stores are ordered against every other memory
+      reference; loads may reorder freely among themselves);
+    - priority: longest latency-weighted path from the instruction to the
+      end of its block; among ready instructions the deepest goes first,
+      with the original program order as the tie-breaker.
+
+    Semantics are preserved exactly — the test suite re-runs every
+    scheduled kernel against the golden interpreter. *)
+
+val schedule :
+  latencies:Mfu_isa.Fu.latencies -> Program.t -> Program.t
+(** Reorder each basic block. Label bindings are preserved (blocks are
+    split at every label, so labels always point at block starts). *)
+
+val block_boundaries : Program.t -> (int * int) list
+(** The basic blocks as [(first, one-past-last)] index ranges, in program
+    order; exposed for tests. *)

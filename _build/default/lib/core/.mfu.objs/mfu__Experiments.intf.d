@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Mfu_exec Mfu_isa Mfu_loops Mfu_sim

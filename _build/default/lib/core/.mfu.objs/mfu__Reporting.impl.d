@@ -1,0 +1,1 @@
+lib/core/reporting.ml: Array Experiments List Mfu_isa Mfu_loops Mfu_sim Mfu_util Option Printf

@@ -1,0 +1,1 @@
+lib/core/reporting.mli: Experiments Mfu_util

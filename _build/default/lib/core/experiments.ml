@@ -1,0 +1,486 @@
+module Livermore = Mfu_loops.Livermore
+module Config = Mfu_isa.Config
+module Stats = Mfu_util.Stats
+module Sim_types = Mfu_sim.Sim_types
+module Single_issue = Mfu_sim.Single_issue
+module Buffer_issue = Mfu_sim.Buffer_issue
+module Ruu = Mfu_sim.Ruu
+module Limits = Mfu_limits.Limits
+
+let class_rate simulate loops =
+  let rates =
+    List.map
+      (fun l -> Sim_types.issue_rate (simulate (Livermore.trace l)))
+      loops
+  in
+  Stats.harmonic_mean rates
+
+let configs = Config.all
+let classes = [ Livermore.Scalar; Livermore.Vectorizable ]
+
+(* -- Table 1 ---------------------------------------------------------------- *)
+
+type single_issue_table = {
+  si_class : Livermore.classification;
+  si_rows : (Single_issue.organization * float array) list;
+}
+
+let table1 () =
+  let table cls =
+    let loops = Livermore.of_class cls in
+    let row org =
+      let rates =
+        List.map
+          (fun config ->
+            class_rate (Single_issue.simulate ~config org) loops)
+          configs
+      in
+      (org, Array.of_list rates)
+    in
+    { si_class = cls; si_rows = List.map row Single_issue.all_organizations }
+  in
+  List.map table classes
+
+(* -- Table 2 ---------------------------------------------------------------- *)
+
+type limits_row = {
+  lim_machine : Config.t;
+  lim_pure : bool;
+  lim_pseudo : float;
+  lim_resource : float;
+  lim_actual : float;
+}
+
+type limits_table = {
+  lim_class : Livermore.classification;
+  lim_rows : limits_row list;
+}
+
+let table2 () =
+  let table cls =
+    let loops = Livermore.of_class cls in
+    let row ~pure config =
+      let limits =
+        List.map (fun l -> Limits.analyze ~config (Livermore.trace l)) loops
+      in
+      let mean f = Stats.harmonic_mean (List.map f limits) in
+      {
+        lim_machine = config;
+        lim_pure = pure;
+        lim_pseudo =
+          mean (fun l ->
+              if pure then l.Limits.pseudo_dataflow else l.Limits.serial_dataflow);
+        lim_resource = mean (fun l -> l.Limits.resource);
+        lim_actual =
+          mean (fun l ->
+              if pure then Limits.actual l else Limits.actual_serial l);
+      }
+    in
+    {
+      lim_class = cls;
+      lim_rows =
+        List.map (row ~pure:true) configs @ List.map (row ~pure:false) configs;
+    }
+  in
+  List.map table classes
+
+(* -- Tables 3-6 -------------------------------------------------------------- *)
+
+type issue_cell = { n_bus : float; one_bus : float }
+
+type buffer_table = {
+  buf_class : Livermore.classification;
+  buf_policy : Buffer_issue.policy;
+  buf_stations : int list;
+  buf_cells : issue_cell array array;
+}
+
+let stations_swept = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let buffer_table cls policy =
+  let loops = Livermore.of_class cls in
+  let cell stations config =
+    let rate bus =
+      class_rate (Buffer_issue.simulate ~config ~policy ~stations ~bus) loops
+    in
+    { n_bus = rate Sim_types.N_bus; one_bus = rate Sim_types.One_bus }
+  in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun stations ->
+           Array.of_list (List.map (cell stations) configs))
+         stations_swept)
+  in
+  {
+    buf_class = cls;
+    buf_policy = policy;
+    buf_stations = stations_swept;
+    buf_cells = cells;
+  }
+
+let table3 () = buffer_table Livermore.Scalar Buffer_issue.In_order
+let table4 () = buffer_table Livermore.Vectorizable Buffer_issue.In_order
+let table5 () = buffer_table Livermore.Scalar Buffer_issue.Out_of_order
+let table6 () = buffer_table Livermore.Vectorizable Buffer_issue.Out_of_order
+
+(* -- Tables 7-8 --------------------------------------------------------------- *)
+
+type ruu_table = {
+  ruu_class : Livermore.classification;
+  ruu_sizes : int list;
+  ruu_units : int list;
+  ruu_cells : issue_cell array array array;
+}
+
+let ruu_sizes_swept = [ 10; 20; 30; 40; 50; 100 ]
+let ruu_units_swept = [ 1; 2; 3; 4 ]
+
+let ruu_table cls =
+  let loops = Livermore.of_class cls in
+  let cell config ruu_size issue_units =
+    let rate bus =
+      class_rate (Ruu.simulate ~config ~issue_units ~ruu_size ~bus) loops
+    in
+    { n_bus = rate Sim_types.N_bus; one_bus = rate Sim_types.One_bus }
+  in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun config ->
+           Array.of_list
+             (List.map
+                (fun size ->
+                  Array.of_list
+                    (List.map (cell config size) ruu_units_swept))
+                ruu_sizes_swept))
+         configs)
+  in
+  {
+    ruu_class = cls;
+    ruu_sizes = ruu_sizes_swept;
+    ruu_units = ruu_units_swept;
+    ruu_cells = cells;
+  }
+
+let table7 () = ruu_table Livermore.Scalar
+let table8 () = ruu_table Livermore.Vectorizable
+
+(* -- ablations ----------------------------------------------------------------- *)
+
+type speculation_row = {
+  spec_class : Livermore.classification;
+  spec_units : int;
+  spec_blocking : float;
+  spec_static : float;
+  spec_bimodal : float;
+  spec_oracle : float;
+}
+
+let ablation_speculation ?(ruu_size = 50) ~config () =
+  List.concat_map
+    (fun cls ->
+      let loops = Livermore.of_class cls in
+      List.map
+        (fun issue_units ->
+          let rate branches =
+            class_rate
+              (Ruu.simulate ~branches ~config ~issue_units ~ruu_size
+                 ~bus:Sim_types.N_bus)
+              loops
+          in
+          {
+            spec_class = cls;
+            spec_units = issue_units;
+            spec_blocking = rate Ruu.Stall;
+            spec_static = rate Ruu.Static_taken;
+            spec_bimodal = rate (Ruu.Bimodal 256);
+            spec_oracle = rate Ruu.Oracle;
+          })
+        ruu_units_swept)
+    classes
+
+type latency_row = {
+  lat_org : Single_issue.organization;
+  lat_class : Livermore.classification;
+  lat_cray_manual : float;
+  lat_paper : float;
+}
+
+let config_by_name name =
+  match List.find_opt (fun c -> Config.name c = name) configs with
+  | Some c -> c
+  | None -> invalid_arg ("Experiments: unknown machine variant " ^ name)
+
+let ablation_latency ~config_name () =
+  let manual = config_by_name config_name in
+  let paper =
+    Config.make ~paper_scalar_add:true manual.Config.memory manual.Config.branch
+  in
+  List.concat_map
+    (fun cls ->
+      let loops = Livermore.of_class cls in
+      List.map
+        (fun org ->
+          {
+            lat_org = org;
+            lat_class = cls;
+            lat_cray_manual =
+              class_rate (Single_issue.simulate ~config:manual org) loops;
+            lat_paper =
+              class_rate (Single_issue.simulate ~config:paper org) loops;
+          })
+        Single_issue.all_organizations)
+    classes
+
+type xbar_row = {
+  xb_class : Livermore.classification;
+  xb_stations : int;
+  xb_n_bus : float;
+  xb_x_bar : float;
+}
+
+let ablation_xbar ~config () =
+  List.concat_map
+    (fun cls ->
+      let loops = Livermore.of_class cls in
+      List.map
+        (fun stations ->
+          let rate bus =
+            class_rate
+              (Buffer_issue.simulate ~config ~policy:Buffer_issue.In_order
+                 ~stations ~bus)
+              loops
+          in
+          {
+            xb_class = cls;
+            xb_stations = stations;
+            xb_n_bus = rate Sim_types.N_bus;
+            xb_x_bar = rate Sim_types.X_bar;
+          })
+        stations_swept)
+    classes
+
+type scheduling_row = {
+  sch_class : Livermore.classification;
+  sch_org : Single_issue.organization;
+  sch_naive : float;
+  sch_scheduled : float;
+}
+
+let scheduled_class_rate simulate loops =
+  let rates =
+    List.map
+      (fun l ->
+        Sim_types.issue_rate (simulate (Livermore.scheduled_trace l)))
+      loops
+  in
+  Stats.harmonic_mean rates
+
+let ablation_scheduling ~config () =
+  List.concat_map
+    (fun cls ->
+      let loops = Livermore.of_class cls in
+      List.map
+        (fun org ->
+          {
+            sch_class = cls;
+            sch_org = org;
+            sch_naive = class_rate (Single_issue.simulate ~config org) loops;
+            sch_scheduled =
+              scheduled_class_rate (Single_issue.simulate ~config org) loops;
+          })
+        Single_issue.all_organizations)
+    classes
+
+type section33_row = {
+  s33_class : Livermore.classification;
+  s33_blocking : float;
+  s33_scoreboard : float;
+  s33_tomasulo : float;
+  s33_ruu1 : float;
+}
+
+let section33 ~config () =
+  let module Dep = Mfu_sim.Dep_single in
+  List.map
+    (fun cls ->
+      let loops = Livermore.of_class cls in
+      {
+        s33_class = cls;
+        s33_blocking =
+          class_rate (Single_issue.simulate ~config Single_issue.Cray_like) loops;
+        s33_scoreboard =
+          class_rate (Dep.simulate ~config Dep.Scoreboard) loops;
+        s33_tomasulo = class_rate (Dep.simulate ~config Dep.Tomasulo) loops;
+        s33_ruu1 =
+          class_rate
+            (Ruu.simulate ~config ~issue_units:1 ~ruu_size:50
+               ~bus:Sim_types.N_bus)
+            loops;
+      })
+    classes
+
+type alignment_row = { al_stations : int; al_dynamic : float; al_static : float }
+
+let ablation_alignment ~config ~class_ () =
+  let loops = Livermore.of_class class_ in
+  List.map
+    (fun stations ->
+      let rate alignment =
+        class_rate
+          (Buffer_issue.simulate ~alignment ~config
+             ~policy:Buffer_issue.Out_of_order ~stations ~bus:Sim_types.N_bus)
+          loops
+      in
+      {
+        al_stations = stations;
+        al_dynamic = rate Buffer_issue.Dynamic;
+        al_static = rate Buffer_issue.Static;
+      })
+    stations_swept
+
+type banks_row = {
+  bk_class : Livermore.classification;
+  bk_org : Single_issue.organization;
+  bk_ideal : float;
+  bk_cray1 : float;
+  bk_coarse : float;
+}
+
+let ablation_banks ~config () =
+  let module Mem = Mfu_sim.Memory_system in
+  List.concat_map
+    (fun cls ->
+      let loops = Livermore.of_class cls in
+      List.map
+        (fun org ->
+          let rate memory =
+            class_rate (Single_issue.simulate ~memory ~config org) loops
+          in
+          {
+            bk_class = cls;
+            bk_org = org;
+            bk_ideal = rate Mem.ideal;
+            bk_cray1 = rate Mem.cray1_banks;
+            bk_coarse = rate (Mem.Banked { banks = 1; busy = 11 });
+          })
+        [ Single_issue.Non_segmented; Single_issue.Cray_like ])
+    classes
+
+type extended_row = {
+  ext_number : int;
+  ext_title : string;
+  ext_class : Livermore.classification;
+  ext_instructions : int;
+  ext_cray : float;
+  ext_ruu4 : float;
+  ext_limit : float;
+}
+
+let extended_study ~config () =
+  List.map
+    (fun (l : Livermore.loop) ->
+      let trace = Livermore.trace l in
+      let lim = Limits.analyze ~config trace in
+      {
+        ext_number = l.Livermore.number;
+        ext_title = l.Livermore.title;
+        ext_class = l.Livermore.classification;
+        ext_instructions = Array.length trace;
+        ext_cray =
+          Sim_types.issue_rate
+            (Single_issue.simulate ~config Single_issue.Cray_like trace);
+        ext_ruu4 =
+          Sim_types.issue_rate
+            (Ruu.simulate ~config ~issue_units:4 ~ruu_size:50
+               ~bus:Sim_types.N_bus trace);
+        ext_limit = Limits.actual lim;
+      })
+    (Mfu_loops.Extended.all ())
+
+type vector_row = {
+  vec_number : int;
+  vec_title : string;
+  vec_scalar_cycles : int;
+  vec_vector_cycles : int;
+  vec_speedup : float;
+}
+
+let vectorization_study ~config () =
+  List.map
+    (fun (t : Mfu_loops.Vectorized.t) ->
+      let cycles trace =
+        (Single_issue.simulate ~config Single_issue.Cray_like trace)
+          .Sim_types.cycles
+      in
+      let scalar = cycles (Livermore.trace t.Mfu_loops.Vectorized.loop) in
+      let vector = cycles (Mfu_loops.Vectorized.trace t) in
+      {
+        vec_number = t.Mfu_loops.Vectorized.loop.Livermore.number;
+        vec_title = t.Mfu_loops.Vectorized.loop.Livermore.title;
+        vec_scalar_cycles = scalar;
+        vec_vector_cycles = vector;
+        vec_speedup = float_of_int scalar /. float_of_int vector;
+      })
+    (Mfu_loops.Vectorized.all ())
+
+type conclusion_row = {
+  con_label : string;
+  con_scalar : float * float;
+  con_vector : float * float;
+}
+
+let conclusions () =
+  let rungs =
+    [
+      ("Simple",
+       fun config -> class_rate (Single_issue.simulate ~config Single_issue.Simple));
+      ("SerialMemory (overlap distinct units)",
+       fun config ->
+         class_rate (Single_issue.simulate ~config Single_issue.Serial_memory));
+      ("NonSegmented (interleaved memory)",
+       fun config ->
+         class_rate (Single_issue.simulate ~config Single_issue.Non_segmented));
+      ("CRAY-like (pipelined units)",
+       fun config ->
+         class_rate (Single_issue.simulate ~config Single_issue.Cray_like));
+      ("Dependency resolution, 1 issue unit",
+       fun config ->
+         class_rate
+           (Ruu.simulate ~config ~issue_units:1 ~ruu_size:50 ~bus:Sim_types.N_bus));
+      ("Dependency resolution, 2 issue units",
+       fun config ->
+         class_rate
+           (Ruu.simulate ~config ~issue_units:2 ~ruu_size:50 ~bus:Sim_types.N_bus));
+      ("Dependency resolution, 4 issue units",
+       fun config ->
+         class_rate
+           (Ruu.simulate ~config ~issue_units:4 ~ruu_size:50 ~bus:Sim_types.N_bus));
+    ]
+  in
+  let pct_range cls rate_of =
+    let loops = Livermore.of_class cls in
+    let pcts =
+      List.map
+        (fun config ->
+          let limit =
+            Stats.harmonic_mean
+              (List.map
+                 (fun l ->
+                   Limits.actual (Limits.analyze ~config (Livermore.trace l)))
+                 loops)
+          in
+          Stats.pct_of (rate_of config loops) ~limit)
+        configs
+    in
+    (Stats.min_list pcts, Stats.max_list pcts)
+  in
+  List.map
+    (fun (label, rate_of) ->
+      {
+        con_label = label;
+        con_scalar = pct_range Livermore.Scalar rate_of;
+        con_vector = pct_range Livermore.Vectorizable rate_of;
+      })
+    rungs

@@ -1,0 +1,224 @@
+(** The paper's experiments, Tables 1 through 8, plus the extension
+    ablations listed in DESIGN.md.
+
+    Every number is an instruction issue rate (instructions per clock
+    cycle); per-class figures are harmonic means over the individual loop
+    issue rates, as in the paper. Machine-variant columns are always in
+    the paper's order: M11BR5, M11BR2, M5BR5, M5BR2 (see
+    {!Mfu_isa.Config.all}). *)
+
+module Livermore = Mfu_loops.Livermore
+
+val class_rate :
+  (Mfu_exec.Trace.t -> Mfu_sim.Sim_types.result) ->
+  Livermore.loop list ->
+  float
+(** Harmonic mean of per-loop issue rates under a simulator. *)
+
+val configs : Mfu_isa.Config.t list
+(** The four machine variants in column order. *)
+
+(** {1 Table 1 — single issue unit, four organizations} *)
+
+type single_issue_table = {
+  si_class : Livermore.classification;
+  si_rows : (Mfu_sim.Single_issue.organization * float array) list;
+      (** one rate per machine variant *)
+}
+
+val table1 : unit -> single_issue_table list
+(** Scalar table then vectorizable table. *)
+
+(** {1 Table 2 — dataflow and resource limits} *)
+
+type limits_row = {
+  lim_machine : Mfu_isa.Config.t;
+  lim_pure : bool;  (** true: "Pure"; false: "Serial" (in-order WAW) *)
+  lim_pseudo : float;
+  lim_resource : float;
+  lim_actual : float;
+}
+
+type limits_table = {
+  lim_class : Livermore.classification;
+  lim_rows : limits_row list;
+}
+
+val table2 : unit -> limits_table list
+(** Pure-scalar, Pure-vectorizable, Serial-scalar, Serial-vectorizable in
+    the paper's grouping (scalar and vectorizable, Pure then Serial). *)
+
+(** {1 Tables 3-6 — multiple issue units over an instruction buffer} *)
+
+type issue_cell = { n_bus : float; one_bus : float }
+
+type buffer_table = {
+  buf_class : Livermore.classification;
+  buf_policy : Mfu_sim.Buffer_issue.policy;
+  buf_stations : int list;  (** 1..8 *)
+  buf_cells : issue_cell array array;
+      (** [buf_cells.(station_index).(config_index)] *)
+}
+
+val table3 : unit -> buffer_table
+(** in-order, scalar loops *)
+
+val table4 : unit -> buffer_table
+(** in-order, vectorizable loops *)
+
+val table5 : unit -> buffer_table
+(** out-of-order, scalar loops *)
+
+val table6 : unit -> buffer_table
+(** out-of-order, vectorizable loops *)
+
+(** {1 Tables 7-8 — multiple issue units with RUU dependency resolution} *)
+
+type ruu_table = {
+  ruu_class : Livermore.classification;
+  ruu_sizes : int list;   (** 10, 20, 30, 40, 50, 100 *)
+  ruu_units : int list;   (** 1..4 *)
+  ruu_cells : issue_cell array array array;
+      (** [ruu_cells.(config_index).(size_index).(unit_index)] *)
+}
+
+val table7 : unit -> ruu_table
+(** scalar loops *)
+
+val table8 : unit -> ruu_table
+(** vectorizable loops *)
+
+(** {1 Extension ablations (beyond the paper)} *)
+
+type speculation_row = {
+  spec_class : Livermore.classification;
+  spec_units : int;
+  spec_blocking : float;  (** branches stall the issue stage (the paper) *)
+  spec_static : float;    (** static predict-taken *)
+  spec_bimodal : float;   (** 2-bit bimodal predictor, 256 entries *)
+  spec_oracle : float;    (** perfect prediction *)
+}
+
+val ablation_speculation :
+  ?ruu_size:int -> config:Mfu_isa.Config.t -> unit -> speculation_row list
+(** A1: what the paper's no-prediction assumption costs, across a ladder
+    of branch predictors in the RUU machine. [ruu_size] defaults to 50. *)
+
+type latency_row = {
+  lat_org : Mfu_sim.Single_issue.organization;
+  lat_class : Livermore.classification;
+  lat_cray_manual : float;  (** scalar add = 3 (CRAY-1 HRM) *)
+  lat_paper : float;        (** scalar add = 2 (paper's accounting) *)
+}
+
+val ablation_latency : config_name:string -> unit -> latency_row list
+(** A2: sensitivity of Table 1 to the scalar-add latency accounting.
+    [config_name] is one of "M11BR5", "M11BR2", "M5BR5", "M5BR2". *)
+
+type xbar_row = {
+  xb_class : Livermore.classification;
+  xb_stations : int;
+  xb_n_bus : float;
+  xb_x_bar : float;
+}
+
+val ablation_xbar : config:Mfu_isa.Config.t -> unit -> xbar_row list
+(** A3: verify the paper's claim that the full crossbar performs
+    "essentially the same" as the N-bus interconnect (in-order issue). *)
+
+type scheduling_row = {
+  sch_class : Livermore.classification;
+  sch_org : Mfu_sim.Single_issue.organization;
+  sch_naive : float;      (** naive compiler output (the paper's default) *)
+  sch_scheduled : float;  (** after basic-block list scheduling *)
+}
+
+val ablation_scheduling : config:Mfu_isa.Config.t -> unit -> scheduling_row list
+(** A4: the paper's "software code scheduling" remark — effect of a
+    basic-block list scheduler on the single-issue organizations. *)
+
+type section33_row = {
+  s33_class : Livermore.classification;
+  s33_blocking : float;    (** CRAY-like, hazards block at issue (Table 1) *)
+  s33_scoreboard : float;  (** CDC 6600 scoreboard: RAW resolved, WAW blocks *)
+  s33_tomasulo : float;    (** IBM 360/91: RAW and WAW resolved, one CDB *)
+  s33_ruu1 : float;        (** RUU scheme, 1 issue unit, RUU size 50 *)
+}
+
+val section33 : config:Mfu_isa.Config.t -> unit -> section33_row list
+(** A5: the Section 3.3 ladder of single-issue dependency-resolution
+    schemes (the paper quotes ~0.72 scalar / ~0.81 vectorizable for the
+    RUU single-issue machine on M11BR5). *)
+
+type alignment_row = {
+  al_stations : int;
+  al_dynamic : float;
+  al_static : float;
+}
+
+val ablation_alignment :
+  config:Mfu_isa.Config.t ->
+  class_:Livermore.classification ->
+  unit ->
+  alignment_row list
+(** A6: dynamically filled vs statically aligned (cache-line-like)
+    instruction buffers under out-of-order issue — the statically aligned
+    buffer reproduces the paper's sawtooth. *)
+
+type banks_row = {
+  bk_class : Livermore.classification;
+  bk_org : Mfu_sim.Single_issue.organization;
+  bk_ideal : float;       (** the paper's conflict-free interleaving *)
+  bk_cray1 : float;       (** 16 banks, 4-cycle busy (CRAY-1) *)
+  bk_coarse : float;      (** a single bank busy for the full access time
+                              (degenerates to serial memory) *)
+}
+
+val ablation_banks : config:Mfu_isa.Config.t -> unit -> banks_row list
+(** A7: how much the paper's ideal interleaved memory flatters the
+    results, using real bank-conflict models on the pipelined-memory
+    organizations. *)
+
+type extended_row = {
+  ext_number : int;
+  ext_title : string;
+  ext_class : Livermore.classification;
+  ext_instructions : int;
+  ext_cray : float;       (** CRAY-like single issue *)
+  ext_ruu4 : float;       (** RUU(50), 4 issue units, N-bus *)
+  ext_limit : float;      (** actual dataflow/resource limit *)
+}
+
+val extended_study : config:Mfu_isa.Config.t -> unit -> extended_row list
+(** E1: the study repeated on the extended Livermore kernels (18-24
+    subset, see {!Mfu_loops.Extended}) — per-kernel issue rates from the
+    blocking CRAY-like machine and the 4-wide RUU machine against the
+    dataflow limit. *)
+
+type vector_row = {
+  vec_number : int;
+  vec_title : string;
+  vec_scalar_cycles : int;   (** CRAY-like scalar execution *)
+  vec_vector_cycles : int;   (** hand-vectorized execution, same machine *)
+  vec_speedup : float;
+}
+
+val vectorization_study : config:Mfu_isa.Config.t -> unit -> vector_row list
+(** E2: scalar vs hand-vectorized execution of loops 1, 7 and 12 on the
+    CRAY-like machine ({!Mfu_loops.Vectorized}) — the context behind the
+    paper's "vectorizable" classification, quantifying the gap the scalar
+    multiple-issue schemes are chasing. *)
+
+type conclusion_row = {
+  con_label : string;
+  con_scalar : float * float;  (** min/max %% of the theoretical maximum
+                                   across the four machine variants *)
+  con_vector : float * float;
+}
+
+val conclusions : unit -> conclusion_row list
+(** The Section 6 ladder: each machine rung's achieved issue rate as a
+    percentage of the class's "Pure actual" limit (Table 2), minimum and
+    maximum over M11BR5..M5BR2 — directly comparable with the prose
+    percentages the paper's conclusions quote
+    ({!Paper_data.conclusions}). *)

@@ -1,0 +1,57 @@
+(** The numbers published in the paper's Tables 1-8, transcribed for
+    shape comparison against our reproduction.
+
+    Machine-variant order everywhere: M11BR5, M11BR2, M5BR5, M5BR2.
+    A few cells of Tables 4-6 and 8 are illegible in the available scan;
+    those were filled with the value implied by neighbouring cells and are
+    flagged in comments in the implementation. Comparisons should treat
+    every paper value as +-0.01 (the tables print two decimals). *)
+
+val machines : string list
+(** ["M11BR5"; "M11BR2"; "M5BR5"; "M5BR2"]. *)
+
+val table1 : ((string * string) * float array) list
+(** Key: (class, organization) with class in {"scalar","vectorizable"} and
+    organization in {"Simple","SerialMemory","NonSegmented","CRAY-like"};
+    value: issue rate per machine variant. *)
+
+val table2 : ((string * bool * string) * (float * float * float)) list
+(** Key: (class, is_pure, machine); value: (pseudo-dataflow, resource,
+    actual) issue-rate limits. *)
+
+val table3 : (string * (float * float) array) list
+(** In-order multiple issue, scalar loops. Key: machine; value: per
+    station count 1..8, (N-bus rate, 1-bus rate). *)
+
+val table4 : (string * (float * float) array) list
+(** As {!table3}, vectorizable loops. *)
+
+val table5 : (string * (float * float) array) list
+(** Out-of-order multiple issue, scalar loops. *)
+
+val table6 : (string * (float * float) array) list
+(** Out-of-order multiple issue, vectorizable loops. *)
+
+val ruu_sizes : int list
+(** [10; 20; 30; 40; 50; 100]. *)
+
+val table7 : (string * (int * (float * float) array) list) list
+(** RUU, scalar loops. Key: machine; value: per RUU size, an array over
+    issue units 1..4 of (N-bus rate, 1-bus rate). *)
+
+val table8 : (string * (int * (float * float) array) list) list
+(** As {!table7}, vectorizable loops. *)
+
+val flatten_table1 : ((string * string) * float array) list -> (string * float) list
+(** Label every cell "class/org/machine" for correlation tooling. *)
+
+val flatten_buffer : name:string -> (string * (float * float) array) list -> (string * float) list
+(** Label every cell "name/machine/sN/{nbus,1bus}". *)
+
+val flatten_ruu : name:string -> (string * (int * (float * float) array) list) list -> (string * float) list
+(** Label every cell "name/machine/ruuN/uM/{nbus,1bus}". *)
+
+val conclusions : (string * string * string) list
+(** The percent-of-theoretical-maximum ladder from the paper's Section 6
+    (Discussion and Conclusions): (machine rung, scalar range,
+    vectorizable range), as quoted in the prose. *)

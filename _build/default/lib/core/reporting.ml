@@ -1,0 +1,497 @@
+module Table = Mfu_util.Table
+module Config = Mfu_isa.Config
+module Livermore = Mfu_loops.Livermore
+module Single_issue = Mfu_sim.Single_issue
+module Buffer_issue = Mfu_sim.Buffer_issue
+
+let f2 = Table.cell_f2
+let class_name c = Livermore.classification_to_string c
+let machine_names = List.map Config.name Experiments.configs
+
+let render_table1 (tables : Experiments.single_issue_table list) =
+  let columns =
+    ("Code", Table.Left) :: ("Machine", Table.Left)
+    :: List.map (fun m -> (m, Table.Right)) machine_names
+  in
+  let t = Table.create ~title:"Table 1. Issue rates, single issue unit" ~columns () in
+  List.iteri
+    (fun i (tab : Experiments.single_issue_table) ->
+      if i > 0 then Table.add_separator t;
+      List.iter
+        (fun (org, rates) ->
+          Table.add_row t
+            (class_name tab.si_class
+            :: Single_issue.organization_to_string org
+            :: List.map f2 (Array.to_list rates)))
+        tab.si_rows)
+    tables;
+  t
+
+let render_table2 (tables : Experiments.limits_table list) =
+  let columns =
+    [
+      ("Code", Table.Left); ("Machine", Table.Left);
+      ("Pseudo-Dataflow", Table.Right); ("Resource", Table.Right);
+      ("Actual", Table.Right);
+    ]
+  in
+  let t =
+    Table.create ~title:"Table 2. Pseudo-dataflow and resource limits" ~columns ()
+  in
+  let emit_group (tab : Experiments.limits_table) ~pure =
+    List.iter
+      (fun (r : Experiments.limits_row) ->
+        if r.lim_pure = pure then
+          Table.add_row t
+            [
+              class_name tab.lim_class;
+              (if pure then "Pure " else "Serial ") ^ Config.name r.lim_machine;
+              f2 r.lim_pseudo; f2 r.lim_resource; f2 r.lim_actual;
+            ])
+      tab.lim_rows
+  in
+  List.iteri
+    (fun i tab ->
+      if i > 0 then Table.add_separator t;
+      emit_group tab ~pure:true)
+    tables;
+  List.iter
+    (fun tab ->
+      Table.add_separator t;
+      emit_group tab ~pure:false)
+    tables;
+  t
+
+let render_buffer_table ~title (tab : Experiments.buffer_table) =
+  let columns =
+    ("Stations", Table.Left)
+    :: List.concat_map
+         (fun m -> [ (m ^ " N-Bus", Table.Right); (m ^ " 1-Bus", Table.Right) ])
+         machine_names
+  in
+  let t = Table.create ~title ~columns () in
+  List.iteri
+    (fun i stations ->
+      let cells = tab.buf_cells.(i) in
+      Table.add_row t
+        (string_of_int stations
+        :: List.concat
+             (List.mapi
+                (fun _ (c : Experiments.issue_cell) -> [ f2 c.n_bus; f2 c.one_bus ])
+                (Array.to_list cells))))
+    tab.buf_stations;
+  t
+
+let render_ruu_table ~title (tab : Experiments.ruu_table) =
+  let columns =
+    ("Machine", Table.Left) :: ("RUU", Table.Right)
+    :: List.concat_map
+         (fun u ->
+           [
+             (Printf.sprintf "%d N-Bus" u, Table.Right);
+             (Printf.sprintf "%d 1-Bus" u, Table.Right);
+           ])
+         tab.ruu_units
+  in
+  let t = Table.create ~title ~columns () in
+  List.iteri
+    (fun ci machine ->
+      if ci > 0 then Table.add_separator t;
+      List.iteri
+        (fun si size ->
+          let cells = tab.ruu_cells.(ci).(si) in
+          Table.add_row t
+            (machine :: string_of_int size
+            :: List.concat
+                 (List.map
+                    (fun (c : Experiments.issue_cell) ->
+                      [ f2 c.n_bus; f2 c.one_bus ])
+                    (Array.to_list cells))))
+        tab.ruu_sizes)
+    machine_names;
+  t
+
+let render_speculation rows =
+  let columns =
+    [
+      ("Code", Table.Left); ("Issue units", Table.Right);
+      ("Stall", Table.Right); ("Static taken", Table.Right);
+      ("Bimodal", Table.Right); ("Oracle", Table.Right);
+      ("Oracle gain", Table.Right);
+    ]
+  in
+  let t =
+    Table.create
+      ~title:"Ablation A1. RUU branch handling: stall vs predictors"
+      ~columns ()
+  in
+  List.iter
+    (fun (r : Experiments.speculation_row) ->
+      Table.add_row t
+        [
+          class_name r.spec_class;
+          string_of_int r.spec_units;
+          f2 r.spec_blocking;
+          f2 r.spec_static;
+          f2 r.spec_bimodal;
+          f2 r.spec_oracle;
+          Printf.sprintf "%.2fx" (r.spec_oracle /. r.spec_blocking);
+        ])
+    rows;
+  t
+
+let render_latency rows =
+  let columns =
+    [
+      ("Code", Table.Left); ("Machine", Table.Left);
+      ("scalar add=3", Table.Right); ("scalar add=2", Table.Right);
+    ]
+  in
+  let t =
+    Table.create ~title:"Ablation A2. Scalar-add latency accounting" ~columns ()
+  in
+  List.iter
+    (fun (r : Experiments.latency_row) ->
+      Table.add_row t
+        [
+          class_name r.lat_class;
+          Single_issue.organization_to_string r.lat_org;
+          f2 r.lat_cray_manual;
+          f2 r.lat_paper;
+        ])
+    rows;
+  t
+
+let render_xbar rows =
+  let columns =
+    [
+      ("Code", Table.Left); ("Stations", Table.Right);
+      ("N-Bus", Table.Right); ("X-Bar", Table.Right);
+    ]
+  in
+  let t = Table.create ~title:"Ablation A3. N-Bus vs full crossbar" ~columns () in
+  List.iter
+    (fun (r : Experiments.xbar_row) ->
+      Table.add_row t
+        [
+          class_name r.xb_class;
+          string_of_int r.xb_stations;
+          f2 r.xb_n_bus;
+          f2 r.xb_x_bar;
+        ])
+    rows;
+  t
+
+let render_scheduling rows =
+  let columns =
+    [
+      ("Code", Table.Left); ("Machine", Table.Left);
+      ("Naive", Table.Right); ("Scheduled", Table.Right);
+      ("Gain", Table.Right);
+    ]
+  in
+  let t =
+    Table.create ~title:"Ablation A4. Software code scheduling (list scheduler)"
+      ~columns ()
+  in
+  List.iter
+    (fun (r : Experiments.scheduling_row) ->
+      Table.add_row t
+        [
+          class_name r.Experiments.sch_class;
+          Single_issue.organization_to_string r.Experiments.sch_org;
+          f2 r.Experiments.sch_naive;
+          f2 r.Experiments.sch_scheduled;
+          Printf.sprintf "%+.0f%%"
+            (100.0
+            *. ((r.Experiments.sch_scheduled /. r.Experiments.sch_naive) -. 1.0));
+        ])
+    rows;
+  t
+
+let render_section33 rows =
+  let columns =
+    [
+      ("Code", Table.Left); ("Blocking", Table.Right);
+      ("Scoreboard", Table.Right); ("Tomasulo", Table.Right);
+      ("RUU(50), 1 unit", Table.Right);
+    ]
+  in
+  let t =
+    Table.create
+      ~title:
+        "Ablation A5. Section 3.3: single-issue dependency resolution schemes"
+      ~columns ()
+  in
+  List.iter
+    (fun (r : Experiments.section33_row) ->
+      Table.add_row t
+        [
+          class_name r.Experiments.s33_class;
+          f2 r.Experiments.s33_blocking;
+          f2 r.Experiments.s33_scoreboard;
+          f2 r.Experiments.s33_tomasulo;
+          f2 r.Experiments.s33_ruu1;
+        ])
+    rows;
+  t
+
+let render_alignment ~title rows =
+  let columns =
+    [
+      ("Stations", Table.Right); ("Dynamic fill", Table.Right);
+      ("Static (cache-line)", Table.Right);
+    ]
+  in
+  let t = Table.create ~title ~columns () in
+  List.iter
+    (fun (r : Experiments.alignment_row) ->
+      Table.add_row t
+        [
+          string_of_int r.Experiments.al_stations;
+          f2 r.Experiments.al_dynamic;
+          f2 r.Experiments.al_static;
+        ])
+    rows;
+  t
+
+let render_banks rows =
+  let columns =
+    [
+      ("Code", Table.Left); ("Machine", Table.Left);
+      ("Ideal", Table.Right); ("16 banks", Table.Right);
+      ("1 bank", Table.Right);
+    ]
+  in
+  let t =
+    Table.create ~title:"Ablation A7. Memory bank conflicts vs ideal interleaving"
+      ~columns ()
+  in
+  List.iter
+    (fun (r : Experiments.banks_row) ->
+      Table.add_row t
+        [
+          class_name r.Experiments.bk_class;
+          Single_issue.organization_to_string r.Experiments.bk_org;
+          f2 r.Experiments.bk_ideal;
+          f2 r.Experiments.bk_cray1;
+          f2 r.Experiments.bk_coarse;
+        ])
+    rows;
+  t
+
+let render_extended rows =
+  let columns =
+    [
+      ("Loop", Table.Left); ("Title", Table.Left); ("Class", Table.Left);
+      ("Instrs", Table.Right); ("CRAY-like", Table.Right);
+      ("RUU(50) 4 units", Table.Right); ("Limit", Table.Right);
+      ("RUU % of limit", Table.Right);
+    ]
+  in
+  let t =
+    Table.create
+      ~title:"Extension E1. The study on the extended Livermore kernels"
+      ~columns ()
+  in
+  List.iter
+    (fun (r : Experiments.extended_row) ->
+      Table.add_row t
+        [
+          Printf.sprintf "LL%d" r.Experiments.ext_number;
+          r.Experiments.ext_title;
+          class_name r.Experiments.ext_class;
+          string_of_int r.Experiments.ext_instructions;
+          f2 r.Experiments.ext_cray;
+          f2 r.Experiments.ext_ruu4;
+          f2 r.Experiments.ext_limit;
+          Printf.sprintf "%.0f%%"
+            (100.0 *. r.Experiments.ext_ruu4 /. r.Experiments.ext_limit);
+        ])
+    rows;
+  t
+
+let render_vectorization rows =
+  let columns =
+    [
+      ("Loop", Table.Left); ("Title", Table.Left);
+      ("Scalar cycles", Table.Right); ("Vector cycles", Table.Right);
+      ("Speedup", Table.Right);
+    ]
+  in
+  let t =
+    Table.create
+      ~title:
+        "Extension E2. Scalar vs hand-vectorized execution (CRAY-like, M11BR5)"
+      ~columns ()
+  in
+  List.iter
+    (fun (r : Experiments.vector_row) ->
+      Table.add_row t
+        [
+          Printf.sprintf "LL%d" r.Experiments.vec_number;
+          r.Experiments.vec_title;
+          string_of_int r.Experiments.vec_scalar_cycles;
+          string_of_int r.Experiments.vec_vector_cycles;
+          Printf.sprintf "%.1fx" r.Experiments.vec_speedup;
+        ])
+    rows;
+  t
+
+let render_conclusions ~paper rows =
+  let columns =
+    [
+      ("Machine", Table.Left);
+      ("Scalar (ours)", Table.Right); ("Scalar (paper)", Table.Right);
+      ("Vectorizable (ours)", Table.Right); ("Vectorizable (paper)", Table.Right);
+    ]
+  in
+  let t =
+    Table.create
+      ~title:
+        "Section 6 ladder: achieved issue rate as % of the theoretical maximum"
+      ~columns ()
+  in
+  let fmt_range (lo, hi) = Printf.sprintf "%.0f-%.0f%%" lo hi in
+  List.iter
+    (fun (r : Experiments.conclusion_row) ->
+      let paper_scalar, paper_vector =
+        match
+          List.find_opt (fun (l, _, _) -> l = r.Experiments.con_label) paper
+        with
+        | Some (_, s, v) -> (s, v)
+        | None -> ("-", "-")
+      in
+      Table.add_row t
+        [
+          r.Experiments.con_label;
+          fmt_range r.Experiments.con_scalar;
+          paper_scalar;
+          fmt_range r.Experiments.con_vector;
+          paper_vector;
+        ])
+    rows;
+  t
+
+(* -- flattening ------------------------------------------------------------- *)
+
+let flatten_measured_table1 tables =
+  List.concat_map
+    (fun (tab : Experiments.single_issue_table) ->
+      List.concat_map
+        (fun (org, rates) ->
+          List.mapi
+            (fun i m ->
+              ( Printf.sprintf "%s/%s/%s" (class_name tab.si_class)
+                  (Single_issue.organization_to_string org)
+                  m,
+                rates.(i) ))
+            machine_names)
+        tab.si_rows)
+    tables
+
+let flatten_measured_buffer ~name (tab : Experiments.buffer_table) =
+  List.concat
+    (List.mapi
+       (fun si stations ->
+         List.concat
+           (List.mapi
+              (fun ci m ->
+                let (c : Experiments.issue_cell) = tab.buf_cells.(si).(ci) in
+                [
+                  (Printf.sprintf "%s/%s/s%d/nbus" name m stations, c.n_bus);
+                  (Printf.sprintf "%s/%s/s%d/1bus" name m stations, c.one_bus);
+                ])
+              machine_names))
+       tab.buf_stations)
+
+let flatten_measured_ruu ~name (tab : Experiments.ruu_table) =
+  List.concat
+    (List.mapi
+       (fun ci m ->
+         List.concat
+           (List.mapi
+              (fun si size ->
+                List.concat
+                  (List.mapi
+                     (fun ui u ->
+                       let (c : Experiments.issue_cell) =
+                         tab.ruu_cells.(ci).(si).(ui)
+                       in
+                       [
+                         ( Printf.sprintf "%s/%s/ruu%d/u%d/nbus" name m size u,
+                           c.n_bus );
+                         ( Printf.sprintf "%s/%s/ruu%d/u%d/1bus" name m size u,
+                           c.one_bus );
+                       ])
+                     tab.ruu_units))
+              tab.ruu_sizes))
+       machine_names)
+
+(* -- comparison --------------------------------------------------------------- *)
+
+type comparison = {
+  cells : int;
+  pearson : float;
+  mean_ratio : float;
+  rank_agreement : float;
+}
+
+let pearson xs ys =
+  let n = float_of_int (Array.length xs) in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. n in
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let a = x -. mx and b = ys.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b))
+    xs;
+  if !dx = 0.0 || !dy = 0.0 then 1.0 else !num /. sqrt (!dx *. !dy)
+
+let rank_agreement xs ys =
+  let n = Array.length xs in
+  let concordant = ref 0 and considered = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = xs.(i) -. xs.(j) and b = ys.(i) -. ys.(j) in
+      if abs_float a > 0.005 && abs_float b > 0.005 then begin
+        incr considered;
+        if a *. b > 0.0 then incr concordant
+      end
+    done
+  done;
+  if !considered = 0 then 1.0
+  else float_of_int !concordant /. float_of_int !considered
+
+let compare_cells ~paper ~measured =
+  let joined =
+    List.filter_map
+      (fun (label, p) ->
+        Option.map (fun m -> (p, m)) (List.assoc_opt label measured))
+      paper
+  in
+  if List.length joined < 3 then
+    invalid_arg "Reporting.compare_cells: fewer than 3 matching labels";
+  let ps = Array.of_list (List.map fst joined) in
+  let ms = Array.of_list (List.map snd joined) in
+  let ratios =
+    List.filter_map
+      (fun (p, m) -> if p > 0.0 then Some (m /. p) else None)
+      joined
+  in
+  {
+    cells = Array.length ps;
+    pearson = pearson ps ms;
+    mean_ratio = Mfu_util.Stats.arithmetic_mean ratios;
+    rank_agreement = rank_agreement ps ms;
+  }
+
+let render_comparison ~title c =
+  Printf.sprintf
+    "%s: %d cells, pearson %.3f, level x%.2f, rank agreement %.2f" title
+    c.cells c.pearson c.mean_ratio c.rank_agreement
+
+let table_to_csv t = Mfu_util.Table.to_csv t

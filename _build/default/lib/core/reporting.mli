@@ -1,0 +1,62 @@
+(** Rendering of experiment results in the paper's table formats, plus
+    shape-comparison statistics against the published numbers. *)
+
+val render_table1 : Experiments.single_issue_table list -> Mfu_util.Table.t
+val render_table2 : Experiments.limits_table list -> Mfu_util.Table.t
+
+val render_buffer_table : title:string -> Experiments.buffer_table -> Mfu_util.Table.t
+(** For Tables 3-6; [title] names the table. *)
+
+val render_ruu_table : title:string -> Experiments.ruu_table -> Mfu_util.Table.t
+(** For Tables 7-8. *)
+
+val render_speculation : Experiments.speculation_row list -> Mfu_util.Table.t
+val render_latency : Experiments.latency_row list -> Mfu_util.Table.t
+val render_xbar : Experiments.xbar_row list -> Mfu_util.Table.t
+val render_scheduling : Experiments.scheduling_row list -> Mfu_util.Table.t
+val render_section33 : Experiments.section33_row list -> Mfu_util.Table.t
+
+val render_alignment :
+  title:string -> Experiments.alignment_row list -> Mfu_util.Table.t
+
+val render_banks : Experiments.banks_row list -> Mfu_util.Table.t
+val render_extended : Experiments.extended_row list -> Mfu_util.Table.t
+val render_vectorization : Experiments.vector_row list -> Mfu_util.Table.t
+
+val render_conclusions :
+  paper:(string * string * string) list ->
+  Experiments.conclusion_row list ->
+  Mfu_util.Table.t
+(** Section 6 ladder, ours side by side with the paper's quoted ranges. *)
+
+val table_to_csv : Mfu_util.Table.t -> string
+(** Render any report table as RFC-4180-ish CSV (header row + data rows;
+    separator rows are dropped). *)
+
+(** {1 Flattening measured results for comparison} *)
+
+val flatten_measured_table1 : Experiments.single_issue_table list -> (string * float) list
+(** Cell labels match {!Paper_data.flatten_table1}. *)
+
+val flatten_measured_buffer : name:string -> Experiments.buffer_table -> (string * float) list
+val flatten_measured_ruu : name:string -> Experiments.ruu_table -> (string * float) list
+
+(** {1 Shape comparison} *)
+
+type comparison = {
+  cells : int;
+  pearson : float;       (** correlation between paper and measured cells *)
+  mean_ratio : float;    (** mean of measured/paper — overall level shift *)
+  rank_agreement : float;
+      (** fraction of cell pairs ordered the same way in both datasets
+          (Kendall-style concordance; ties within 0.005 are skipped) *)
+}
+
+val compare_cells :
+  paper:(string * float) list -> measured:(string * float) list -> comparison
+(** Join by label (cells present in both) and compute shape statistics.
+    @raise Invalid_argument if fewer than 3 labels match. *)
+
+val render_comparison : title:string -> comparison -> string
+(** One-line summary, e.g.
+    ["Table 3: 64 cells, pearson 0.97, level x1.08, rank agreement 0.91"]. *)

@@ -1,0 +1,1 @@
+lib/exec/cpu.ml: Array Int64 List Memory Mfu_asm Mfu_isa Printf Trace

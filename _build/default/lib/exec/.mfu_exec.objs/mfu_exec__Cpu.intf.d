@@ -1,0 +1,1 @@
+lib/exec/cpu.mli: Memory Mfu_asm Trace

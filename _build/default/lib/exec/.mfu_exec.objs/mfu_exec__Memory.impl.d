@@ -1,0 +1,1 @@
+lib/exec/memory.ml: Array Printf

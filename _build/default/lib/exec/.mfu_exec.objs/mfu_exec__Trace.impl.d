@@ -1,0 +1,1 @@
+lib/exec/trace.ml: Array Format List Mfu_isa Option Printf String

@@ -1,0 +1,1 @@
+lib/exec/trace_io.ml: Array Buffer Fun List Mfu_isa Option Printf String Trace

@@ -1,0 +1,1 @@
+lib/exec/trace_io.mli: Trace

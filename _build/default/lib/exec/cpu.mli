@@ -1,0 +1,34 @@
+(** Architectural execution: runs a program against a memory image and
+    produces the dynamic instruction trace.
+
+    Execution is purely architectural — one instruction at a time, no
+    timing. Timing is recovered later by the simulators in [Mfu_sim], which
+    replay the trace under a machine organization. *)
+
+exception Step_budget_exceeded of int
+(** Raised when a program executes more instructions than allowed — a guard
+    against non-terminating kernels. Carries the budget. *)
+
+type result = {
+  trace : Trace.t;
+  memory : Memory.t;      (** final memory image *)
+  instructions : int;     (** dynamic instruction count, excluding [Halt] *)
+}
+
+val run :
+  ?max_instructions:int -> program:Mfu_asm.Program.t -> memory:Memory.t -> unit -> result
+(** Execute [program] until [Halt]. [memory] is mutated in place and also
+    returned. [max_instructions] defaults to 2_000_000.
+
+    Semantics notes:
+    - [S_recip] computes an exact reciprocal (the CRAY-1's Newton-iteration
+      refinement is folded in), so the code generator's [recip]+[mul]
+      expansion of division matches the golden interpreter's
+      multiply-by-reciprocal semantics bit for bit.
+    - [A_to_s]/[S_to_a] convert with [float_of_int]/[int_of_float]
+      (truncation toward zero).
+    - S-register logical and shift instructions operate on the IEEE bit
+      pattern of the float value.
+
+    @raise Step_budget_exceeded when the budget is exhausted.
+    @raise Invalid_argument on out-of-range memory accesses. *)

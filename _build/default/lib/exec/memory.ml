@@ -1,0 +1,71 @@
+type cell = F of float | I of int
+
+type t = { cells : cell array }
+
+let create ~size =
+  if size < 0 then invalid_arg "Memory.create: negative size";
+  { cells = Array.make size (F 0.0) }
+
+let size t = Array.length t.cells
+
+let check t addr =
+  if addr < 0 || addr >= Array.length t.cells then
+    invalid_arg (Printf.sprintf "Memory: address %d out of range [0,%d)" addr
+                   (Array.length t.cells))
+
+let get_float t addr =
+  check t addr;
+  match t.cells.(addr) with F x -> x | I n -> float_of_int n
+
+let get_int t addr =
+  check t addr;
+  match t.cells.(addr) with I n -> n | F x -> int_of_float x
+
+let set_float t addr x =
+  check t addr;
+  t.cells.(addr) <- F x
+
+let set_int t addr n =
+  check t addr;
+  t.cells.(addr) <- I n
+
+let copy t = { cells = Array.copy t.cells }
+
+let blit_floats t ~pos xs =
+  Array.iteri (fun i x -> set_float t (pos + i) x) xs
+
+let blit_ints t ~pos xs = Array.iteri (fun i x -> set_int t (pos + i) x) xs
+
+let read_floats t ~pos ~len = Array.init len (fun i -> get_float t (pos + i))
+let read_ints t ~pos ~len = Array.init len (fun i -> get_int t (pos + i))
+
+let float_close ~tol a b =
+  if a = b then true
+  else
+    let scale = max (abs_float a) (abs_float b) in
+    abs_float (a -. b) <= tol *. max scale 1.0
+
+let cell_mismatch ~tol a b =
+  match (a, b) with
+  | I m, I n -> if m = n then None else Some (Printf.sprintf "int %d <> %d" m n)
+  | F x, F y ->
+      if float_close ~tol x y then None
+      else Some (Printf.sprintf "float %.17g <> %.17g" x y)
+  | I m, F y | F y, I m ->
+      if float_close ~tol (float_of_int m) y then None
+      else Some (Printf.sprintf "mixed %d <> %.17g" m y)
+
+let first_mismatch ~tol a b =
+  if size a <> size b then Some (-1, "sizes differ")
+  else
+    let n = size a in
+    let rec loop i =
+      if i >= n then None
+      else
+        match cell_mismatch ~tol a.cells.(i) b.cells.(i) with
+        | Some msg -> Some (i, msg)
+        | None -> loop (i + 1)
+    in
+    loop 0
+
+let equal_within ~tol a b = first_mismatch ~tol a b = None

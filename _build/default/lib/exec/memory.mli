@@ -1,0 +1,45 @@
+(** Word-addressed data memory.
+
+    Each cell holds a 64-bit word that is either an integer or a float
+    (mirroring the CRAY-1's untyped words without committing to a bit-level
+    encoding). Reads through the "wrong" view convert: reading an integer
+    cell as a float yields [float_of_int], reading a float cell as an
+    integer truncates. Fresh memory reads as floating 0.0. *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] allocates [size] zeroed words.
+    @raise Invalid_argument if [size < 0]. *)
+
+val size : t -> int
+
+val get_float : t -> int -> float
+(** @raise Invalid_argument on an out-of-range address. *)
+
+val get_int : t -> int -> int
+(** @raise Invalid_argument on an out-of-range address. *)
+
+val set_float : t -> int -> float -> unit
+val set_int : t -> int -> int -> unit
+
+val copy : t -> t
+(** An independent snapshot. *)
+
+val blit_floats : t -> pos:int -> float array -> unit
+(** Store an array of floats starting at [pos]. *)
+
+val blit_ints : t -> pos:int -> int array -> unit
+
+val read_floats : t -> pos:int -> len:int -> float array
+(** Read [len] consecutive words as floats. *)
+
+val read_ints : t -> pos:int -> len:int -> int array
+
+val equal_within : tol:float -> t -> t -> bool
+(** Cell-wise comparison; float cells compare with relative tolerance
+    [tol], integer cells exactly. Sizes must match. *)
+
+val first_mismatch : tol:float -> t -> t -> (int * string) option
+(** Address and description of the first differing cell, for test
+    diagnostics. *)

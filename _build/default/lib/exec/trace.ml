@@ -1,0 +1,95 @@
+module Fu = Mfu_isa.Fu
+module Reg = Mfu_isa.Reg
+
+type kind = Plain | Load of int | Store of int | Taken_branch | Untaken_branch
+
+type entry = {
+  static_index : int;
+  fu : Fu.kind;
+  dest : Reg.t option;
+  srcs : Reg.t list;
+  parcels : int;
+  kind : kind;
+  vl : int;
+}
+
+type t = entry array
+
+let is_branch e =
+  match e.kind with
+  | Taken_branch | Untaken_branch -> true
+  | Plain | Load _ | Store _ -> false
+
+let is_load e = match e.kind with Load _ -> true | _ -> false
+let is_store e = match e.kind with Store _ -> true | _ -> false
+let produces_result e = Option.is_some e.dest
+
+type stats = {
+  instructions : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  taken_branches : int;
+  parcels : int;
+  per_fu : (Fu.kind * int) list;
+}
+
+let stats (t : t) =
+  let per_fu = Array.make Fu.count 0 in
+  let loads = ref 0
+  and stores = ref 0
+  and branches = ref 0
+  and taken = ref 0
+  and parcels = ref 0 in
+  Array.iter
+    (fun e ->
+      per_fu.(Fu.index e.fu) <- per_fu.(Fu.index e.fu) + 1;
+      parcels := !parcels + e.parcels;
+      match e.kind with
+      | Load _ -> incr loads
+      | Store _ -> incr stores
+      | Taken_branch ->
+          incr branches;
+          incr taken
+      | Untaken_branch -> incr branches
+      | Plain -> ())
+    t;
+  {
+    instructions = Array.length t;
+    loads = !loads;
+    stores = !stores;
+    branches = !branches;
+    taken_branches = !taken;
+    parcels = !parcels;
+    per_fu =
+      List.filter_map
+        (fun k ->
+          let c = per_fu.(Fu.index k) in
+          if c > 0 then Some (k, c) else None)
+        Fu.all;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>instructions: %d@ loads: %d@ stores: %d@ branches: %d (taken %d)@ \
+     parcels: %d@ per-unit:@ "
+    s.instructions s.loads s.stores s.branches s.taken_branches s.parcels;
+  List.iter
+    (fun (k, c) -> Format.fprintf fmt "  %-10s %d@ " (Fu.to_string k) c)
+    s.per_fu;
+  Format.fprintf fmt "@]"
+
+let pp_entry fmt e =
+  let kind =
+    match e.kind with
+    | Plain -> ""
+    | Load a -> Printf.sprintf " load@%d" a
+    | Store a -> Printf.sprintf " store@%d" a
+    | Taken_branch -> " taken"
+    | Untaken_branch -> " not-taken"
+  in
+  Format.fprintf fmt "[%d] %s dest=%s srcs=%s%s" e.static_index
+    (Fu.to_string e.fu)
+    (match e.dest with None -> "-" | Some r -> Reg.to_string r)
+    (String.concat "," (List.map Reg.to_string e.srcs))
+    kind

@@ -1,0 +1,54 @@
+(** Dynamic instruction traces.
+
+    A trace is the sequence of instructions a program actually executed,
+    annotated with everything the timing simulators and limit analyzers
+    need: the functional unit, source and destination registers, parcel
+    count, effective memory addresses, and branch outcomes. The timing
+    models never re-execute semantics; they are purely trace-driven, like
+    the modified CRAY-1 simulator the paper used. *)
+
+type kind =
+  | Plain
+  | Load of int   (** effective address *)
+  | Store of int  (** effective address *)
+  | Taken_branch
+  | Untaken_branch
+
+type entry = {
+  static_index : int;  (** index of the instruction in the static program *)
+  fu : Mfu_isa.Fu.kind;
+  dest : Mfu_isa.Reg.t option;
+  srcs : Mfu_isa.Reg.t list;
+  parcels : int;
+  kind : kind;
+  vl : int;
+      (** vector length: 1 for scalar instructions; vector instructions
+          occupy their functional unit for [vl] element slots *)
+}
+
+type t = entry array
+
+val is_branch : entry -> bool
+val is_load : entry -> bool
+val is_store : entry -> bool
+
+val produces_result : entry -> bool
+(** Whether the instruction writes a register and hence needs a result bus
+    slot (stores and branches do not). *)
+
+(** Aggregate statistics of a trace. *)
+type stats = {
+  instructions : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  taken_branches : int;
+  parcels : int;
+  per_fu : (Mfu_isa.Fu.kind * int) list;  (** dynamic count per unit *)
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,134 @@
+module Fu = Mfu_isa.Fu
+module Reg = Mfu_isa.Reg
+
+let header = "mfu-trace 1"
+
+let kind_to_string = function
+  | Trace.Plain -> "plain"
+  | Trace.Load a -> Printf.sprintf "load@%d" a
+  | Trace.Store a -> Printf.sprintf "store@%d" a
+  | Trace.Taken_branch -> "taken"
+  | Trace.Untaken_branch -> "untaken"
+
+let kind_of_string s =
+  match s with
+  | "plain" -> Some Trace.Plain
+  | "taken" -> Some Trace.Taken_branch
+  | "untaken" -> Some Trace.Untaken_branch
+  | _ ->
+      let prefixed p mk =
+        let pl = String.length p in
+        if String.length s > pl && String.sub s 0 pl = p then
+          Option.map mk (int_of_string_opt (String.sub s pl (String.length s - pl)))
+        else None
+      in
+      (match prefixed "load@" (fun a -> Trace.Load a) with
+      | Some k -> Some k
+      | None -> prefixed "store@" (fun a -> Trace.Store a))
+
+let fu_of_string s = List.find_opt (fun k -> Fu.to_string k = s) Fu.all
+
+let reg_of_string s =
+  if String.length s < 2 then None
+  else
+    let idx = int_of_string_opt (String.sub s 1 (String.length s - 1)) in
+    match (s.[0], idx) with
+    | 'A', Some i when i >= 0 && i < 8 -> Some (Reg.A i)
+    | 'S', Some i when i >= 0 && i < 8 -> Some (Reg.S i)
+    | 'B', Some i when i >= 0 && i < 64 -> Some (Reg.B i)
+    | 'T', Some i when i >= 0 && i < 64 -> Some (Reg.T i)
+    | 'V', Some i when i >= 0 && i < 8 && String.length s = 2 -> Some (Reg.V i)
+    | _ -> None
+
+let reg_of_string s = if s = "VL" then Some Reg.VL else reg_of_string s
+
+let entry_to_string (e : Trace.entry) =
+  Printf.sprintf "%d %s %s %s %d %s %d" e.Trace.static_index
+    (Fu.to_string e.Trace.fu)
+    (match e.Trace.dest with None -> "-" | Some r -> Reg.to_string r)
+    (match e.Trace.srcs with
+    | [] -> "-"
+    | srcs -> String.concat "," (List.map Reg.to_string srcs))
+    e.Trace.parcels
+    (kind_to_string e.Trace.kind)
+    e.Trace.vl
+
+let entry_of_string line =
+  let fields = String.split_on_char ' ' line in
+  let fields, vl_field =
+    match fields with
+    | [ a; b; c; d; e; f ] -> (Some (a, b, c, d, e, f), "1")
+    | [ a; b; c; d; e; f; vl ] -> (Some (a, b, c, d, e, f), vl)
+    | _ -> (None, "1")
+  in
+  match fields with
+  | Some (idx, fu, dest, srcs, parcels, kind) -> (
+      let ( let* ) = Option.bind in
+      let* static_index = int_of_string_opt idx in
+      let* fu = fu_of_string fu in
+      let* dest =
+        if dest = "-" then Some None
+        else Option.map (fun r -> Some r) (reg_of_string dest)
+      in
+      let* srcs =
+        if srcs = "-" then Some []
+        else
+          let parts = String.split_on_char ',' srcs in
+          let regs = List.filter_map reg_of_string parts in
+          if List.length regs = List.length parts then Some regs else None
+      in
+      let* parcels = int_of_string_opt parcels in
+      let* kind = kind_of_string kind in
+      let* vl = int_of_string_opt vl_field in
+      Some { Trace.static_index; fu; dest; srcs; parcels; kind; vl })
+  | None -> None
+
+let to_string (trace : Trace.t) =
+  let buf = Buffer.create (64 * (Array.length trace + 1)) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (entry_to_string e);
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let of_string text =
+  match String.split_on_char '\n' text with
+  | [] -> Error "empty input"
+  | first :: rest ->
+      if String.trim first <> header then
+        Error (Printf.sprintf "bad header %S (expected %S)" first header)
+      else begin
+        let entries = ref [] in
+        let error = ref None in
+        List.iteri
+          (fun i line ->
+            if !error = None && String.trim line <> "" then
+              match entry_of_string (String.trim line) with
+              | Some e -> entries := e :: !entries
+              | None ->
+                  error := Some (Printf.sprintf "line %d: cannot parse %S" (i + 2) line))
+          rest;
+        match !error with
+        | Some m -> Error m
+        | None -> Ok (Array.of_list (List.rev !entries))
+      end
+
+let write_file path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          let text = really_input_string ic n in
+          of_string text)

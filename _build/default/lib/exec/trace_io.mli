@@ -1,0 +1,26 @@
+(** Plain-text serialization of dynamic traces.
+
+    The paper's methodology stores instruction traces once and replays
+    them through many machine models; this module lets traces be written
+    to disk and reloaded, so expensive workload generation and timing
+    studies can be decoupled.
+
+    Format: a header line [mfu-trace 1], then one line per entry:
+
+    {v
+    <static_index> <unit> <dest|-> <src,src,...|-> <parcels> <kind>
+    v}
+
+    where <kind> is [plain], [load@ADDR], [store@ADDR], [taken] or
+    [untaken]. The format is stable and diff-friendly. *)
+
+val to_string : Trace.t -> string
+
+val of_string : string -> (Trace.t, string) result
+(** Errors carry the offending line number. *)
+
+val write_file : string -> Trace.t -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val read_file : string -> (Trace.t, string) result
+(** Returns [Error] for both parse failures and I/O failures. *)

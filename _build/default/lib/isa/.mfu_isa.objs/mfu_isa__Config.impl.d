@@ -1,0 +1,1 @@
+lib/isa/config.ml: Format Fu

@@ -1,0 +1,1 @@
+lib/isa/config.mli: Format Fu

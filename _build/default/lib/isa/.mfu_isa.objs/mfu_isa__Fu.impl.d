@@ -1,0 +1,1 @@
+lib/isa/fu.ml: Format

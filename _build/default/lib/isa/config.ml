@@ -1,0 +1,35 @@
+type memory_speed = M11 | M5
+type branch_speed = BR5 | BR2
+
+type t = {
+  memory : memory_speed;
+  branch : branch_speed;
+  latencies : Fu.latencies;
+}
+
+let memory_cycles = function M11 -> 11 | M5 -> 5
+let branch_cycles = function BR5 -> 5 | BR2 -> 2
+
+let make ?(paper_scalar_add = false) memory branch =
+  let mk = if paper_scalar_add then Fu.paper_latencies else Fu.cray1_latencies in
+  {
+    memory;
+    branch;
+    latencies = mk ~memory:(memory_cycles memory) ~branch:(branch_cycles branch);
+  }
+
+let m11br5 = make M11 BR5
+let m11br2 = make M11 BR2
+let m5br5 = make M5 BR5
+let m5br2 = make M5 BR2
+let all = [ m11br5; m11br2; m5br5; m5br2 ]
+
+let name t =
+  let m = match t.memory with M11 -> "M11" | M5 -> "M5" in
+  let b = match t.branch with BR5 -> "BR5" | BR2 -> "BR2" in
+  m ^ b
+
+let memory_latency t = memory_cycles t.memory
+let branch_time t = branch_cycles t.branch
+let latency t kind = Fu.latency t.latencies kind
+let pp fmt t = Format.pp_print_string fmt (name t)

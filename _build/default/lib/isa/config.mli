@@ -1,0 +1,44 @@
+(** Machine configurations studied by the paper.
+
+    Two orthogonal parameters are swept: the memory access time (11 cycles
+    for the plain CRAY-1 memory, 5 cycles when fast intermediate storage is
+    assumed) and the branch execution time (5 cycles for the CRAY-1S "slow"
+    branch, 2 for an idealized "fast" branch). The four crossings are named
+    M11BR5, M11BR2, M5BR5 and M5BR2 as in the paper. *)
+
+type memory_speed = M11 | M5
+type branch_speed = BR5 | BR2
+
+type t = {
+  memory : memory_speed;
+  branch : branch_speed;
+  latencies : Fu.latencies;
+}
+
+val make : ?paper_scalar_add:bool -> memory_speed -> branch_speed -> t
+(** Build a configuration with CRAY-1 functional-unit latencies. When
+    [paper_scalar_add] is true, the scalar adder takes 2 cycles (the
+    accounting the paper's prose uses) instead of the CRAY-1 manual's 3. *)
+
+val m11br5 : t
+val m11br2 : t
+val m5br5 : t
+val m5br2 : t
+
+val all : t list
+(** The four variants in the paper's column order:
+    M11BR5, M11BR2, M5BR5, M5BR2. *)
+
+val name : t -> string
+(** E.g. ["M11BR5"]. *)
+
+val memory_latency : t -> int
+(** 11 or 5. *)
+
+val branch_time : t -> int
+(** 5 or 2: total cycles a branch occupies the issue stage. *)
+
+val latency : t -> Fu.kind -> int
+(** Latency of a functional unit under this configuration. *)
+
+val pp : Format.formatter -> t -> unit

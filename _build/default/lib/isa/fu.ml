@@ -1,0 +1,130 @@
+type kind =
+  | Address_add
+  | Address_multiply
+  | Scalar_logical
+  | Scalar_shift
+  | Scalar_add
+  | Float_add
+  | Float_multiply
+  | Reciprocal
+  | Memory
+  | Branch
+  | Transfer
+
+let all =
+  [
+    Address_add;
+    Address_multiply;
+    Scalar_logical;
+    Scalar_shift;
+    Scalar_add;
+    Float_add;
+    Float_multiply;
+    Reciprocal;
+    Memory;
+    Branch;
+    Transfer;
+  ]
+
+let equal a b = a = b
+
+let to_string = function
+  | Address_add -> "addr-add"
+  | Address_multiply -> "addr-mul"
+  | Scalar_logical -> "logical"
+  | Scalar_shift -> "shift"
+  | Scalar_add -> "scalar-add"
+  | Float_add -> "float-add"
+  | Float_multiply -> "float-mul"
+  | Reciprocal -> "recip"
+  | Memory -> "memory"
+  | Branch -> "branch"
+  | Transfer -> "transfer"
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)
+
+let index = function
+  | Address_add -> 0
+  | Address_multiply -> 1
+  | Scalar_logical -> 2
+  | Scalar_shift -> 3
+  | Scalar_add -> 4
+  | Float_add -> 5
+  | Float_multiply -> 6
+  | Reciprocal -> 7
+  | Memory -> 8
+  | Branch -> 9
+  | Transfer -> 10
+
+let count = 11
+
+let of_index = function
+  | 0 -> Address_add
+  | 1 -> Address_multiply
+  | 2 -> Scalar_logical
+  | 3 -> Scalar_shift
+  | 4 -> Scalar_add
+  | 5 -> Float_add
+  | 6 -> Float_multiply
+  | 7 -> Reciprocal
+  | 8 -> Memory
+  | 9 -> Branch
+  | 10 -> Transfer
+  | _ -> invalid_arg "Fu.of_index"
+
+type latencies = {
+  address_add : int;
+  address_multiply : int;
+  scalar_logical : int;
+  scalar_shift : int;
+  scalar_add : int;
+  float_add : int;
+  float_multiply : int;
+  reciprocal : int;
+  memory : int;
+  branch : int;
+  transfer : int;
+}
+
+let cray1_latencies ~memory ~branch =
+  {
+    address_add = 2;
+    address_multiply = 6;
+    scalar_logical = 1;
+    scalar_shift = 2;
+    scalar_add = 3;
+    float_add = 6;
+    float_multiply = 7;
+    reciprocal = 14;
+    memory;
+    branch;
+    transfer = 1;
+  }
+
+let paper_latencies ~memory ~branch =
+  { (cray1_latencies ~memory ~branch) with scalar_add = 2 }
+
+let latency l = function
+  | Address_add -> l.address_add
+  | Address_multiply -> l.address_multiply
+  | Scalar_logical -> l.scalar_logical
+  | Scalar_shift -> l.scalar_shift
+  | Scalar_add -> l.scalar_add
+  | Float_add -> l.float_add
+  | Float_multiply -> l.float_multiply
+  | Reciprocal -> l.reciprocal
+  | Memory -> l.memory
+  | Branch -> l.branch
+  | Transfer -> l.transfer
+
+let is_shared_unit = function
+  | Transfer -> false
+  | Address_add | Address_multiply | Scalar_logical | Scalar_shift
+  | Scalar_add | Float_add | Float_multiply | Reciprocal | Memory | Branch ->
+      true
+
+let uses_result_bus = function
+  | Branch -> false
+  | Address_add | Address_multiply | Scalar_logical | Scalar_shift
+  | Scalar_add | Float_add | Float_multiply | Reciprocal | Memory | Transfer ->
+      true

@@ -1,0 +1,79 @@
+(** Functional units of the base machine and their latencies.
+
+    The unit mix follows the CRAY-1 scalar portion: independent address,
+    scalar, and floating-point units, plus the memory port and the branch
+    "unit" (the issue-stage blockage a branch causes). Latencies are in
+    clock cycles from issue until the destination register is usable. *)
+
+type kind =
+  | Address_add        (** integer add/subtract on A registers *)
+  | Address_multiply   (** integer multiply on A registers *)
+  | Scalar_logical     (** bitwise operations on S registers *)
+  | Scalar_shift       (** shifts *)
+  | Scalar_add         (** 64-bit integer add on S registers *)
+  | Float_add          (** floating add/subtract *)
+  | Float_multiply     (** floating multiply *)
+  | Reciprocal         (** reciprocal approximation (no divide unit) *)
+  | Memory             (** load/store port *)
+  | Branch             (** branch resolution *)
+  | Transfer
+      (** register-file transmits and immediates (A<->B, S<->T, constant
+          loads): executed over dedicated register paths in one cycle, not
+          in a shared functional unit, as on the CRAY-1 *)
+
+val all : kind list
+(** Every unit, in a fixed order. *)
+
+val equal : kind -> kind -> bool
+
+val to_string : kind -> string
+
+val pp : Format.formatter -> kind -> unit
+
+val index : kind -> int
+(** Dense index in [0, {!count}) for array-indexed reservation tables. *)
+
+val count : int
+
+val of_index : int -> kind
+(** Inverse of {!index}. @raise Invalid_argument when out of range. *)
+
+(** Latency assignment for every unit. The two parameters the paper sweeps —
+    memory access time and branch execution time — are fields here; the
+    remaining latencies default to the CRAY-1 hardware reference manual
+    values. *)
+type latencies = {
+  address_add : int;
+  address_multiply : int;
+  scalar_logical : int;
+  scalar_shift : int;
+  scalar_add : int;
+  float_add : int;
+  float_multiply : int;
+  reciprocal : int;
+  memory : int;
+  branch : int;
+  transfer : int;
+}
+
+val cray1_latencies : memory:int -> branch:int -> latencies
+(** CRAY-1 defaults (address add 2, address multiply 6, logical 1, shift 2,
+    scalar add 3, float add 6, float multiply 7, reciprocal 14) with the
+    paper's two swept parameters supplied by the caller. *)
+
+val paper_latencies : memory:int -> branch:int -> latencies
+(** Like {!cray1_latencies} but with the paper's "scalar add is 2 clock
+    cycles" accounting (used by the A2 ablation). *)
+
+val latency : latencies -> kind -> int
+(** Look up the latency of a unit. *)
+
+val is_shared_unit : kind -> bool
+(** False for {!Transfer}: transmits use dedicated register ports, so they
+    are never a structural hazard and do not enter the resource limit. *)
+
+val uses_result_bus : kind -> bool
+(** Whether instructions executed by this unit deliver a register result
+    over a result bus. Branches and stores do not (stores are filtered by
+    the simulators on a per-instruction basis; at the unit level only
+    {!Branch} is excluded). *)

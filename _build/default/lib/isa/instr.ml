@@ -1,0 +1,271 @@
+type branch_cond = Zero | Nonzero | Plus | Minus
+
+type t =
+  | A_imm of Reg.t * int
+  | A_mov of Reg.t * Reg.t
+  | A_add of Reg.t * Reg.t * Reg.t
+  | A_sub of Reg.t * Reg.t * Reg.t
+  | A_mul of Reg.t * Reg.t * Reg.t
+  | A_and of Reg.t * Reg.t * Reg.t
+  | A_load of Reg.t * Reg.t * int
+  | A_store of Reg.t * Reg.t * int
+  | S_imm of Reg.t * float
+  | S_mov of Reg.t * Reg.t
+  | S_fadd of Reg.t * Reg.t * Reg.t
+  | S_fsub of Reg.t * Reg.t * Reg.t
+  | S_fmul of Reg.t * Reg.t * Reg.t
+  | S_recip of Reg.t * Reg.t
+  | S_iadd of Reg.t * Reg.t * Reg.t
+  | S_and of Reg.t * Reg.t * Reg.t
+  | S_or of Reg.t * Reg.t * Reg.t
+  | S_xor of Reg.t * Reg.t * Reg.t
+  | S_shl of Reg.t * Reg.t * int
+  | S_shr of Reg.t * Reg.t * int
+  | S_load of Reg.t * Reg.t * int
+  | S_store of Reg.t * Reg.t * int
+  | S_to_t of Reg.t * Reg.t
+  | T_to_s of Reg.t * Reg.t
+  | A_to_b of Reg.t * Reg.t
+  | B_to_a of Reg.t * Reg.t
+  | A_to_s of Reg.t * Reg.t
+  | S_to_a of Reg.t * Reg.t
+  | Set_vl of Reg.t
+  | V_load of Reg.t * Reg.t * int
+  | V_store of Reg.t * Reg.t * int
+  | V_fadd of Reg.t * Reg.t * Reg.t
+  | V_fsub of Reg.t * Reg.t * Reg.t
+  | V_fmul of Reg.t * Reg.t * Reg.t
+  | V_fadd_sv of Reg.t * Reg.t * Reg.t
+  | V_fmul_sv of Reg.t * Reg.t * Reg.t
+  | V_recip of Reg.t * Reg.t
+  | Branch of branch_cond * string
+  | Branch_s of branch_cond * string
+  | Jump of string
+  | Halt
+
+let dest = function
+  | A_imm (d, _)
+  | A_mov (d, _)
+  | A_add (d, _, _)
+  | A_sub (d, _, _)
+  | A_mul (d, _, _)
+  | A_and (d, _, _)
+  | A_load (d, _, _)
+  | S_imm (d, _)
+  | S_mov (d, _)
+  | S_fadd (d, _, _)
+  | S_fsub (d, _, _)
+  | S_fmul (d, _, _)
+  | S_recip (d, _)
+  | S_iadd (d, _, _)
+  | S_and (d, _, _)
+  | S_or (d, _, _)
+  | S_xor (d, _, _)
+  | S_shl (d, _, _)
+  | S_shr (d, _, _)
+  | S_load (d, _, _)
+  | S_to_t (d, _)
+  | T_to_s (d, _)
+  | A_to_b (d, _)
+  | B_to_a (d, _)
+  | A_to_s (d, _)
+  | S_to_a (d, _)
+  | V_load (d, _, _)
+  | V_fadd (d, _, _)
+  | V_fsub (d, _, _)
+  | V_fmul (d, _, _)
+  | V_fadd_sv (d, _, _)
+  | V_fmul_sv (d, _, _)
+  | V_recip (d, _) ->
+      Some d
+  | Set_vl _ -> Some Reg.VL
+  | A_store _ | S_store _ | V_store _ | Branch _ | Branch_s _ | Jump _ | Halt ->
+      None
+
+let srcs = function
+  | A_imm _ | S_imm _ | Jump _ | Halt -> []
+  | A_mov (_, s)
+  | S_mov (_, s)
+  | S_recip (_, s)
+  | S_shl (_, s, _)
+  | S_shr (_, s, _)
+  | S_to_t (_, s)
+  | T_to_s (_, s)
+  | A_to_b (_, s)
+  | B_to_a (_, s)
+  | A_to_s (_, s)
+  | S_to_a (_, s)
+  | A_load (_, s, _)
+  | S_load (_, s, _) ->
+      [ s ]
+  | A_add (_, s1, s2)
+  | A_sub (_, s1, s2)
+  | A_mul (_, s1, s2)
+  | A_and (_, s1, s2)
+  | S_fadd (_, s1, s2)
+  | S_fsub (_, s1, s2)
+  | S_fmul (_, s1, s2)
+  | S_iadd (_, s1, s2)
+  | S_and (_, s1, s2)
+  | S_or (_, s1, s2)
+  | S_xor (_, s1, s2) ->
+      [ s1; s2 ]
+  | A_store (v, b, _) | S_store (v, b, _) -> [ v; b ]
+  | Set_vl a -> [ a ]
+  | V_load (_, b, _) -> [ b; Reg.VL ]
+  | V_store (v, b, _) -> [ v; b; Reg.VL ]
+  | V_fadd (_, x, y) | V_fsub (_, x, y) | V_fmul (_, x, y)
+  | V_fadd_sv (_, x, y) | V_fmul_sv (_, x, y) ->
+      [ x; y; Reg.VL ]
+  | V_recip (_, x) -> [ x; Reg.VL ]
+  | Branch (_, _) -> [ Reg.a0 ]
+  | Branch_s (_, _) -> [ Reg.S 0 ]
+
+let fu = function
+  | A_add _ | A_sub _ -> Fu.Address_add
+  | A_mul _ -> Fu.Address_multiply
+  | A_imm _ | A_mov _ | S_imm _ | S_mov _ | S_to_t _ | T_to_s _ | A_to_b _
+  | B_to_a _ ->
+      Fu.Transfer
+  | A_and _ | S_and _ | S_or _ | S_xor _ -> Fu.Scalar_logical
+  | S_shl _ | S_shr _ -> Fu.Scalar_shift
+  | S_iadd _ | A_to_s _ | S_to_a _ -> Fu.Scalar_add
+  | S_fadd _ | S_fsub _ -> Fu.Float_add
+  | S_fmul _ -> Fu.Float_multiply
+  | S_recip _ -> Fu.Reciprocal
+  | A_load _ | A_store _ | S_load _ | S_store _ | V_load _ | V_store _ ->
+      Fu.Memory
+  | Set_vl _ -> Fu.Transfer
+  | V_fadd _ | V_fsub _ | V_fadd_sv _ -> Fu.Float_add
+  | V_fmul _ | V_fmul_sv _ -> Fu.Float_multiply
+  | V_recip _ -> Fu.Reciprocal
+  | Branch _ | Branch_s _ | Jump _ | Halt -> Fu.Branch
+
+let parcels = function
+  | A_load _ | A_store _ | S_load _ | S_store _ | V_load _ | V_store _
+  | Branch _ | Branch_s _ | Jump _ | S_imm _ ->
+      2
+  | A_imm (_, k) -> if k >= -64 && k <= 63 then 1 else 2
+  | A_mov _ | A_add _ | A_sub _ | A_mul _ | A_and _ | S_mov _ | S_fadd _
+  | S_fsub _ | S_fmul _ | S_recip _ | S_iadd _ | S_and _ | S_or _ | S_xor _
+  | S_shl _ | S_shr _ | S_to_t _ | T_to_s _ | A_to_b _ | B_to_a _ | A_to_s _
+  | S_to_a _ | Set_vl _ | V_fadd _ | V_fsub _ | V_fmul _ | V_fadd_sv _
+  | V_fmul_sv _ | V_recip _ | Halt ->
+      1
+
+let is_branch = function Branch _ | Branch_s _ | Jump _ -> true | _ -> false
+let is_store = function A_store _ | S_store _ | V_store _ -> true | _ -> false
+let is_load = function A_load _ | S_load _ | V_load _ -> true | _ -> false
+
+let branch_target = function
+  | Branch (_, l) | Branch_s (_, l) | Jump l -> Some l
+  | _ -> None
+
+let is_a = function Reg.A _ -> true | _ -> false
+let is_s = function Reg.S _ -> true | _ -> false
+let is_v = function Reg.V _ -> true | _ -> false
+let is_b = function Reg.B _ -> true | _ -> false
+let is_t = function Reg.T _ -> true | _ -> false
+
+let validate i =
+  let ok = Ok () in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let check_files specs =
+    let bad =
+      List.find_opt
+        (fun (r, pred, _file) -> (not (Reg.is_valid r)) || not (pred r))
+        specs
+    in
+    match bad with
+    | None -> ok
+    | Some (r, _, file) ->
+        err "%s: expected %s register, got %s" (String.concat ""
+          [ "instruction " ]) file (Reg.to_string r)
+  in
+  match i with
+  | A_imm (d, _) -> check_files [ (d, is_a, "A") ]
+  | A_mov (d, s) -> check_files [ (d, is_a, "A"); (s, is_a, "A") ]
+  | A_add (d, s1, s2) | A_sub (d, s1, s2) | A_mul (d, s1, s2)
+  | A_and (d, s1, s2) ->
+      check_files [ (d, is_a, "A"); (s1, is_a, "A"); (s2, is_a, "A") ]
+  | A_load (d, b, _) -> check_files [ (d, is_a, "A"); (b, is_a, "A") ]
+  | A_store (v, b, _) -> check_files [ (v, is_a, "A"); (b, is_a, "A") ]
+  | S_imm (d, _) -> check_files [ (d, is_s, "S") ]
+  | S_mov (d, s) | S_recip (d, s) ->
+      check_files [ (d, is_s, "S"); (s, is_s, "S") ]
+  | S_fadd (d, s1, s2) | S_fsub (d, s1, s2) | S_fmul (d, s1, s2)
+  | S_iadd (d, s1, s2) | S_and (d, s1, s2) | S_or (d, s1, s2)
+  | S_xor (d, s1, s2) ->
+      check_files [ (d, is_s, "S"); (s1, is_s, "S"); (s2, is_s, "S") ]
+  | S_shl (d, s, _) | S_shr (d, s, _) ->
+      check_files [ (d, is_s, "S"); (s, is_s, "S") ]
+  | S_load (d, b, _) -> check_files [ (d, is_s, "S"); (b, is_a, "A") ]
+  | S_store (v, b, _) -> check_files [ (v, is_s, "S"); (b, is_a, "A") ]
+  | S_to_t (d, s) -> check_files [ (d, is_t, "T"); (s, is_s, "S") ]
+  | T_to_s (d, s) -> check_files [ (d, is_s, "S"); (s, is_t, "T") ]
+  | A_to_b (d, s) -> check_files [ (d, is_b, "B"); (s, is_a, "A") ]
+  | B_to_a (d, s) -> check_files [ (d, is_a, "A"); (s, is_b, "B") ]
+  | A_to_s (d, s) -> check_files [ (d, is_s, "S"); (s, is_a, "A") ]
+  | S_to_a (d, s) -> check_files [ (d, is_a, "A"); (s, is_s, "S") ]
+  | Branch (_, l) | Branch_s (_, l) | Jump l ->
+      if String.length l = 0 then err "branch with empty label" else ok
+  | Set_vl a -> check_files [ (a, is_a, "A") ]
+  | V_load (d, b, _) -> check_files [ (d, is_v, "V"); (b, is_a, "A") ]
+  | V_store (v, b, _) -> check_files [ (v, is_v, "V"); (b, is_a, "A") ]
+  | V_fadd (d, x, y) | V_fsub (d, x, y) | V_fmul (d, x, y) ->
+      check_files [ (d, is_v, "V"); (x, is_v, "V"); (y, is_v, "V") ]
+  | V_fadd_sv (d, x, y) | V_fmul_sv (d, x, y) ->
+      check_files [ (d, is_v, "V"); (x, is_s, "S"); (y, is_v, "V") ]
+  | V_recip (d, x) -> check_files [ (d, is_v, "V"); (x, is_v, "V") ]
+  | Halt -> ok
+
+let r = Reg.to_string
+
+let to_string = function
+  | A_imm (d, k) -> Printf.sprintf "%s <- %d" (r d) k
+  | A_mov (d, s) -> Printf.sprintf "%s <- %s" (r d) (r s)
+  | A_add (d, a, b) -> Printf.sprintf "%s <- %s + %s" (r d) (r a) (r b)
+  | A_sub (d, a, b) -> Printf.sprintf "%s <- %s - %s" (r d) (r a) (r b)
+  | A_mul (d, a, b) -> Printf.sprintf "%s <- %s * %s" (r d) (r a) (r b)
+  | A_and (d, a, b) -> Printf.sprintf "%s <- %s & %s" (r d) (r a) (r b)
+  | A_load (d, b, k) -> Printf.sprintf "%s <- mem[%s+%d]" (r d) (r b) k
+  | A_store (v, b, k) -> Printf.sprintf "mem[%s+%d] <- %s" (r b) k (r v)
+  | S_imm (d, x) -> Printf.sprintf "%s <- %g" (r d) x
+  | S_mov (d, s) -> Printf.sprintf "%s <- %s" (r d) (r s)
+  | S_fadd (d, a, b) -> Printf.sprintf "%s <- %s +f %s" (r d) (r a) (r b)
+  | S_fsub (d, a, b) -> Printf.sprintf "%s <- %s -f %s" (r d) (r a) (r b)
+  | S_fmul (d, a, b) -> Printf.sprintf "%s <- %s *f %s" (r d) (r a) (r b)
+  | S_recip (d, s) -> Printf.sprintf "%s <- 1/%s" (r d) (r s)
+  | S_iadd (d, a, b) -> Printf.sprintf "%s <- %s +i %s" (r d) (r a) (r b)
+  | S_and (d, a, b) -> Printf.sprintf "%s <- %s & %s" (r d) (r a) (r b)
+  | S_or (d, a, b) -> Printf.sprintf "%s <- %s | %s" (r d) (r a) (r b)
+  | S_xor (d, a, b) -> Printf.sprintf "%s <- %s ^ %s" (r d) (r a) (r b)
+  | S_shl (d, s, k) -> Printf.sprintf "%s <- %s << %d" (r d) (r s) k
+  | S_shr (d, s, k) -> Printf.sprintf "%s <- %s >> %d" (r d) (r s) k
+  | S_load (d, b, k) -> Printf.sprintf "%s <- mem[%s+%d]" (r d) (r b) k
+  | S_store (v, b, k) -> Printf.sprintf "mem[%s+%d] <- %s" (r b) k (r v)
+  | S_to_t (d, s) | T_to_s (d, s) | A_to_b (d, s) | B_to_a (d, s) ->
+      Printf.sprintf "%s <- %s" (r d) (r s)
+  | A_to_s (d, s) -> Printf.sprintf "%s <- float(%s)" (r d) (r s)
+  | S_to_a (d, s) -> Printf.sprintf "%s <- trunc(%s)" (r d) (r s)
+  | Set_vl a -> Printf.sprintf "VL <- %s" (r a)
+  | V_load (d, b, k) -> Printf.sprintf "%s <- mem[%s+%d]" (r d) (r b) k
+  | V_store (v, b, k) -> Printf.sprintf "mem[%s+%d] <- %s" (r b) k (r v)
+  | V_fadd (d, a, b) | V_fadd_sv (d, a, b) ->
+      Printf.sprintf "%s <- %s +f %s" (r d) (r a) (r b)
+  | V_fsub (d, a, b) -> Printf.sprintf "%s <- %s -f %s" (r d) (r a) (r b)
+  | V_fmul (d, a, b) | V_fmul_sv (d, a, b) ->
+      Printf.sprintf "%s <- %s *f %s" (r d) (r a) (r b)
+  | V_recip (d, a) -> Printf.sprintf "%s <- 1/%s" (r d) (r a)
+  | Branch (Zero, l) -> Printf.sprintf "br A0=0, %s" l
+  | Branch (Nonzero, l) -> Printf.sprintf "br A0<>0, %s" l
+  | Branch (Plus, l) -> Printf.sprintf "br A0>=0, %s" l
+  | Branch (Minus, l) -> Printf.sprintf "br A0<0, %s" l
+  | Branch_s (Zero, l) -> Printf.sprintf "br S0=0, %s" l
+  | Branch_s (Nonzero, l) -> Printf.sprintf "br S0<>0, %s" l
+  | Branch_s (Plus, l) -> Printf.sprintf "br S0>=0, %s" l
+  | Branch_s (Minus, l) -> Printf.sprintf "br S0<0, %s" l
+  | Jump l -> Printf.sprintf "jump %s" l
+  | Halt -> "halt"
+
+let pp fmt i = Format.pp_print_string fmt (to_string i)

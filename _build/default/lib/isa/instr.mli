@@ -1,0 +1,101 @@
+(** Instructions of the CRAY-like scalar architecture.
+
+    The set mirrors the scalar portion of the CRAY-1S: register-register
+    arithmetic on the A (address/integer) and S (scalar/floating) files,
+    reciprocal approximation in place of division, base+displacement memory
+    references, one-cycle transfers to the B/T backup files, and branches
+    that test register A0. Instructions are 1 or 2 parcels; two-parcel
+    instructions occupy the issue stage one extra clock, as in the CRAY-1S.
+
+    Branch targets are symbolic labels; {!Mfu_asm.Program} resolves them. *)
+
+(** Condition tested against A0 (the only branchable register, as in the
+    CRAY-1). [Plus] means non-negative, [Minus] strictly negative. *)
+type branch_cond = Zero | Nonzero | Plus | Minus
+
+type t =
+  (* address/integer file *)
+  | A_imm of Reg.t * int            (** Ai <- constant *)
+  | A_mov of Reg.t * Reg.t          (** Ai <- Aj *)
+  | A_add of Reg.t * Reg.t * Reg.t  (** Ai <- Aj + Ak *)
+  | A_sub of Reg.t * Reg.t * Reg.t  (** Ai <- Aj - Ak *)
+  | A_mul of Reg.t * Reg.t * Reg.t  (** Ai <- Aj * Ak *)
+  | A_and of Reg.t * Reg.t * Reg.t  (** Ai <- Aj land Ak *)
+  | A_load of Reg.t * Reg.t * int   (** Ai <- mem[Aj + disp] *)
+  | A_store of Reg.t * Reg.t * int  (** mem[Aj + disp] <- Ai *)
+  (* scalar/floating file *)
+  | S_imm of Reg.t * float          (** Si <- constant *)
+  | S_mov of Reg.t * Reg.t          (** Si <- Sj *)
+  | S_fadd of Reg.t * Reg.t * Reg.t (** Si <- Sj +f Sk *)
+  | S_fsub of Reg.t * Reg.t * Reg.t (** Si <- Sj -f Sk *)
+  | S_fmul of Reg.t * Reg.t * Reg.t (** Si <- Sj *f Sk *)
+  | S_recip of Reg.t * Reg.t        (** Si <- 1/Sj (reciprocal approx.) *)
+  | S_iadd of Reg.t * Reg.t * Reg.t (** Si <- Sj + Sk (64-bit integer view) *)
+  | S_and of Reg.t * Reg.t * Reg.t
+  | S_or of Reg.t * Reg.t * Reg.t
+  | S_xor of Reg.t * Reg.t * Reg.t
+  | S_shl of Reg.t * Reg.t * int    (** Si <- Sj lsl k *)
+  | S_shr of Reg.t * Reg.t * int    (** Si <- Sj lsr k *)
+  | S_load of Reg.t * Reg.t * int   (** Si <- mem[Aj + disp] *)
+  | S_store of Reg.t * Reg.t * int  (** mem[Aj + disp] <- Si *)
+  (* backup files and cross-file transfers *)
+  | S_to_t of Reg.t * Reg.t         (** Ti <- Sj *)
+  | T_to_s of Reg.t * Reg.t         (** Si <- Tj *)
+  | A_to_b of Reg.t * Reg.t         (** Bi <- Aj *)
+  | B_to_a of Reg.t * Reg.t         (** Ai <- Bj *)
+  | A_to_s of Reg.t * Reg.t         (** Si <- float_of_int Aj *)
+  | S_to_a of Reg.t * Reg.t         (** Ai <- truncate Sj *)
+  (* vector unit (64-element V registers, gated by VL) *)
+  | Set_vl of Reg.t                 (** VL <- Ai (1..64) *)
+  | V_load of Reg.t * Reg.t * int   (** Vi <- mem[Aj+disp ..+VL-1] *)
+  | V_store of Reg.t * Reg.t * int  (** mem[Aj+disp ..] <- Vi *)
+  | V_fadd of Reg.t * Reg.t * Reg.t (** Vi <- Vj +f Vk, elementwise *)
+  | V_fsub of Reg.t * Reg.t * Reg.t
+  | V_fmul of Reg.t * Reg.t * Reg.t
+  | V_fadd_sv of Reg.t * Reg.t * Reg.t (** Vi <- Sj +f Vk (scalar-vector) *)
+  | V_fmul_sv of Reg.t * Reg.t * Reg.t (** Vi <- Sj *f Vk *)
+  | V_recip of Reg.t * Reg.t           (** Vi <- 1/Vj elementwise *)
+  (* control *)
+  | Branch of branch_cond * string  (** conditional branch on A0 to label *)
+  | Branch_s of branch_cond * string
+      (** conditional branch testing the sign of S0 (floating conditions,
+          as the CRAY-1's JSZ/JSN/JSP/JSM family) *)
+  | Jump of string                  (** unconditional branch to label *)
+  | Halt                            (** stop the program (not traced) *)
+
+val dest : t -> Reg.t option
+(** The destination register, if the instruction writes one. Stores,
+    branches and [Halt] write none. *)
+
+val srcs : t -> Reg.t list
+(** Source registers read at issue, including store data and address base
+    registers, and A0 for conditional branches. *)
+
+val fu : t -> Fu.kind
+(** The functional unit that executes the instruction. Transmits,
+    immediates and backup-file transfers execute in the one-cycle logical
+    unit; A<->S conversions use the scalar (integer) adder. *)
+
+val parcels : t -> int
+(** Instruction length in 16-bit parcels: 2 for memory references,
+    branches, S immediates and large A immediates; 1 otherwise. *)
+
+val is_branch : t -> bool
+(** True for [Branch] and [Jump]. *)
+
+val is_store : t -> bool
+
+val is_load : t -> bool
+
+val branch_target : t -> string option
+(** Label of a [Branch] or [Jump]. *)
+
+val validate : t -> (unit, string) result
+(** Check register-file discipline: A ops name A registers, S ops S
+    registers, transfer instructions the right pairs of files, and all
+    indices in range. *)
+
+val to_string : t -> string
+(** CRAY-flavoured assembly rendering, e.g. ["S1 <- S2 +f S3"]. *)
+
+val pp : Format.formatter -> t -> unit

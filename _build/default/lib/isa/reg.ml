@@ -1,0 +1,40 @@
+type t = A of int | S of int | B of int | T of int | V of int | VL
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let is_valid = function
+  | A i | S i | V i -> i >= 0 && i < 8
+  | B i | T i -> i >= 0 && i < 64
+  | VL -> true
+
+let to_string = function
+  | A i -> Printf.sprintf "A%d" i
+  | S i -> Printf.sprintf "S%d" i
+  | B i -> Printf.sprintf "B%d" i
+  | T i -> Printf.sprintf "T%d" i
+  | V i -> Printf.sprintf "V%d" i
+  | VL -> "VL"
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+let count = 8 + 8 + 64 + 64 + 8 + 1
+
+let index = function
+  | A i -> i
+  | S i -> 8 + i
+  | B i -> 16 + i
+  | T i -> 80 + i
+  | V i -> 144 + i
+  | VL -> 152
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Reg.of_index"
+  else if i < 8 then A i
+  else if i < 16 then S (i - 8)
+  else if i < 80 then B (i - 16)
+  else if i < 144 then T (i - 80)
+  else if i < 152 then V (i - 144)
+  else VL
+
+let a0 = A 0

@@ -1,0 +1,40 @@
+(** Architectural registers of the CRAY-like base machine.
+
+    Like the CRAY-1S we have eight address registers A0..A7 (integers, used
+    for addressing, loop counts and branch conditions — branches test A0),
+    eight scalar registers S0..S7 (floating point), and sixty-four T backup
+    registers (a software-managed scalar buffer, one-cycle transfers to/from
+    S registers). The B backup file mirrors T for address values. *)
+
+type t =
+  | A of int  (** address register, 0..7 *)
+  | S of int  (** scalar register, 0..7 *)
+  | B of int  (** address backup register, 0..63 *)
+  | T of int  (** scalar backup register, 0..63 *)
+  | V of int  (** vector register, 0..7; 64 elements each *)
+  | VL        (** the vector-length register *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_valid : t -> bool
+(** Index-range check for each file. *)
+
+val to_string : t -> string
+(** CRAY-style name, e.g. ["A0"], ["S3"], ["T21"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val index : t -> int
+(** A dense index in [0, count): A file first, then S, then B, then T.
+    Useful for scoreboards implemented as arrays. *)
+
+val count : int
+(** Total number of architectural registers
+    ([8 + 8 + 64 + 64 + 8 + 1]). *)
+
+val of_index : int -> t
+(** Inverse of {!index}. @raise Invalid_argument when out of range. *)
+
+val a0 : t
+(** The branch-condition register. *)

@@ -1,0 +1,1 @@
+lib/kern/ast.ml: Format List Printf Set String

@@ -1,0 +1,1 @@
+lib/kern/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/kern/codegen.ml: Ast Hashtbl Interp Layout List Mfu_asm Mfu_exec Mfu_isa Printf

@@ -1,0 +1,1 @@
+lib/kern/codegen.mli: Ast Layout Mfu_asm Mfu_exec

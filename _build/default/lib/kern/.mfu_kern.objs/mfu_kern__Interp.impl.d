@@ -1,0 +1,1 @@
+lib/kern/interp.ml: Array Ast Hashtbl Layout List Mfu_exec Printf

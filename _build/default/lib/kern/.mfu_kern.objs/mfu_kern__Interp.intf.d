@@ -1,0 +1,1 @@
+lib/kern/interp.mli: Ast Layout Mfu_exec

@@ -1,0 +1,1 @@
+lib/kern/layout.ml: Array Ast List Mfu_exec

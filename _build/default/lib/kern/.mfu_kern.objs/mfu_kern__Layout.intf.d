@@ -1,0 +1,1 @@
+lib/kern/layout.mli: Ast Mfu_exec

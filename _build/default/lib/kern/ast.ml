@@ -1,0 +1,300 @@
+type iexpr =
+  | Int of int
+  | Ivar of string
+  | Iadd of iexpr * iexpr
+  | Isub of iexpr * iexpr
+  | Imul of iexpr * iexpr
+  | Iand of iexpr * iexpr
+  | Idiv of iexpr * int
+  | Iload of string * iexpr
+  | Itrunc of fexpr
+
+and fexpr =
+  | Const of float
+  | Fvar of string
+  | Elem of string * iexpr
+  | Neg of fexpr
+  | Add of fexpr * fexpr
+  | Sub of fexpr * fexpr
+  | Mul of fexpr * fexpr
+  | Div of fexpr * fexpr
+  | Of_int of iexpr
+
+type cmp = Le | Lt | Ge | Gt | Eq | Ne
+type cond = Icmp of cmp * iexpr * iexpr | Fcmp of cmp * fexpr * fexpr
+
+type stmt =
+  | Fassign of string * iexpr option * fexpr
+  | Iassign of string * iexpr option * iexpr
+  | For of { var : string; lo : iexpr; hi : iexpr; step : int; body : stmt list }
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+
+type decls = {
+  float_arrays : (string * int) list;
+  int_arrays : (string * int) list;
+}
+
+type kernel = { name : string; decls : decls; body : stmt list }
+
+type inputs = {
+  float_data : (string * float array) list;
+  int_data : (string * int array) list;
+  float_scalars : (string * float) list;
+  int_scalars : (string * int) list;
+}
+
+let no_inputs =
+  { float_data = []; int_data = []; float_scalars = []; int_scalars = [] }
+
+(* -- name collection ----------------------------------------------------- *)
+
+module Names = Set.Make (String)
+
+let rec inames_iexpr acc = function
+  | Int _ -> acc
+  | Ivar v -> Names.add v acc
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) | Iand (a, b) ->
+      inames_iexpr (inames_iexpr acc a) b
+  | Idiv (a, _) -> inames_iexpr acc a
+  | Iload (_, i) -> inames_iexpr acc i
+  | Itrunc f -> inames_fexpr_i acc f
+
+and inames_fexpr_i acc = function
+  | Const _ | Fvar _ -> acc
+  | Elem (_, i) -> inames_iexpr acc i
+  | Neg e -> inames_fexpr_i acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      inames_fexpr_i (inames_fexpr_i acc a) b
+  | Of_int i -> inames_iexpr acc i
+
+let rec fnames_fexpr acc = function
+  | Const _ -> acc
+  | Fvar v -> Names.add v acc
+  | Elem (_, i) -> fnames_iexpr acc i
+  | Neg e -> fnames_fexpr acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      fnames_fexpr (fnames_fexpr acc a) b
+  | Of_int i -> fnames_iexpr acc i
+
+and fnames_iexpr acc = function
+  | Int _ | Ivar _ -> acc
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) | Iand (a, b) ->
+      fnames_iexpr (fnames_iexpr acc a) b
+  | Idiv (a, _) -> fnames_iexpr acc a
+  | Iload (_, i) -> fnames_iexpr acc i
+  | Itrunc f -> fnames_fexpr acc f
+
+let rec collect_stmt (fset, iset) = function
+  | Fassign (name, idx, e) ->
+      let fset = fnames_fexpr fset e in
+      let iset = inames_fexpr_i iset e in
+      let fset, iset =
+        match idx with
+        | None -> (Names.add name fset, iset)
+        | Some i -> (fnames_iexpr fset i, inames_iexpr iset i)
+      in
+      (fset, iset)
+  | Iassign (name, idx, e) ->
+      let fset = fnames_iexpr fset e in
+      let iset = inames_iexpr iset e in
+      let fset, iset =
+        match idx with
+        | None -> (fset, Names.add name iset)
+        | Some i -> (fnames_iexpr fset i, inames_iexpr iset i)
+      in
+      (fset, iset)
+  | For { var; lo; hi; body; _ } ->
+      let iset = Names.add var iset in
+      let fset = fnames_iexpr (fnames_iexpr fset lo) hi in
+      let iset = inames_iexpr (inames_iexpr iset lo) hi in
+      List.fold_left collect_stmt (fset, iset) body
+  | If (cond, then_, else_) ->
+      let fset, iset = collect_cond (fset, iset) cond in
+      let acc = List.fold_left collect_stmt (fset, iset) then_ in
+      List.fold_left collect_stmt acc else_
+  | While (cond, body) ->
+      let fset, iset = collect_cond (fset, iset) cond in
+      List.fold_left collect_stmt (fset, iset) body
+
+and collect_cond (fset, iset) = function
+  | Icmp (_, a, b) ->
+      let fset = fnames_iexpr (fnames_iexpr fset a) b in
+      let iset = inames_iexpr (inames_iexpr iset a) b in
+      (fset, iset)
+  | Fcmp (_, a, b) ->
+      let fset = fnames_fexpr (fnames_fexpr fset a) b in
+      let iset = inames_fexpr_i (inames_fexpr_i iset a) b in
+      (fset, iset)
+
+let collect kernel =
+  List.fold_left collect_stmt (Names.empty, Names.empty) kernel.body
+
+let float_scalar_names kernel = Names.elements (fst (collect kernel))
+let int_scalar_names kernel = Names.elements (snd (collect kernel))
+
+(* -- validation ---------------------------------------------------------- *)
+
+let validate kernel =
+  let fa = List.map fst kernel.decls.float_arrays in
+  let ia = List.map fst kernel.decls.int_arrays in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+  let check_farray name =
+    if not (List.mem name fa) then fail "undeclared float array %S" name
+  in
+  let check_iarray name =
+    if not (List.mem name ia) then fail "undeclared int array %S" name
+  in
+  let rec walk_i = function
+    | Int _ | Ivar _ -> ()
+    | Iadd (a, b) | Isub (a, b) | Imul (a, b) | Iand (a, b) ->
+        walk_i a;
+        walk_i b
+    | Idiv (a, c) ->
+        if c <= 0 then fail "Idiv by non-positive constant %d" c;
+        walk_i a
+    | Iload (name, i) ->
+        check_iarray name;
+        walk_i i
+    | Itrunc f -> walk_f f
+  and walk_f = function
+    | Const _ | Fvar _ -> ()
+    | Elem (name, i) ->
+        check_farray name;
+        walk_i i
+    | Neg e -> walk_f e
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+        walk_f a;
+        walk_f b
+    | Of_int i -> walk_i i
+  in
+  let walk_cond = function
+    | Icmp (_, a, b) ->
+        walk_i a;
+        walk_i b
+    | Fcmp (_, a, b) ->
+        walk_f a;
+        walk_f b
+  in
+  let rec walk_stmt = function
+    | Fassign (name, idx, e) ->
+        (match idx with
+        | None ->
+            if List.mem name fa || List.mem name ia then
+              fail "scalar assignment to array name %S" name
+        | Some i ->
+            check_farray name;
+            walk_i i);
+        walk_f e
+    | Iassign (name, idx, e) ->
+        (match idx with
+        | None ->
+            if List.mem name fa || List.mem name ia then
+              fail "scalar assignment to array name %S" name
+        | Some i ->
+            check_iarray name;
+            walk_i i);
+        walk_i e
+    | For { var = _; lo; hi; step; body } ->
+        if step <= 0 then fail "loop step must be positive, got %d" step;
+        walk_i lo;
+        walk_i hi;
+        List.iter walk_stmt body
+    | If (c, t, e) ->
+        walk_cond c;
+        List.iter walk_stmt t;
+        List.iter walk_stmt e
+    | While (c, body) ->
+        walk_cond c;
+        List.iter walk_stmt body
+  in
+  List.iter walk_stmt kernel.body;
+  (* duplicate array names *)
+  let all = fa @ ia in
+  let sorted = List.sort compare all in
+  let rec dup = function
+    | a :: b :: _ when a = b -> fail "duplicate array name %S" a
+    | _ :: rest -> dup rest
+    | [] -> ()
+  in
+  dup sorted;
+  match !err with Some m -> Error m | None -> Ok ()
+
+(* -- pretty printing ------------------------------------------------------ *)
+
+let rec istr = function
+  | Int n -> string_of_int n
+  | Ivar v -> v
+  | Iadd (a, b) -> Printf.sprintf "(%s + %s)" (istr a) (istr b)
+  | Isub (a, b) -> Printf.sprintf "(%s - %s)" (istr a) (istr b)
+  | Imul (a, b) -> Printf.sprintf "(%s * %s)" (istr a) (istr b)
+  | Iand (a, b) -> Printf.sprintf "(%s & %s)" (istr a) (istr b)
+  | Idiv (a, c) -> Printf.sprintf "(%s / %d)" (istr a) c
+  | Iload (name, i) -> Printf.sprintf "%s(%s)" name (istr i)
+  | Itrunc f -> Printf.sprintf "int(%s)" (fstr f)
+
+and fstr = function
+  | Const x -> Printf.sprintf "%g" x
+  | Fvar v -> v
+  | Elem (name, i) -> Printf.sprintf "%s(%s)" name (istr i)
+  | Neg e -> Printf.sprintf "(-%s)" (fstr e)
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (fstr a) (fstr b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (fstr a) (fstr b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (fstr a) (fstr b)
+  | Div (a, b) -> Printf.sprintf "(%s / %s)" (fstr a) (fstr b)
+  | Of_int i -> Printf.sprintf "real(%s)" (istr i)
+
+let cmp_str = function
+  | Le -> "<="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Gt -> ">"
+  | Eq -> "=="
+  | Ne -> "<>"
+
+let cond_str = function
+  | Icmp (c, a, b) -> Printf.sprintf "%s %s %s" (istr a) (cmp_str c) (istr b)
+  | Fcmp (c, a, b) -> Printf.sprintf "%s %s %s" (fstr a) (cmp_str c) (fstr b)
+
+let rec pp_stmt_indent fmt indent stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Fassign (name, None, e) -> Format.fprintf fmt "%s%s = %s@," pad name (fstr e)
+  | Fassign (name, Some i, e) ->
+      Format.fprintf fmt "%s%s(%s) = %s@," pad name (istr i) (fstr e)
+  | Iassign (name, None, e) -> Format.fprintf fmt "%s%s = %s@," pad name (istr e)
+  | Iassign (name, Some i, e) ->
+      Format.fprintf fmt "%s%s(%s) = %s@," pad name (istr i) (istr e)
+  | For { var; lo; hi; step; body } ->
+      Format.fprintf fmt "%sdo %s = %s, %s, %d@," pad var (istr lo) (istr hi) step;
+      List.iter (pp_stmt_indent fmt (indent + 2)) body;
+      Format.fprintf fmt "%send do@," pad
+  | If (c, t, e) ->
+      Format.fprintf fmt "%sif (%s) then@," pad (cond_str c);
+      List.iter (pp_stmt_indent fmt (indent + 2)) t;
+      if e <> [] then begin
+        Format.fprintf fmt "%selse@," pad;
+        List.iter (pp_stmt_indent fmt (indent + 2)) e
+      end;
+      Format.fprintf fmt "%send if@," pad
+  | While (c, body) ->
+      Format.fprintf fmt "%sdo while (%s)@," pad (cond_str c);
+      List.iter (pp_stmt_indent fmt (indent + 2)) body;
+      Format.fprintf fmt "%send do@," pad
+
+let pp_stmt fmt stmt =
+  Format.fprintf fmt "@[<v>";
+  pp_stmt_indent fmt 0 stmt;
+  Format.fprintf fmt "@]"
+
+let pp_kernel fmt k =
+  Format.fprintf fmt "@[<v>kernel %s@," k.name;
+  List.iter
+    (fun (n, s) -> Format.fprintf fmt "  real %s(%d)@," n s)
+    k.decls.float_arrays;
+  List.iter
+    (fun (n, s) -> Format.fprintf fmt "  integer %s(%d)@," n s)
+    k.decls.int_arrays;
+  List.iter (pp_stmt_indent fmt 2) k.body;
+  Format.fprintf fmt "@]"

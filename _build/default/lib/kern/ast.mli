@@ -1,0 +1,93 @@
+(** Kernel language: a tiny Fortran-66-flavoured loop language in which the
+    Livermore kernels are written.
+
+    Design notes that matter for fidelity:
+    - [For] loops have Fortran-66 DO semantics: the body executes at least
+      once, the step is a positive compile-time constant, bounds are
+      inclusive, and the trip test is at the bottom — exactly what a naive
+      compiler of the period emitted.
+    - Division is defined as multiplication by the reciprocal, matching the
+      CRAY-1's lack of a divide unit; the interpreter and the generated code
+      agree bit for bit.
+    - [Idiv] divides a non-negative integer by a positive constant via
+      float arithmetic (the CRAY way); it is exact for the small operands
+      the kernels use.
+    - Arrays are 1-based (Fortran); layouts allocate a wasted cell 0 so
+      kernel indices can be used unchanged. *)
+
+(** Integer expressions. *)
+type iexpr =
+  | Int of int
+  | Ivar of string                (** integer scalar or loop variable *)
+  | Iadd of iexpr * iexpr
+  | Isub of iexpr * iexpr
+  | Imul of iexpr * iexpr
+  | Iand of iexpr * iexpr         (** bitwise and (power-of-two modulo) *)
+  | Idiv of iexpr * int           (** divide by positive constant *)
+  | Iload of string * iexpr       (** integer array element *)
+  | Itrunc of fexpr               (** truncate a float toward zero *)
+
+(** Floating expressions. *)
+and fexpr =
+  | Const of float
+  | Fvar of string                (** floating scalar variable *)
+  | Elem of string * iexpr        (** floating array element *)
+  | Neg of fexpr
+  | Add of fexpr * fexpr
+  | Sub of fexpr * fexpr
+  | Mul of fexpr * fexpr
+  | Div of fexpr * fexpr          (** reciprocal-multiply semantics *)
+  | Of_int of iexpr               (** float of an integer expression *)
+
+(** Comparisons. *)
+type cmp = Le | Lt | Ge | Gt | Eq | Ne
+
+type cond =
+  | Icmp of cmp * iexpr * iexpr  (** integer comparison (tests A0) *)
+  | Fcmp of cmp * fexpr * fexpr  (** floating comparison (tests S0) *)
+
+type stmt =
+  | Fassign of string * iexpr option * fexpr
+      (** [Fassign (x, None, e)]: scalar [x := e];
+          [Fassign (x, Some i, e)]: array element [x(i) := e]. *)
+  | Iassign of string * iexpr option * iexpr
+      (** Integer scalar or integer array element assignment. *)
+  | For of { var : string; lo : iexpr; hi : iexpr; step : int; body : stmt list }
+      (** Fortran-66 DO loop; [step > 0]. *)
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list    (** top-tested *)
+
+(** Array declarations; sizes are in elements, index 1..size (a cell 0 is
+    allocated too). *)
+type decls = {
+  float_arrays : (string * int) list;
+  int_arrays : (string * int) list;
+}
+
+type kernel = { name : string; decls : decls; body : stmt list }
+
+(** Initial data for a kernel run. Arrays are 1-based: element [a.(0)] of a
+    supplied array initializes kernel index 1. Scalars not listed start at
+    zero. *)
+type inputs = {
+  float_data : (string * float array) list;
+  int_data : (string * int array) list;
+  float_scalars : (string * float) list;
+  int_scalars : (string * int) list;
+}
+
+val no_inputs : inputs
+
+val float_scalar_names : kernel -> string list
+(** All floating scalar names read or written by the kernel body, sorted. *)
+
+val int_scalar_names : kernel -> string list
+(** All integer scalar names (including loop variables), sorted. *)
+
+val validate : kernel -> (unit, string) result
+(** Static checks: every array reference is declared with the right
+    elementhood (float vs int), loop steps are positive, and [Idiv]
+    divisors are positive. *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_kernel : Format.formatter -> kernel -> unit

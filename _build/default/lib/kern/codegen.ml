@@ -1,0 +1,384 @@
+module Reg = Mfu_isa.Reg
+module Instr = Mfu_isa.Instr
+module Builder = Mfu_asm.Builder
+module Cpu = Mfu_exec.Cpu
+module Memory = Mfu_exec.Memory
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type compiled = {
+  kernel : Ast.kernel;
+  layout : Layout.t;
+  program : Mfu_asm.Program.t;
+}
+
+type ctx = {
+  builder : Builder.t;
+  layout : Layout.t;
+  tslots : (string, int) Hashtbl.t;
+  bslots : (string, int) Hashtbl.t;
+  mutable a_free : int list;
+  mutable s_free : int list;
+  mutable next_hidden_b : int;
+}
+
+let emit ctx i = Builder.emit ctx.builder i
+
+let alloc_a ctx =
+  match ctx.a_free with
+  | [] -> fail "integer expression too deep: out of A registers"
+  | i :: rest ->
+      ctx.a_free <- rest;
+      Reg.A i
+
+let free_a ctx = function
+  | Reg.A i -> ctx.a_free <- List.sort compare (i :: ctx.a_free)
+  | r -> fail "free_a of %s" (Reg.to_string r)
+
+let alloc_s ctx =
+  match ctx.s_free with
+  | [] -> fail "floating expression too deep: out of S registers"
+  | i :: rest ->
+      ctx.s_free <- rest;
+      Reg.S i
+
+let free_s ctx = function
+  | Reg.S i -> ctx.s_free <- List.sort compare (i :: ctx.s_free)
+  | r -> fail "free_s of %s" (Reg.to_string r)
+
+let tslot ctx name =
+  match Hashtbl.find_opt ctx.tslots name with
+  | Some i -> Reg.T i
+  | None -> fail "unknown float scalar %S" name
+
+let bslot ctx name =
+  match Hashtbl.find_opt ctx.bslots name with
+  | Some i -> Reg.B i
+  | None -> fail "unknown int scalar %S" name
+
+let hidden_bslot ctx =
+  let i = ctx.next_hidden_b in
+  if i >= 64 then fail "too many loops: out of hidden B slots";
+  ctx.next_hidden_b <- i + 1;
+  Reg.B i
+
+(* Ershov numbers: the register-stack depth needed to evaluate an
+   expression. Binary operations evaluate the deeper operand first, which
+   keeps the Livermore kernels within the 8-deep S file (the classic
+   Sethi-Ullman ordering every period compiler used). *)
+let combine_need a b = if a = b then a + 1 else max a b
+
+let rec need_i = function
+  | Ast.Int _ | Ast.Ivar _ -> 1
+  | Ast.Iadd (a, b) | Ast.Isub (a, b) | Ast.Imul (a, b) | Ast.Iand (a, b) ->
+      combine_need (need_i a) (need_i b)
+  | Ast.Idiv (a, _) -> need_i a
+  | Ast.Iload (_, i) -> need_i i
+  | Ast.Itrunc _ -> 1
+
+and need_f = function
+  | Ast.Const _ | Ast.Fvar _ | Ast.Elem _ | Ast.Of_int _ -> 1
+  | Ast.Neg e -> combine_need 1 (need_f e)
+  | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) | Ast.Div (a, b) ->
+      combine_need (need_f a) (need_f b)
+
+(* Evaluate an integer expression into a caller-owned A register. Binary
+   operations reuse the left operand's register as destination. *)
+let rec eval_i ctx expr =
+  match expr with
+  | Ast.Int n ->
+      let a = alloc_a ctx in
+      emit ctx (Instr.A_imm (a, n));
+      a
+  | Ast.Ivar v ->
+      let a = alloc_a ctx in
+      emit ctx (Instr.B_to_a (a, bslot ctx v));
+      a
+  | Ast.Iadd (x, y) -> binop_i ctx x y (fun d a b -> Instr.A_add (d, a, b))
+  | Ast.Isub (x, y) -> binop_i ctx x y (fun d a b -> Instr.A_sub (d, a, b))
+  | Ast.Imul (x, y) -> binop_i ctx x y (fun d a b -> Instr.A_mul (d, a, b))
+  | Ast.Iand (x, y) -> binop_i ctx x y (fun d a b -> Instr.A_and (d, a, b))
+  | Ast.Idiv (x, c) ->
+      let rx = eval_i ctx x in
+      let s = alloc_s ctx in
+      let s2 = alloc_s ctx in
+      emit ctx (Instr.A_to_s (s, rx));
+      emit ctx (Instr.S_imm (s2, 1.0 /. float_of_int c));
+      emit ctx (Instr.S_fmul (s, s, s2));
+      emit ctx (Instr.S_to_a (rx, s));
+      free_s ctx s;
+      free_s ctx s2;
+      rx
+  | Ast.Iload (name, idx) ->
+      let ri = eval_i ctx idx in
+      emit ctx (Instr.A_load (ri, ri, Layout.int_array_base ctx.layout name));
+      ri
+  | Ast.Itrunc f ->
+      let s = eval_f ctx f in
+      let a = alloc_a ctx in
+      emit ctx (Instr.S_to_a (a, s));
+      free_s ctx s;
+      a
+
+and binop_i ctx x y mk =
+  let rx, ry =
+    if need_i y > need_i x then
+      let ry = eval_i ctx y in
+      let rx = eval_i ctx x in
+      (rx, ry)
+    else
+      let rx = eval_i ctx x in
+      let ry = eval_i ctx y in
+      (rx, ry)
+  in
+  emit ctx (mk rx rx ry);
+  free_a ctx ry;
+  rx
+
+(* Evaluate a floating expression into a caller-owned S register. *)
+and eval_f ctx expr =
+  match expr with
+  | Ast.Const x ->
+      let s = alloc_s ctx in
+      emit ctx (Instr.S_imm (s, x));
+      s
+  | Ast.Fvar v ->
+      let s = alloc_s ctx in
+      emit ctx (Instr.T_to_s (s, tslot ctx v));
+      s
+  | Ast.Elem (name, idx) ->
+      let a = eval_i ctx idx in
+      let s = alloc_s ctx in
+      emit ctx (Instr.S_load (s, a, Layout.float_array_base ctx.layout name));
+      free_a ctx a;
+      s
+  | Ast.Neg e -> eval_f ctx (Ast.Sub (Ast.Const 0.0, e))
+  | Ast.Add (x, y) -> binop_f ctx x y (fun d a b -> Instr.S_fadd (d, a, b))
+  | Ast.Sub (x, y) -> binop_f ctx x y (fun d a b -> Instr.S_fsub (d, a, b))
+  | Ast.Mul (x, y) -> binop_f ctx x y (fun d a b -> Instr.S_fmul (d, a, b))
+  | Ast.Div (x, y) ->
+      let sx, sy =
+        if need_f y > need_f x then
+          let sy = eval_f ctx y in
+          let sx = eval_f ctx x in
+          (sx, sy)
+        else
+          let sx = eval_f ctx x in
+          let sy = eval_f ctx y in
+          (sx, sy)
+      in
+      emit ctx (Instr.S_recip (sy, sy));
+      emit ctx (Instr.S_fmul (sx, sx, sy));
+      free_s ctx sy;
+      sx
+  | Ast.Of_int i ->
+      let a = eval_i ctx i in
+      let s = alloc_s ctx in
+      emit ctx (Instr.A_to_s (s, a));
+      free_a ctx a;
+      s
+
+and binop_f ctx x y mk =
+  let sx, sy =
+    if need_f y > need_f x then
+      let sy = eval_f ctx y in
+      let sx = eval_f ctx x in
+      (sx, sy)
+    else
+      let sx = eval_f ctx x in
+      let sy = eval_f ctx y in
+      (sx, sy)
+  in
+  emit ctx (mk sx sx sy);
+  free_s ctx sy;
+  sx
+
+(* Reduce a comparison to a sign/zero test of a subtraction: which operand
+   order to subtract, and the condition code that makes the test true. *)
+let cond_plan cmp =
+  match cmp with
+  | Ast.Le -> (`Ba, Instr.Plus) (* b - a >= 0 *)
+  | Ast.Lt -> (`Ab, Instr.Minus) (* a - b < 0 *)
+  | Ast.Ge -> (`Ab, Instr.Plus)
+  | Ast.Gt -> (`Ba, Instr.Minus)
+  | Ast.Eq -> (`Ab, Instr.Zero)
+  | Ast.Ne -> (`Ab, Instr.Nonzero)
+
+let negate_cc = function
+  | Instr.Plus -> Instr.Minus
+  | Instr.Minus -> Instr.Plus
+  | Instr.Zero -> Instr.Nonzero
+  | Instr.Nonzero -> Instr.Zero
+
+(* Compute the condition into A0 (integer) or S0 (floating) and branch to
+   [target] when the condition is [if_true] (or when it is false, with
+   [if_true = false]). *)
+let gen_cond_branch ctx cond ~if_true ~target =
+  match cond with
+  | Ast.Icmp (cmp, a, b) ->
+      let sub_order, true_cc = cond_plan cmp in
+      let ra = eval_i ctx a in
+      let rb = eval_i ctx b in
+      (match sub_order with
+      | `Ab -> emit ctx (Instr.A_sub (Reg.a0, ra, rb))
+      | `Ba -> emit ctx (Instr.A_sub (Reg.a0, rb, ra)));
+      free_a ctx ra;
+      free_a ctx rb;
+      let cc = if if_true then true_cc else negate_cc true_cc in
+      emit ctx (Instr.Branch (cc, target))
+  | Ast.Fcmp (cmp, a, b) ->
+      let sub_order, true_cc = cond_plan cmp in
+      let sa = eval_f ctx a in
+      let sb = eval_f ctx b in
+      (match sub_order with
+      | `Ab -> emit ctx (Instr.S_fsub (Reg.S 0, sa, sb))
+      | `Ba -> emit ctx (Instr.S_fsub (Reg.S 0, sb, sa)));
+      free_s ctx sa;
+      free_s ctx sb;
+      let cc = if if_true then true_cc else negate_cc true_cc in
+      emit ctx (Instr.Branch_s (cc, target))
+
+let rec gen_stmt ctx stmt =
+  match stmt with
+  | Ast.Fassign (name, None, e) ->
+      let s = eval_f ctx e in
+      emit ctx (Instr.S_to_t (tslot ctx name, s));
+      free_s ctx s
+  | Ast.Fassign (name, Some idx, e) ->
+      let s = eval_f ctx e in
+      let a = eval_i ctx idx in
+      emit ctx (Instr.S_store (s, a, Layout.float_array_base ctx.layout name));
+      free_a ctx a;
+      free_s ctx s
+  | Ast.Iassign (name, None, e) ->
+      let a = eval_i ctx e in
+      emit ctx (Instr.A_to_b (bslot ctx name, a));
+      free_a ctx a
+  | Ast.Iassign (name, Some idx, e) ->
+      let v = eval_i ctx e in
+      let a = eval_i ctx idx in
+      emit ctx (Instr.A_store (v, a, Layout.int_array_base ctx.layout name));
+      free_a ctx a;
+      free_a ctx v
+  | Ast.For { var; lo; hi; step; body } ->
+      let bvar = bslot ctx var in
+      let bhi = hidden_bslot ctx in
+      let rlo = eval_i ctx lo in
+      emit ctx (Instr.A_to_b (bvar, rlo));
+      free_a ctx rlo;
+      let rhi = eval_i ctx hi in
+      emit ctx (Instr.A_to_b (bhi, rhi));
+      free_a ctx rhi;
+      let head = Builder.fresh_label ctx.builder "do" in
+      Builder.label ctx.builder head;
+      List.iter (gen_stmt ctx) body;
+      (* increment, bottom test: continue while hi - var >= 0 *)
+      let a1 = alloc_a ctx in
+      let a2 = alloc_a ctx in
+      emit ctx (Instr.B_to_a (a1, bvar));
+      emit ctx (Instr.A_imm (a2, step));
+      emit ctx (Instr.A_add (a1, a1, a2));
+      emit ctx (Instr.A_to_b (bvar, a1));
+      emit ctx (Instr.B_to_a (a2, bhi));
+      emit ctx (Instr.A_sub (Reg.a0, a2, a1));
+      free_a ctx a1;
+      free_a ctx a2;
+      emit ctx (Instr.Branch (Instr.Plus, head))
+  | Ast.If (c, then_, else_) ->
+      let else_label = Builder.fresh_label ctx.builder "else" in
+      let end_label = Builder.fresh_label ctx.builder "endif" in
+      gen_cond_branch ctx c ~if_true:false ~target:else_label;
+      List.iter (gen_stmt ctx) then_;
+      if else_ <> [] then begin
+        emit ctx (Instr.Jump end_label);
+        Builder.label ctx.builder else_label;
+        List.iter (gen_stmt ctx) else_;
+        Builder.label ctx.builder end_label
+      end
+      else Builder.label ctx.builder else_label
+  | Ast.While (c, body) ->
+      let head = Builder.fresh_label ctx.builder "while" in
+      let test = Builder.fresh_label ctx.builder "wtest" in
+      emit ctx (Instr.Jump test);
+      Builder.label ctx.builder head;
+      List.iter (gen_stmt ctx) body;
+      Builder.label ctx.builder test;
+      gen_cond_branch ctx c ~if_true:true ~target:head
+
+let gen_prologue ctx =
+  Hashtbl.iter (fun _ _ -> ()) ctx.tslots;
+  List.iteri
+    (fun slot name ->
+      let addr = Layout.float_scalar_addr ctx.layout name in
+      emit ctx (Instr.A_imm (Reg.A 1, addr));
+      emit ctx (Instr.S_load (Reg.S 0, Reg.A 1, 0));
+      emit ctx (Instr.S_to_t (Reg.T slot, Reg.S 0)))
+    (Layout.float_scalars ctx.layout);
+  List.iteri
+    (fun slot name ->
+      let addr = Layout.int_scalar_addr ctx.layout name in
+      emit ctx (Instr.A_imm (Reg.A 1, addr));
+      emit ctx (Instr.A_load (Reg.A 2, Reg.A 1, 0));
+      emit ctx (Instr.A_to_b (Reg.B slot, Reg.A 2)))
+    (Layout.int_scalars ctx.layout)
+
+let gen_epilogue ctx =
+  List.iteri
+    (fun slot name ->
+      let addr = Layout.float_scalar_addr ctx.layout name in
+      emit ctx (Instr.T_to_s (Reg.S 0, Reg.T slot));
+      emit ctx (Instr.A_imm (Reg.A 1, addr));
+      emit ctx (Instr.S_store (Reg.S 0, Reg.A 1, 0)))
+    (Layout.float_scalars ctx.layout);
+  List.iteri
+    (fun slot name ->
+      let addr = Layout.int_scalar_addr ctx.layout name in
+      emit ctx (Instr.B_to_a (Reg.A 2, Reg.B slot));
+      emit ctx (Instr.A_imm (Reg.A 1, addr));
+      emit ctx (Instr.A_store (Reg.A 2, Reg.A 1, 0)))
+    (Layout.int_scalars ctx.layout);
+  emit ctx Instr.Halt
+
+let compile kernel =
+  let layout = Layout.build kernel in
+  let tslots = Hashtbl.create 8 in
+  let bslots = Hashtbl.create 8 in
+  let fscalars = Layout.float_scalars layout in
+  let iscalars = Layout.int_scalars layout in
+  if List.length fscalars > 64 then fail "too many float scalars for T file";
+  List.iteri (fun i name -> Hashtbl.replace tslots name i) fscalars;
+  List.iteri (fun i name -> Hashtbl.replace bslots name i) iscalars;
+  let ctx =
+    {
+      builder = Builder.create ();
+      layout;
+      tslots;
+      bslots;
+      a_free = [ 1; 2; 3; 4; 5; 6; 7 ];
+      s_free = [ 1; 2; 3; 4; 5; 6; 7 ];
+      next_hidden_b = List.length iscalars;
+    }
+  in
+  if ctx.next_hidden_b > 48 then fail "too many int scalars for B file";
+  gen_prologue ctx;
+  List.iter (gen_stmt ctx) kernel.Ast.body;
+  gen_epilogue ctx;
+  { kernel; layout; program = Builder.finish ctx.builder }
+
+let run ?max_instructions (compiled : compiled) inputs =
+  let memory = Layout.initial_memory compiled.layout inputs in
+  Cpu.run ?max_instructions ~program:compiled.program ~memory ()
+
+let check_against_interpreter ?(tol = 1e-9) (compiled : compiled) inputs =
+  let executed = run compiled inputs in
+  let golden =
+    Interp.memory_image compiled.kernel inputs ~layout:compiled.layout
+  in
+  match Memory.first_mismatch ~tol golden executed.Cpu.memory with
+  | None -> Ok ()
+  | Some (addr, what) ->
+      Error
+        (Printf.sprintf "kernel %s: memory mismatch at %d: %s"
+           compiled.kernel.Ast.name addr what)

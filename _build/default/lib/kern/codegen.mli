@@ -1,0 +1,45 @@
+(** Naive code generator: kernel language -> CRAY-like assembly.
+
+    The generator deliberately mimics a scalar compiler of the paper's era
+    with no instruction scheduling:
+
+    - Integer scalars (including loop variables) live in B registers,
+      floating scalars in T registers; every use is a one-cycle transfer to
+      an A/S working register, every assignment a transfer back.
+    - Expressions evaluate on a register stack (A1..A7 for integers,
+      S1..S7 for floats) in Sethi-Ullman order (deeper operand first) so
+      the kernels fit the register files, always reusing the lowest free
+      register — producing the tight reuse-induced WAW/RAW chains whose
+      cost the paper's "serial" limit quantifies.
+    - A0 is reserved for integer branch conditions and S0 for floating
+      branch conditions, as on the CRAY-1.
+    - Loops are bottom-tested (Fortran-66 DO); division expands to
+      reciprocal-approximation + multiply.
+    - A prologue loads scalar home cells into B/T; an epilogue stores them
+      back, so final memory is comparable with the golden interpreter. *)
+
+exception Error of string
+(** Raised when a kernel cannot be compiled (e.g. expression deeper than
+    the register stack, or more scalars than B/T slots). *)
+
+type compiled = {
+  kernel : Ast.kernel;
+  layout : Layout.t;
+  program : Mfu_asm.Program.t;
+}
+
+val compile : Ast.kernel -> compiled
+(** Compile a kernel. @raise Error on register exhaustion;
+    @raise Invalid_argument if the kernel fails {!Ast.validate}. *)
+
+val run :
+  ?max_instructions:int -> compiled -> Ast.inputs -> Mfu_exec.Cpu.result
+(** Build the initial memory from inputs, execute the compiled program on
+    the architectural executor and return its result (trace + final
+    memory). *)
+
+val check_against_interpreter :
+  ?tol:float -> compiled -> Ast.inputs -> (unit, string) result
+(** Run both the compiled program and the golden interpreter and compare
+    final memory images cell by cell ([tol] defaults to 1e-9 relative).
+    The main correctness oracle used by the test suite. *)

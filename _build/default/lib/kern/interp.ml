@@ -1,0 +1,233 @@
+module Memory = Mfu_exec.Memory
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type result = {
+  float_arrays : (string * float array) list;
+  int_arrays : (string * int array) list;
+  float_scalars : (string * float) list;
+  int_scalars : (string * int) list;
+  statements : int;
+}
+
+type env = {
+  farrays : (string, float array) Hashtbl.t;
+  iarrays : (string, int array) Hashtbl.t;
+  fscalars : (string, float) Hashtbl.t;
+  iscalars : (string, int) Hashtbl.t;
+  mutable budget : int;
+}
+
+let spend env =
+  env.budget <- env.budget - 1;
+  if env.budget < 0 then fail "statement budget exceeded"
+
+let farray env name =
+  match Hashtbl.find_opt env.farrays name with
+  | Some a -> a
+  | None -> fail "unknown float array %S" name
+
+let iarray env name =
+  match Hashtbl.find_opt env.iarrays name with
+  | Some a -> a
+  | None -> fail "unknown int array %S" name
+
+let check_index name a i =
+  if i < 0 || i >= Array.length a then
+    fail "index %d out of range for %S (size %d)" i name (Array.length a - 1)
+
+let rec eval_i env = function
+  | Ast.Int n -> n
+  | Ast.Ivar v -> (
+      match Hashtbl.find_opt env.iscalars v with Some n -> n | None -> 0)
+  | Ast.Iadd (a, b) -> eval_i env a + eval_i env b
+  | Ast.Isub (a, b) -> eval_i env a - eval_i env b
+  | Ast.Imul (a, b) -> eval_i env a * eval_i env b
+  | Ast.Iand (a, b) -> eval_i env a land eval_i env b
+  | Ast.Idiv (a, c) ->
+      (* Matches the generated code: float multiply by reciprocal, then
+         truncate. Exact for the small non-negative operands kernels use. *)
+      int_of_float (float_of_int (eval_i env a) *. (1.0 /. float_of_int c))
+  | Ast.Iload (name, idx) ->
+      let a = iarray env name in
+      let i = eval_i env idx in
+      check_index name a i;
+      a.(i)
+  | Ast.Itrunc f -> int_of_float (eval_f env f)
+
+and eval_f env = function
+  | Ast.Const x -> x
+  | Ast.Fvar v -> (
+      match Hashtbl.find_opt env.fscalars v with Some x -> x | None -> 0.0)
+  | Ast.Elem (name, idx) ->
+      let a = farray env name in
+      let i = eval_i env idx in
+      check_index name a i;
+      a.(i)
+  | Ast.Neg e -> 0.0 -. eval_f env e
+  | Ast.Add (a, b) -> eval_f env a +. eval_f env b
+  | Ast.Sub (a, b) -> eval_f env a -. eval_f env b
+  | Ast.Mul (a, b) -> eval_f env a *. eval_f env b
+  | Ast.Div (a, b) -> eval_f env a *. (1.0 /. eval_f env b)
+  | Ast.Of_int i -> float_of_int (eval_i env i)
+
+let compare_with cmp c =
+  (* [c] is the sign of (a - b) in the relevant domain *)
+  match cmp with
+  | Ast.Le -> c <= 0
+  | Ast.Lt -> c < 0
+  | Ast.Ge -> c >= 0
+  | Ast.Gt -> c > 0
+  | Ast.Eq -> c = 0
+  | Ast.Ne -> c <> 0
+
+let eval_cond env = function
+  | Ast.Icmp (cmp, a, b) ->
+      compare_with cmp (compare (eval_i env a) (eval_i env b))
+  | Ast.Fcmp (cmp, a, b) ->
+      (* matches the generated code: the sign of the floating difference *)
+      let d = eval_f env a -. eval_f env b in
+      compare_with cmp (if d < 0.0 then -1 else if d = 0.0 then 0 else 1)
+
+let rec exec_stmt env stmt =
+  spend env;
+  match stmt with
+  | Ast.Fassign (name, None, e) ->
+      Hashtbl.replace env.fscalars name (eval_f env e)
+  | Ast.Fassign (name, Some idx, e) ->
+      let v = eval_f env e in
+      let a = farray env name in
+      let i = eval_i env idx in
+      check_index name a i;
+      a.(i) <- v
+  | Ast.Iassign (name, None, e) ->
+      Hashtbl.replace env.iscalars name (eval_i env e)
+  | Ast.Iassign (name, Some idx, e) ->
+      let v = eval_i env e in
+      let a = iarray env name in
+      let i = eval_i env idx in
+      check_index name a i;
+      a.(i) <- v
+  | Ast.For { var; lo; hi; step; body } ->
+      (* Fortran-66 DO: body executes at least once; bottom trip test. *)
+      let lo = eval_i env lo in
+      let hi = eval_i env hi in
+      Hashtbl.replace env.iscalars var lo;
+      let continue_ = ref true in
+      while !continue_ do
+        List.iter (exec_stmt env) body;
+        let v = Hashtbl.find env.iscalars var + step in
+        Hashtbl.replace env.iscalars var v;
+        if hi - v < 0 then continue_ := false;
+        spend env
+      done
+  | Ast.If (c, then_, else_) ->
+      if eval_cond env c then List.iter (exec_stmt env) then_
+      else List.iter (exec_stmt env) else_
+  | Ast.While (c, body) ->
+      while eval_cond env c do
+        List.iter (exec_stmt env) body;
+        spend env
+      done
+
+let run ?(max_statements = 2_000_000) kernel (inputs : Ast.inputs) =
+  (match Ast.validate kernel with
+  | Ok () -> ()
+  | Error m -> raise (Runtime_error ("invalid kernel: " ^ m)));
+  let env =
+    {
+      farrays = Hashtbl.create 8;
+      iarrays = Hashtbl.create 8;
+      fscalars = Hashtbl.create 8;
+      iscalars = Hashtbl.create 8;
+      budget = max_statements;
+    }
+  in
+  List.iter
+    (fun (name, n) -> Hashtbl.replace env.farrays name (Array.make (n + 1) 0.0))
+    kernel.Ast.decls.Ast.float_arrays;
+  List.iter
+    (fun (name, n) -> Hashtbl.replace env.iarrays name (Array.make (n + 1) 0))
+    kernel.Ast.decls.Ast.int_arrays;
+  List.iter
+    (fun (name, data) ->
+      let a =
+        match Hashtbl.find_opt env.farrays name with
+        | Some a -> a
+        | None -> fail "input for unknown float array %S" name
+      in
+      if Array.length data > Array.length a - 1 then
+        fail "input too long for %S" name;
+      Array.blit data 0 a 1 (Array.length data))
+    inputs.Ast.float_data;
+  List.iter
+    (fun (name, data) ->
+      let a =
+        match Hashtbl.find_opt env.iarrays name with
+        | Some a -> a
+        | None -> fail "input for unknown int array %S" name
+      in
+      if Array.length data > Array.length a - 1 then
+        fail "input too long for %S" name;
+      Array.blit data 0 a 1 (Array.length data))
+    inputs.Ast.int_data;
+  List.iter
+    (fun (name, x) -> Hashtbl.replace env.fscalars name x)
+    inputs.Ast.float_scalars;
+  List.iter
+    (fun (name, x) -> Hashtbl.replace env.iscalars name x)
+    inputs.Ast.int_scalars;
+  List.iter (exec_stmt env) kernel.Ast.body;
+  let statements = max_statements - env.budget in
+  {
+    float_arrays =
+      List.map
+        (fun (name, _) -> (name, Hashtbl.find env.farrays name))
+        kernel.Ast.decls.Ast.float_arrays;
+    int_arrays =
+      List.map
+        (fun (name, _) -> (name, Hashtbl.find env.iarrays name))
+        kernel.Ast.decls.Ast.int_arrays;
+    float_scalars =
+      List.map
+        (fun name ->
+          ( name,
+            match Hashtbl.find_opt env.fscalars name with
+            | Some x -> x
+            | None -> 0.0 ))
+        (Ast.float_scalar_names kernel);
+    int_scalars =
+      List.map
+        (fun name ->
+          ( name,
+            match Hashtbl.find_opt env.iscalars name with
+            | Some x -> x
+            | None -> 0 ))
+        (Ast.int_scalar_names kernel);
+    statements;
+  }
+
+let memory_image kernel inputs ~layout =
+  let r = run kernel inputs in
+  let memory = Memory.create ~size:(Layout.size layout) in
+  List.iter
+    (fun (name, a) ->
+      let base = Layout.float_array_base layout name in
+      Array.iteri (fun i x -> Memory.set_float memory (base + i) x) a)
+    r.float_arrays;
+  List.iter
+    (fun (name, a) ->
+      let base = Layout.int_array_base layout name in
+      Array.iteri (fun i x -> Memory.set_int memory (base + i) x) a)
+    r.int_arrays;
+  List.iter
+    (fun (name, x) ->
+      Memory.set_float memory (Layout.float_scalar_addr layout name) x)
+    r.float_scalars;
+  List.iter
+    (fun (name, x) ->
+      Memory.set_int memory (Layout.int_scalar_addr layout name) x)
+    r.int_scalars;
+  memory

@@ -1,0 +1,28 @@
+(** Golden-model interpreter for the kernel language.
+
+    Executes a kernel directly over OCaml arrays with semantics that match
+    the code generator instruction for instruction (see {!Ast}), so the
+    final memory image of the interpreted kernel and of the compiled kernel
+    run on {!Mfu_exec.Cpu} must agree exactly. This is the primary
+    correctness oracle for the compiler and the executor. *)
+
+exception Runtime_error of string
+(** Out-of-range array index, unbound name, or exceeded step budget. *)
+
+type result = {
+  float_arrays : (string * float array) list;
+      (** final contents, 1-based: element index 0 is the unused cell 0 *)
+  int_arrays : (string * int array) list;
+  float_scalars : (string * float) list;
+  int_scalars : (string * int) list;
+  statements : int;  (** dynamically executed statement count *)
+}
+
+val run : ?max_statements:int -> Ast.kernel -> Ast.inputs -> result
+(** Interpret. [max_statements] defaults to 2_000_000.
+    @raise Runtime_error on kernel bugs. *)
+
+val memory_image : Ast.kernel -> Ast.inputs -> layout:Layout.t -> Mfu_exec.Memory.t
+(** Run the interpreter and render its final state into a memory image laid
+    out by [layout] — directly comparable with the memory produced by
+    executing the compiled kernel. *)

@@ -1,0 +1,90 @@
+module Memory = Mfu_exec.Memory
+
+type t = {
+  size : int;
+  float_bases : (string * int) list;
+  int_bases : (string * int) list;
+  fscalar_addrs : (string * int) list; (* in T-slot order *)
+  iscalar_addrs : (string * int) list; (* in B-slot order *)
+  sizes : (string * int) list;
+}
+
+let build kernel =
+  (match Ast.validate kernel with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Layout.build: " ^ m));
+  let cursor = ref 0 in
+  let alloc n =
+    let base = !cursor in
+    cursor := !cursor + n;
+    base
+  in
+  let float_bases =
+    List.map
+      (fun (name, n) -> (name, alloc (n + 1)))
+      kernel.Ast.decls.Ast.float_arrays
+  in
+  let int_bases =
+    List.map
+      (fun (name, n) -> (name, alloc (n + 1)))
+      kernel.Ast.decls.Ast.int_arrays
+  in
+  let fscalar_addrs =
+    List.map (fun name -> (name, alloc 1)) (Ast.float_scalar_names kernel)
+  in
+  let iscalar_addrs =
+    List.map (fun name -> (name, alloc 1)) (Ast.int_scalar_names kernel)
+  in
+  {
+    size = !cursor;
+    float_bases;
+    int_bases;
+    fscalar_addrs;
+    iscalar_addrs;
+    sizes = kernel.Ast.decls.Ast.float_arrays @ kernel.Ast.decls.Ast.int_arrays;
+  }
+
+let size t = t.size
+let float_array_base t name = List.assoc name t.float_bases
+let int_array_base t name = List.assoc name t.int_bases
+let float_scalar_addr t name = List.assoc name t.fscalar_addrs
+let int_scalar_addr t name = List.assoc name t.iscalar_addrs
+let float_scalars t = List.map fst t.fscalar_addrs
+let int_scalars t = List.map fst t.iscalar_addrs
+let array_sizes t = t.sizes
+
+let initial_memory t (inputs : Ast.inputs) =
+  let memory = Memory.create ~size:t.size in
+  let set_farray (name, data) =
+    match List.assoc_opt name t.float_bases with
+    | None -> invalid_arg ("Layout.initial_memory: unknown float array " ^ name)
+    | Some base ->
+        let declared = List.assoc name t.sizes in
+        if Array.length data > declared then
+          invalid_arg ("Layout.initial_memory: data too long for " ^ name);
+        Memory.blit_floats memory ~pos:(base + 1) data
+  in
+  let set_iarray (name, data) =
+    match List.assoc_opt name t.int_bases with
+    | None -> invalid_arg ("Layout.initial_memory: unknown int array " ^ name)
+    | Some base ->
+        let declared = List.assoc name t.sizes in
+        if Array.length data > declared then
+          invalid_arg ("Layout.initial_memory: data too long for " ^ name);
+        Memory.blit_ints memory ~pos:(base + 1) data
+  in
+  let set_fscalar (name, x) =
+    match List.assoc_opt name t.fscalar_addrs with
+    | None -> invalid_arg ("Layout.initial_memory: unknown float scalar " ^ name)
+    | Some addr -> Memory.set_float memory addr x
+  in
+  let set_iscalar (name, x) =
+    match List.assoc_opt name t.iscalar_addrs with
+    | None -> invalid_arg ("Layout.initial_memory: unknown int scalar " ^ name)
+    | Some addr -> Memory.set_int memory addr x
+  in
+  List.iter set_farray inputs.Ast.float_data;
+  List.iter set_iarray inputs.Ast.int_data;
+  List.iter set_fscalar inputs.Ast.float_scalars;
+  List.iter set_iscalar inputs.Ast.int_scalars;
+  memory

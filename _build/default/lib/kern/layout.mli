@@ -1,0 +1,40 @@
+(** Storage layout: assigns memory addresses to a kernel's arrays and
+    scalar home cells, and builds initial memory images from inputs.
+
+    Arrays are 1-based; each array of declared size [n] gets [n + 1] cells
+    and [base] points at the (unused) index-0 cell, so address of element
+    [i] is [base + i]. Scalars get one home cell each; generated programs
+    load them into B/T registers in a prologue and store them back in an
+    epilogue, so final memory images are comparable between the golden
+    interpreter and the executed machine code. *)
+
+type t
+
+val build : Ast.kernel -> t
+(** Compute the layout.
+    @raise Invalid_argument if the kernel fails {!Ast.validate}. *)
+
+val size : t -> int
+(** Total memory words needed. *)
+
+val float_array_base : t -> string -> int
+(** @raise Not_found for unknown names. *)
+
+val int_array_base : t -> string -> int
+val float_scalar_addr : t -> string -> int
+val int_scalar_addr : t -> string -> int
+
+val float_scalars : t -> string list
+(** In T-slot order: slot [k] of the T file holds the [k]-th name. *)
+
+val int_scalars : t -> string list
+(** In B-slot order. *)
+
+val array_sizes : t -> (string * int) list
+(** Declared (name, size) pairs, floats then ints. *)
+
+val initial_memory : t -> Ast.inputs -> Mfu_exec.Memory.t
+(** Fresh memory with arrays and scalar home cells initialized from
+    [inputs]; unspecified data is zero.
+    @raise Invalid_argument if an input name is unknown or an input array
+    is longer than its declaration. *)

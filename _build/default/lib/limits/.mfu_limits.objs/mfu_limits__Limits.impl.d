@@ -1,0 +1,1 @@
+lib/limits/limits.ml: Array Hashtbl List Mfu_exec Mfu_isa

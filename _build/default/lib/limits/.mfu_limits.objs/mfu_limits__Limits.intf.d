@@ -1,0 +1,1 @@
+lib/limits/limits.mli: Mfu_exec Mfu_isa

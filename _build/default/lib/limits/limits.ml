@@ -1,0 +1,107 @@
+module Config = Mfu_isa.Config
+module Fu = Mfu_isa.Fu
+module Reg = Mfu_isa.Reg
+module Trace = Mfu_exec.Trace
+
+type t = {
+  instructions : int;
+  pseudo_dataflow : float;
+  serial_dataflow : float;
+  resource : float;
+}
+
+let latency_of config (e : Trace.entry) =
+  if Trace.is_branch e then Config.branch_time config
+  else Config.latency config e.fu
+
+(* One pass over the trace computing the dataflow critical path. When
+   [serial_waw] is set, writes to the same register are forced to finish in
+   program order and readers observe the delayed completion. *)
+let dataflow_path ~config ~serial_waw (trace : Trace.t) =
+  let reg_avail = Array.make Reg.count 0 in
+  (* Per address: cycle at which the most recent store's value token is
+     available. In a dataflow graph a store->load pair is direct token
+     passing, so a load that hits an in-flight store receives the value one
+     cycle after the store starts, not a full memory access later. Loads
+     with no in-flight producer pay the memory latency. *)
+  let store_token : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let branch_resolved = ref 0 in
+  let finish = ref 0 in
+  Array.iter
+    (fun (e : Trace.entry) ->
+      let start = ref !branch_resolved in
+      List.iter (fun r -> start := max !start reg_avail.(Reg.index r)) e.srcs;
+      let forwarded =
+        match e.kind with
+        | Trace.Load a -> Hashtbl.find_opt store_token a
+        | _ -> None
+      in
+      (match forwarded with
+      | Some token -> start := max !start token
+      | None -> ());
+      let latency =
+        match forwarded with
+        | Some _ -> 1 (* value arrives by token, not by memory access *)
+        | None -> latency_of config e
+      in
+      let completion = ref (!start + latency) in
+      (match e.dest with
+      | Some d ->
+          if serial_waw then
+            (* in-order completion per register: cannot finish before one
+               cycle after the previous writer of this register *)
+            completion := max !completion (reg_avail.(Reg.index d) + 1);
+          reg_avail.(Reg.index d) <- !completion
+      | None -> ());
+      (match e.kind with
+      | Trace.Store a -> Hashtbl.replace store_token a (!start + 1)
+      | Trace.Taken_branch | Trace.Untaken_branch ->
+          branch_resolved := !completion
+      | Trace.Load _ | Trace.Plain -> ());
+      finish := max !finish !completion)
+    trace;
+  !finish
+
+let resource_time ~config (trace : Trace.t) =
+  let counts = Array.make Fu.count 0 in
+  Array.iter
+    (fun (e : Trace.entry) ->
+      counts.(Fu.index e.fu) <- counts.(Fu.index e.fu) + 1)
+    trace;
+  let worst = ref 0 in
+  List.iter
+    (fun fu ->
+      let c = counts.(Fu.index fu) in
+      if c > 0 && Fu.is_shared_unit fu then
+        (* c operations through a pipelined unit: the last one starts at
+           cycle c-1 and completes one latency later. (The paper's prose
+           says "c plus the latency", which overcounts by one cycle; we use
+           the exact bound so that the limit provably dominates every
+           simulator.) *)
+        let time =
+          c - 1
+          +
+          if Fu.equal fu Fu.Branch then Config.branch_time config
+          else Config.latency config fu
+        in
+        worst := max !worst time)
+    Fu.all;
+  !worst
+
+let critical_path ~config trace = dataflow_path ~config ~serial_waw:false trace
+
+let analyze ~config (trace : Trace.t) =
+  let n = Array.length trace in
+  if n = 0 then
+    { instructions = 0; pseudo_dataflow = 0.; serial_dataflow = 0.; resource = 0. }
+  else
+    let rate time = float_of_int n /. float_of_int (max 1 time) in
+    {
+      instructions = n;
+      pseudo_dataflow = rate (dataflow_path ~config ~serial_waw:false trace);
+      serial_dataflow = rate (dataflow_path ~config ~serial_waw:true trace);
+      resource = rate (resource_time ~config trace);
+    }
+
+let actual t = min t.pseudo_dataflow t.resource
+let actual_serial t = min t.serial_dataflow t.resource

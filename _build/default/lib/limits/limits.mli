@@ -1,0 +1,42 @@
+(** Performance limits of a dynamic trace (Section 4; Table 2).
+
+    All limits are expressed as issue rates (instructions per cycle); the
+    underlying quantity is a best-case execution time.
+
+    - {b Pseudo-dataflow limit}: the trace executes as a dataflow graph
+      with unlimited resources. An instruction starts when its operands
+      are produced (register RAW and memory store->load dependences) and
+      not before the most recent older branch has resolved (control
+      dependences serialize loop iterations); it finishes after its
+      functional-unit latency. The limit is [instructions / critical path].
+    - {b Serial dataflow limit}: additionally, instructions that write the
+      same architectural register must finish in program order — the
+      best any machine without result buffering (register renaming) can
+      do when WAW hazards arise; readers then see the delayed completion.
+    - {b Resource limit}: with the base machine's single copy of each
+      (pipelined) functional unit, a unit used [c] times cannot finish
+      before [c + latency] cycles; the limit is
+      [instructions / max_u (count_u + latency_u)].
+    - {b Actual limit}: per trace, the smaller of a dataflow limit and the
+      resource limit. *)
+
+type t = {
+  instructions : int;
+  pseudo_dataflow : float;  (** unlimited-resource dataflow issue rate *)
+  serial_dataflow : float;  (** dataflow rate with in-order WAW completion *)
+  resource : float;         (** busiest-functional-unit bound *)
+}
+
+val analyze : config:Mfu_isa.Config.t -> Mfu_exec.Trace.t -> t
+(** Compute all limits of a trace under a machine configuration (the
+    memory and branch latencies matter; bus and issue structure do not). *)
+
+val actual : t -> float
+(** [min pseudo_dataflow resource] — the paper's "Pure" actual limit. *)
+
+val actual_serial : t -> float
+(** [min serial_dataflow resource] — the paper's "Serial" actual limit. *)
+
+val critical_path : config:Mfu_isa.Config.t -> Mfu_exec.Trace.t -> int
+(** Length in cycles of the pseudo-dataflow critical path (the denominator
+    of the pseudo-dataflow limit). *)

@@ -1,0 +1,1 @@
+lib/loops/data.ml: Array Char Mfu_util String

@@ -1,0 +1,1 @@
+lib/loops/data.mli:

@@ -1,0 +1,1 @@
+lib/loops/extended.ml: Data List Livermore Mfu_kern

@@ -1,0 +1,1 @@
+lib/loops/livermore.ml: Array Data Hashtbl List Mfu_asm Mfu_exec Mfu_isa Mfu_kern Printf String

@@ -1,0 +1,1 @@
+lib/loops/livermore.mli: Mfu_exec Mfu_kern

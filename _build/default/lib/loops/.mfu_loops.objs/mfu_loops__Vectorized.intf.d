@@ -1,0 +1,1 @@
+lib/loops/vectorized.mli: Livermore Mfu_asm Mfu_exec Mfu_kern

@@ -1,0 +1,17 @@
+module Prng = Mfu_util.Prng
+
+let mix_name seed name =
+  (* Cheap deterministic string hash folded into the seed. *)
+  let h = ref seed in
+  String.iter (fun c -> h := (!h * 131) + Char.code c) name;
+  !h land max_int
+
+let floats ~seed ~name ~n ~lo ~hi =
+  let g = Prng.create ~seed:(mix_name seed name) in
+  Array.init n (fun _ -> Prng.float_range g ~lo ~hi)
+
+let ints ~seed ~name ~n ~bound =
+  let g = Prng.create ~seed:(mix_name seed name) in
+  Array.init n (fun _ -> Prng.int g ~bound)
+
+let positions ~seed ~name ~n ~limit = floats ~seed ~name ~n ~lo:1.0 ~hi:limit

@@ -1,0 +1,16 @@
+(** Deterministic workload data for the Livermore kernels.
+
+    All arrays are generated from a SplitMix64 stream seeded by the array
+    name and a per-loop seed, so every run of the study sees the identical
+    trace. Value ranges are chosen to keep the recurrences numerically tame
+    (no overflow, no degenerate zeros) while exercising the same code
+    paths as the original benchmark data. *)
+
+val floats : seed:int -> name:string -> n:int -> lo:float -> hi:float -> float array
+(** [n] floats uniform in [lo, hi). *)
+
+val ints : seed:int -> name:string -> n:int -> bound:int -> int array
+(** [n] ints uniform in [0, bound). *)
+
+val positions : seed:int -> name:string -> n:int -> limit:float -> float array
+(** Particle positions: floats uniform in [1, limit). *)

@@ -1,0 +1,341 @@
+open Mfu_kern.Ast
+
+let iv v = Ivar v
+let ic n = Int n
+let ( +! ) a b = Iadd (a, b)
+let ( -! ) a b = Isub (a, b)
+let fv v = Fvar v
+let fc x = Const x
+let el name i = Elem (name, i)
+let ( +% ) a b = Add (a, b)
+let ( -% ) a b = Sub (a, b)
+let ( *% ) a b = Mul (a, b)
+let ( /% ) a b = Div (a, b)
+let setf name e = Fassign (name, None, e)
+let set_el name i e = Fassign (name, Some i, e)
+let seti name e = Iassign (name, None, e)
+let for_ var lo hi body = For { var; lo; hi; step = 1; body }
+let ( *! ) a b = Imul (a, b)
+
+(* Fortran 2-D element (j, i) with leading dimension [ld]. *)
+let idx2 ld j i = j +! ((i -! ic 1) *! ic ld)
+
+let farrays fa = { float_arrays = fa; int_arrays = [] }
+let fdata ~seed name n lo hi = (name, Data.floats ~seed ~name ~n ~lo ~hi)
+
+let loop18 ?(n = 6) () =
+  let seed = 1018 in
+  let ld = n + 2 in
+  let size = ld * (n + 2) in
+  let z name j k = el name (idx2 ld j k) in
+  let j = iv "j" and k = iv "k" in
+  let jm = j -! ic 1 and jp = j +! ic 1 in
+  let km = k -! ic 1 and kp = k +! ic 1 in
+  let body =
+    [
+      for_ "k" (ic 2) (ic n)
+        [
+          for_ "j" (ic 2) (ic n)
+            [
+              set_el "za" (idx2 ld j k)
+                ((z "zp" jm kp +% z "zq" jm kp -% z "zp" jm k -% z "zq" jm k)
+                *% (z "zr" j k +% z "zr" jm k)
+                /% (z "zm" jm k +% z "zm" jm kp));
+              set_el "zb" (idx2 ld j k)
+                ((z "zp" jm k +% z "zq" jm k -% z "zp" j k -% z "zq" j k)
+                *% (z "zr" j k +% z "zr" j km)
+                /% (z "zm" j k +% z "zm" jm k));
+            ];
+        ];
+      for_ "k" (ic 2) (ic n)
+        [
+          for_ "j" (ic 2) (ic n)
+            [
+              set_el "zu" (idx2 ld j k)
+                (z "zu" j k
+                +% (fv "s"
+                   *% ((z "za" j k *% (z "zz" j k -% z "zz" jp k))
+                      -% (z "za" jm k *% (z "zz" j k -% z "zz" jm k))
+                      -% (z "zb" j k *% (z "zz" j k -% z "zz" j km))
+                      +% (z "zb" j kp *% (z "zz" j k -% z "zz" j kp)))));
+              set_el "zv" (idx2 ld j k)
+                (z "zv" j k
+                +% (fv "s"
+                   *% ((z "za" j k *% (z "zr" j k -% z "zr" jp k))
+                      -% (z "za" jm k *% (z "zr" j k -% z "zr" jm k))
+                      -% (z "zb" j k *% (z "zr" j k -% z "zr" j km))
+                      +% (z "zb" j kp *% (z "zr" j k -% z "zr" j kp)))));
+            ];
+        ];
+      for_ "k" (ic 2) (ic n)
+        [
+          for_ "j" (ic 2) (ic n)
+            [
+              set_el "zr" (idx2 ld j k) (z "zr" j k +% (fv "t" *% z "zu" j k));
+              set_el "zz" (idx2 ld j k) (z "zz" j k +% (fv "t" *% z "zv" j k));
+            ];
+        ];
+    ]
+  in
+  {
+    Livermore.number = 18;
+    title = "2-D explicit hydrodynamics fragment";
+    classification = Livermore.Vectorizable;
+    kernel =
+      {
+        name = "LL18";
+        decls =
+          farrays
+            [
+              ("za", size); ("zb", size); ("zp", size); ("zq", size);
+              ("zr", size); ("zm", size); ("zz", size); ("zu", size);
+              ("zv", size);
+            ];
+        body;
+      };
+    inputs =
+      {
+        float_data =
+          List.map
+            (fun name -> fdata ~seed name size 0.5 1.5)
+            [ "zp"; "zq"; "zr"; "zm"; "zz"; "zu"; "zv" ];
+        int_data = [];
+        float_scalars = [ ("s", 0.01); ("t", 0.005) ];
+        int_scalars = [];
+      };
+  }
+
+let loop19 ?(n = 100) () =
+  let seed = 1019 in
+  let k = iv "k" in
+  let body =
+    [
+      setf "stb5" (fc 0.1);
+      for_ "k" (ic 1) (ic n)
+        [
+          set_el "b5" k (el "sa" k +% (fv "stb5" *% el "sb" k));
+          setf "stb5" (el "b5" k -% fv "stb5");
+        ];
+      for_ "i" (ic 1) (ic n)
+        [
+          seti "k" (ic n -! iv "i" +! ic 1);
+          set_el "b5" k (el "sa" k +% (fv "stb5" *% el "sb" k));
+          setf "stb5" (el "b5" k -% fv "stb5");
+        ];
+    ]
+  in
+  {
+    Livermore.number = 19;
+    title = "general linear recurrence equations";
+    classification = Livermore.Scalar;
+    kernel =
+      {
+        name = "LL19";
+        decls = farrays [ ("b5", n); ("sa", n); ("sb", n) ];
+        body;
+      };
+    inputs =
+      {
+        float_data = [ fdata ~seed "sa" n 0.1 0.5; fdata ~seed "sb" n 0.2 0.8 ];
+        int_data = [];
+        float_scalars = [];
+        int_scalars = [];
+      };
+  }
+
+let loop20 ?(n = 100) () =
+  let seed = 1020 in
+  let k = iv "k" in
+  let body =
+    [
+      for_ "k" (ic 1) (ic n)
+        [
+          setf "di" (el "y" k -% (el "g" k /% (el "xx" k +% fv "dk")));
+          setf "dn" (fc 0.2);
+          If
+            ( Fcmp (Ne, fv "di", fc 0.0),
+              [
+                setf "dn" (fc 0.2 /% fv "di");
+                If (Fcmp (Gt, fv "dn", fv "z"), [ setf "dn" (fv "z") ], []);
+                If (Fcmp (Lt, fv "dn", fv "s"), [ setf "dn" (fv "s") ], []);
+              ],
+              [] );
+          set_el "x" k
+            (((el "w" k +% (el "v" k *% fv "dn")) *% el "xx" k +% el "u" k)
+            /% (el "vx" k +% (el "v" k *% fv "dn")));
+          set_el "xx" (k +! ic 1)
+            (((el "x" k -% el "xx" k) *% fv "dn") +% el "xx" k);
+        ];
+    ]
+  in
+  {
+    Livermore.number = 20;
+    title = "discrete ordinates transport";
+    classification = Livermore.Scalar;
+    kernel =
+      {
+        name = "LL20";
+        decls =
+          farrays
+            [
+              ("x", n); ("xx", n + 1); ("y", n); ("g", n); ("u", n); ("v", n);
+              ("w", n); ("vx", n);
+            ];
+        body;
+      };
+    inputs =
+      {
+        float_data =
+          [
+            fdata ~seed "xx" (n + 1) 0.5 1.0;
+            fdata ~seed "y" n 0.5 1.0;
+            fdata ~seed "g" n 0.1 0.4;
+            fdata ~seed "u" n 0.5 1.0;
+            fdata ~seed "v" n 0.5 1.0;
+            fdata ~seed "w" n 0.5 1.0;
+            fdata ~seed "vx" n 0.5 1.0;
+          ];
+        int_data = [];
+        float_scalars = [ ("dk", 0.5); ("s", 0.1); ("z", 2.0) ];
+        int_scalars = [];
+      };
+  }
+
+let loop21 ?(n = 8) () =
+  let seed = 1021 in
+  let m = 8 in
+  let i = iv "i" and j = iv "j" and k = iv "k" in
+  let body =
+    [
+      for_ "k" (ic 1) (ic m)
+        [
+          for_ "i" (ic 1) (ic m)
+            [
+              for_ "j" (ic 1) (ic n)
+                [
+                  set_el "px" (idx2 m i j)
+                    (el "px" (idx2 m i j)
+                    +% (el "vy" (idx2 m i k) *% el "cx" (idx2 m k j)));
+                ];
+            ];
+        ];
+    ]
+  in
+  {
+    Livermore.number = 21;
+    title = "matrix * matrix product";
+    classification = Livermore.Vectorizable;
+    kernel =
+      {
+        name = "LL21";
+        decls =
+          farrays [ ("px", m * n); ("vy", m * m); ("cx", m * n) ];
+        body;
+      };
+    inputs =
+      {
+        float_data =
+          [
+            fdata ~seed "px" (m * n) 0.0 0.1;
+            fdata ~seed "vy" (m * m) 0.1 0.5;
+            fdata ~seed "cx" (m * n) 0.1 0.5;
+          ];
+        int_data = [];
+        float_scalars = [];
+        int_scalars = [];
+      };
+  }
+
+let loop23 ?(n = 20) () =
+  let seed = 1023 in
+  let ld = n + 2 in
+  let size = ld * 8 in
+  let j = iv "j" and k = iv "k" in
+  let za r c = el "za" (idx2 ld r c) in
+  let body =
+    [
+      for_ "j" (ic 2) (ic 6)
+        [
+          for_ "k" (ic 2) (ic n)
+            [
+              setf "qa"
+                ((za k (j +! ic 1) *% el "zr" (idx2 ld k j))
+                +% (za k (j -! ic 1) *% el "zb" (idx2 ld k j))
+                +% (za (k +! ic 1) j *% el "zu" (idx2 ld k j))
+                +% (za (k -! ic 1) j *% el "zv" (idx2 ld k j))
+                +% el "zz" (idx2 ld k j));
+              set_el "za" (idx2 ld k j)
+                (za k j +% (fc 0.175 *% (fv "qa" -% za k j)));
+            ];
+        ];
+    ]
+  in
+  {
+    Livermore.number = 23;
+    title = "2-D implicit hydrodynamics fragment";
+    classification = Livermore.Scalar;
+    kernel =
+      {
+        name = "LL23";
+        decls =
+          farrays
+            [ ("za", size); ("zr", size); ("zb", size); ("zu", size);
+              ("zv", size); ("zz", size) ];
+        body;
+      };
+    inputs =
+      {
+        float_data =
+          List.map
+            (fun name -> fdata ~seed name size 0.05 0.2)
+            [ "za"; "zr"; "zb"; "zu"; "zv"; "zz" ];
+        int_data = [];
+        float_scalars = [];
+        int_scalars = [];
+      };
+  }
+
+let loop24 ?(n = 100) () =
+  let seed = 1024 in
+  let k = iv "k" in
+  let body =
+    [
+      set_el "x" (ic (n / 2)) (fc (-1.0e10));
+      seti "m" (ic 1);
+      for_ "k" (ic 2) (ic n)
+        [
+          If
+            ( Fcmp (Lt, el "x" k, el "x" (iv "m")),
+              [ seti "m" k ],
+              [] );
+        ];
+    ]
+  in
+  {
+    Livermore.number = 24;
+    title = "find location of first minimum";
+    classification = Livermore.Scalar;
+    kernel = { name = "LL24"; decls = farrays [ ("x", n) ]; body };
+    inputs =
+      {
+        float_data = [ fdata ~seed "x" n (-1.0) 1.0 ];
+        int_data = [];
+        float_scalars = [];
+        int_scalars = [];
+      };
+  }
+
+let all_memo = ref None
+
+let all () =
+  match !all_memo with
+  | Some loops -> loops
+  | None ->
+      let loops =
+        [ loop18 (); loop19 (); loop20 (); loop21 (); loop23 (); loop24 () ]
+      in
+      all_memo := Some loops;
+      loops
+
+let of_class c =
+  List.filter (fun (l : Livermore.loop) -> l.Livermore.classification = c) (all ())

@@ -1,0 +1,37 @@
+(** Extended workloads: six kernels from the later, 24-loop revision of the
+    Livermore benchmark (kernels 18, 19, 20, 21, 23 and 24).
+
+    The paper uses only the original 14 loops; these are extensions that
+    widen the workload mix with features the first 14 barely exercise —
+    division chains (18, 20), floating-point conditionals (20, 24), a
+    scalar minimum search (24), dense matrix multiply (21) and implicit
+    2-D relaxation (23). Kernel 22 (Planckian distribution) is omitted:
+    it needs an EXP intrinsic the CRAY-like scalar ISA does not have, and
+    kernels 15-17 are control-flow torture tests whose published sources
+    rely on computed GOTOs.
+
+    Classification follows the usual LFK vectorizability split:
+    18 and 21 vectorizable; 19, 20, 23, 24 scalar. *)
+
+val loop18 : ?n:int -> unit -> Livermore.loop
+(** 2-D explicit hydrodynamics fragment; [n] is the grid edge. *)
+
+val loop19 : ?n:int -> unit -> Livermore.loop
+(** general linear recurrence equations (forward and backward sweeps). *)
+
+val loop20 : ?n:int -> unit -> Livermore.loop
+(** discrete ordinates transport, with the MIN/MAX conditional. *)
+
+val loop21 : ?n:int -> unit -> Livermore.loop
+(** matrix * matrix product. *)
+
+val loop23 : ?n:int -> unit -> Livermore.loop
+(** 2-D implicit hydrodynamics fragment. *)
+
+val loop24 : ?n:int -> unit -> Livermore.loop
+(** find location of first minimum in array. *)
+
+val all : unit -> Livermore.loop list
+(** The six kernels at default sizes, memoized. *)
+
+val of_class : Livermore.classification -> Livermore.loop list

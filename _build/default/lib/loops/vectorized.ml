@@ -1,0 +1,175 @@
+module Reg = Mfu_isa.Reg
+module Instr = Mfu_isa.Instr
+module Builder = Mfu_asm.Builder
+module Layout = Mfu_kern.Layout
+module Cpu = Mfu_exec.Cpu
+module Memory = Mfu_exec.Memory
+
+type t = {
+  loop : Livermore.loop;
+  layout : Layout.t;
+  program : Mfu_asm.Program.t;
+  output_array : string;
+}
+
+let a i = Reg.A i
+let s i = Reg.S i
+let v i = Reg.V i
+
+(* Load loop-invariant float scalars from their home cells into S1, S2, ...
+   (S0 is left free, mirroring its condition-register role). *)
+let load_scalars b layout names =
+  List.iteri
+    (fun i name ->
+      let addr = Layout.float_scalar_addr layout name in
+      Builder.emit b (Instr.A_imm (a 1, addr));
+      Builder.emit b (Instr.S_load (s (i + 1), a 1, 0)))
+    names
+
+(* Emit [body] once per 64-element strip of [1..n]. The body receives the
+   strip's first (1-based) element index via register A2 and its length via
+   VL; strips are fully unrolled. *)
+let strip_mine b ~n body =
+  let rec go k0 =
+    if k0 <= n then begin
+      let len = min 64 (n - k0 + 1) in
+      Builder.emit b (Instr.A_imm (a 3, len));
+      Builder.emit b (Instr.Set_vl (a 3));
+      Builder.emit b (Instr.A_imm (a 2, k0));
+      body ();
+      go (k0 + 64)
+    end
+  in
+  go 1
+
+let assemble loop output_array build =
+  let layout = Layout.build loop.Livermore.kernel in
+  let b = Builder.create () in
+  build b layout;
+  Builder.emit b Instr.Halt;
+  { loop; layout; program = Builder.finish b; output_array }
+
+(* LL1: x(k) = q + y(k) * (r*z(k+10) + t*z(k+11)) *)
+let loop1 ?n () =
+  let loop = Livermore.loop1 ?n () in
+  let n = List.assoc "x" (Layout.array_sizes (Layout.build loop.kernel)) in
+  assemble loop "x" (fun b layout ->
+      let base name = Layout.float_array_base layout name in
+      load_scalars b layout [ "q"; "r"; "t" ];
+      (* S1=q S2=r S3=t *)
+      strip_mine b ~n (fun () ->
+          Builder.emit_list b
+            [
+              Instr.V_load (v 0, a 2, base "z" + 10);
+              Instr.V_load (v 1, a 2, base "z" + 11);
+              Instr.V_fmul_sv (v 2, s 2, v 0);
+              Instr.V_fmul_sv (v 3, s 3, v 1);
+              Instr.V_fadd (v 4, v 2, v 3);
+              Instr.V_load (v 5, a 2, base "y");
+              Instr.V_fmul (v 6, v 5, v 4);
+              Instr.V_fadd_sv (v 7, s 1, v 6);
+              Instr.V_store (v 7, a 2, base "x");
+            ]))
+
+(* LL12: x(k) = y(k+1) - y(k) *)
+let loop12 ?n () =
+  let loop = Livermore.loop12 ?n () in
+  let n = List.assoc "x" (Layout.array_sizes (Layout.build loop.kernel)) in
+  assemble loop "x" (fun b layout ->
+      let base name = Layout.float_array_base layout name in
+      strip_mine b ~n (fun () ->
+          Builder.emit_list b
+            [
+              Instr.V_load (v 0, a 2, base "y" + 1);
+              Instr.V_load (v 1, a 2, base "y");
+              Instr.V_fsub (v 2, v 0, v 1);
+              Instr.V_store (v 2, a 2, base "x");
+            ]))
+
+(* LL7: equation of state fragment (see Livermore.loop7 for the formula) *)
+let loop7 ?n () =
+  let loop = Livermore.loop7 ?n () in
+  let n = List.assoc "x" (Layout.array_sizes (Layout.build loop.kernel)) in
+  assemble loop "x" (fun b layout ->
+      let base name = Layout.float_array_base layout name in
+      load_scalars b layout [ "r"; "t" ];
+      (* S1=r S2=t *)
+      let u_plus k = base "u" + k in
+      strip_mine b ~n (fun () ->
+          Builder.emit_list b
+            [
+              (* acc = u(k) + r*(z(k) + r*y(k)) *)
+              Instr.V_load (v 0, a 2, base "y");
+              Instr.V_fmul_sv (v 0, s 1, v 0);
+              Instr.V_load (v 1, a 2, base "z");
+              Instr.V_fadd (v 1, v 1, v 0);
+              Instr.V_fmul_sv (v 1, s 1, v 1);
+              Instr.V_load (v 2, a 2, u_plus 0);
+              Instr.V_fadd (v 2, v 2, v 1);
+              (* inner2 = t*(u(k+6) + r*(u(k+5) + r*u(k+4))) *)
+              Instr.V_load (v 3, a 2, u_plus 4);
+              Instr.V_fmul_sv (v 3, s 1, v 3);
+              Instr.V_load (v 4, a 2, u_plus 5);
+              Instr.V_fadd (v 4, v 4, v 3);
+              Instr.V_fmul_sv (v 4, s 1, v 4);
+              Instr.V_load (v 5, a 2, u_plus 6);
+              Instr.V_fadd (v 5, v 5, v 4);
+              Instr.V_fmul_sv (v 5, s 2, v 5);
+              (* inner1 = u(k+3) + r*(u(k+2) + r*u(k+1)) *)
+              Instr.V_load (v 3, a 2, u_plus 1);
+              Instr.V_fmul_sv (v 3, s 1, v 3);
+              Instr.V_load (v 4, a 2, u_plus 2);
+              Instr.V_fadd (v 4, v 4, v 3);
+              Instr.V_fmul_sv (v 4, s 1, v 4);
+              Instr.V_load (v 6, a 2, u_plus 3);
+              Instr.V_fadd (v 6, v 6, v 4);
+              (* x = acc + t*(inner1 + inner2) *)
+              Instr.V_fadd (v 6, v 6, v 5);
+              Instr.V_fmul_sv (v 6, s 2, v 6);
+              Instr.V_fadd (v 2, v 2, v 6);
+              Instr.V_store (v 2, a 2, base "x");
+            ]))
+
+let all () = [ loop1 (); loop7 (); loop12 () ]
+
+let run t =
+  let memory = Layout.initial_memory t.layout t.loop.Livermore.inputs in
+  Cpu.run ~program:t.program ~memory ()
+
+let check t =
+  let result = run t in
+  let golden =
+    Mfu_kern.Interp.memory_image t.loop.Livermore.kernel
+      t.loop.Livermore.inputs ~layout:t.layout
+  in
+  let base = Layout.float_array_base t.layout t.output_array in
+  let size = List.assoc t.output_array (Layout.array_sizes t.layout) in
+  let rec scan k =
+    if k > size then Ok ()
+    else
+      let want = Memory.get_float golden (base + k) in
+      let got = Memory.get_float result.Cpu.memory (base + k) in
+      let close =
+        want = got
+        || abs_float (want -. got) <= 1e-9 *. max 1.0 (abs_float want)
+      in
+      if close then scan (k + 1)
+      else
+        Error
+          (Printf.sprintf "%s LL%d: %s(%d) = %.17g, golden %.17g"
+             "vectorized" t.loop.Livermore.number t.output_array k got want)
+  in
+  scan 1
+
+let trace_cache : (int * int, Mfu_exec.Trace.t) Hashtbl.t = Hashtbl.create 4
+
+let trace t =
+  (* key on the loop number and program size so custom-sized variants do
+     not collide with the defaults *)
+  let key = (t.loop.Livermore.number, Mfu_asm.Program.length t.program) in
+  match Hashtbl.find_opt trace_cache key with
+  | Some tr -> tr
+  | None ->
+      let tr = (run t).Cpu.trace in
+      Hashtbl.add trace_cache key tr;
+      tr

@@ -1,0 +1,42 @@
+(** Hand-vectorized CRAY implementations of the vectorizable loops 1, 7
+    and 12 — the execution mode the paper's "vectorizable" classification
+    refers to but deliberately does not study (its subject is the scalar
+    unit).
+
+    Each program is the strip-mined vector code a CRAY programmer would
+    write: loop-invariant scalars loaded into S registers once, then per
+    64-element strip a [Set_vl], vector loads, register-to-register vector
+    arithmetic (including scalar-vector forms) and a vector store. Strips
+    are fully unrolled, so the code is branch-free. The memory layout is
+    shared with the scalar compilation of the same loop, which makes the
+    golden interpreter the correctness oracle for the vector unit too.
+
+    Traces from these programs carry [vl > 1] entries and are intended for
+    the {!Mfu_sim.Single_issue} timing model (which accounts for vector
+    element streaming); the multi-issue models are scalar-unit studies and
+    do not interpret [vl]. *)
+
+type t = {
+  loop : Livermore.loop;     (** the scalar counterpart (same inputs/layout) *)
+  layout : Mfu_kern.Layout.t;
+  program : Mfu_asm.Program.t;
+  output_array : string;     (** the array whose contents are verified *)
+}
+
+val loop1 : ?n:int -> unit -> t
+val loop7 : ?n:int -> unit -> t
+val loop12 : ?n:int -> unit -> t
+
+val all : unit -> t list
+(** The three vectorized loops at default sizes. *)
+
+val run : t -> Mfu_exec.Cpu.result
+(** Execute the vector program on the architectural executor with the
+    loop's standard inputs. *)
+
+val check : t -> (unit, string) result
+(** Verify the vector program's output array against the golden
+    interpreter running the scalar kernel, element by element. *)
+
+val trace : t -> Mfu_exec.Trace.t
+(** Dynamic trace of the vector program (memoized). *)

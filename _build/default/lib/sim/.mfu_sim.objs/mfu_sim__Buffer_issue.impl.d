@@ -1,0 +1,1 @@
+lib/sim/buffer_issue.ml: Array Hashtbl List Mfu_exec Mfu_isa Sim_types

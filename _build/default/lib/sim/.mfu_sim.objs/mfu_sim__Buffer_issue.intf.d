@@ -1,0 +1,1 @@
+lib/sim/buffer_issue.mli: Mfu_exec Mfu_isa Sim_types

@@ -1,0 +1,1 @@
+lib/sim/dep_single.ml: Array Hashtbl List Mfu_exec Mfu_isa Option Sim_types

@@ -1,0 +1,1 @@
+lib/sim/dep_single.mli: Mfu_exec Mfu_isa Sim_types

@@ -1,0 +1,1 @@
+lib/sim/ruu.ml: Array Hashtbl List Mfu_exec Mfu_isa Option Printf Sim_types

@@ -1,0 +1,1 @@
+lib/sim/ruu.mli: Mfu_exec Mfu_isa Sim_types

@@ -1,0 +1,1 @@
+lib/sim/single_issue.mli: Memory_system Mfu_exec Mfu_isa Sim_types

@@ -1,0 +1,32 @@
+type t = Ideal | Banked of { banks : int; busy : int }
+
+let ideal = Ideal
+let cray1_banks = Banked { banks = 16; busy = 4 }
+
+let to_string = function
+  | Ideal -> "ideal"
+  | Banked { banks; busy } -> Printf.sprintf "%d banks (busy %d)" banks busy
+
+type state = {
+  model : t;
+  mutable port_free : int;      (* Ideal: next cycle the port is free *)
+  bank_free : int array;        (* Banked: per-bank next free cycle *)
+}
+
+let create model =
+  let nbanks = match model with Ideal -> 1 | Banked { banks; _ } -> banks in
+  if nbanks < 1 then invalid_arg "Memory_system.create: banks < 1";
+  { model; port_free = 0; bank_free = Array.make nbanks 0 }
+
+let accept st ~addr ~from_ =
+  if addr < 0 then invalid_arg "Memory_system.accept: negative address";
+  match st.model with
+  | Ideal ->
+      let t = max from_ st.port_free in
+      st.port_free <- t + 1;
+      t
+  | Banked { banks; busy } ->
+      let bank = addr mod banks in
+      let t = max from_ st.bank_free.(bank) in
+      st.bank_free.(bank) <- t + busy;
+      t

@@ -1,0 +1,38 @@
+(** Memory-system models for the timing simulators.
+
+    The paper's "interleaved memory" is ideal: one new request per cycle,
+    fixed latency, no conflicts. Real CRAY-1 memory was organized as 16
+    banks with a 4-cycle bank busy time, and bank conflicts were a
+    well-known effect. [Banked] lets the ablations quantify how far the
+    ideal assumption flatters the results:
+
+    - a request to address [a] goes to bank [a mod banks];
+    - the bank is busy for [busy] cycles; a second request to the same
+      bank within that window waits;
+    - the end-to-end latency on top of bank acceptance is the machine
+      configuration's memory access time, as for the ideal model. *)
+
+type t =
+  | Ideal                               (** one request per cycle, no conflicts *)
+  | Banked of { banks : int; busy : int }
+
+val ideal : t
+
+val cray1_banks : t
+(** 16 banks, 4-cycle bank busy time (CRAY-1 hardware reference manual). *)
+
+val to_string : t -> string
+
+(** Mutable per-run conflict state. *)
+type state
+
+val create : t -> state
+
+val accept :
+  state -> addr:int -> from_:int -> int
+(** [accept st ~addr ~from_] is the earliest cycle >= [from_] at which the
+    memory accepts a request for [addr]; the bank (and, for [Ideal], the
+    single port) is reserved. Calls must use non-decreasing [from_] values
+    per bank for faithful modelling (the simulators issue in time order).
+
+    @raise Invalid_argument on a negative address. *)

@@ -1,0 +1,15 @@
+type bus_model = N_bus | One_bus | X_bar
+
+let bus_model_to_string = function
+  | N_bus -> "N-Bus"
+  | One_bus -> "1-Bus"
+  | X_bar -> "X-Bar"
+
+type result = { cycles : int; instructions : int }
+
+let issue_rate r =
+  if r.cycles = 0 then 0.0 else float_of_int r.instructions /. float_of_int r.cycles
+
+let pp_result fmt r =
+  Format.fprintf fmt "%d instructions in %d cycles (%.3f/cycle)"
+    r.instructions r.cycles (issue_rate r)

@@ -1,0 +1,21 @@
+(** Common result type and interconnect models shared by all timing
+    simulators. *)
+
+(** Result-bus interconnect between the functional-unit outputs and the
+    register file (Section 5.1 of the paper). *)
+type bus_model =
+  | N_bus    (** one bus per issue unit; unit [i] may only use bus [i] *)
+  | One_bus  (** a single shared result bus (one register-file write port) *)
+  | X_bar    (** full crossbar: any result may take any of the N buses *)
+
+val bus_model_to_string : bus_model -> string
+
+type result = {
+  cycles : int;        (** total execution time in clock cycles *)
+  instructions : int;  (** dynamic instructions issued *)
+}
+
+val issue_rate : result -> float
+(** Instructions issued per clock cycle — the paper's figure of merit. *)
+
+val pp_result : Format.formatter -> result -> unit

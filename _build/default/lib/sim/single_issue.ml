@@ -1,0 +1,76 @@
+module Config = Mfu_isa.Config
+module Fu = Mfu_isa.Fu
+module Reg = Mfu_isa.Reg
+module Trace = Mfu_exec.Trace
+
+type organization = Simple | Serial_memory | Non_segmented | Cray_like
+
+let all_organizations = [ Simple; Serial_memory; Non_segmented; Cray_like ]
+
+let organization_to_string = function
+  | Simple -> "Simple"
+  | Serial_memory -> "SerialMemory"
+  | Non_segmented -> "NonSegmented"
+  | Cray_like -> "CRAY-like"
+
+(* Whether a functional unit serves one request at a time (true) or is
+   pipelined (false) under the given organization. *)
+let unit_is_serial org (fu : Fu.kind) =
+  if not (Fu.is_shared_unit fu) then false
+  else
+    match org with
+    | Simple -> true (* unused: Simple serializes everything anyway *)
+    | Serial_memory -> true
+    | Non_segmented -> not (Fu.equal fu Fu.Memory)
+    | Cray_like -> false
+
+let mem_addr (e : Trace.entry) =
+  match e.kind with Trace.Load a | Trace.Store a -> Some a | _ -> None
+
+let simulate ?(memory = Memory_system.ideal) ~config org (trace : Trace.t) =
+  let mem_state = Memory_system.create memory in
+  let reg_ready = Array.make Reg.count 0 in
+  let fu_free = Array.make Fu.count 0 in
+  let issue_free = ref 0 in
+  let prev_completion = ref 0 in
+  let finish = ref 0 in
+  let branch_time = Config.branch_time config in
+  Array.iter
+    (fun (e : Trace.entry) ->
+      let latency =
+        if Trace.is_branch e then branch_time else Config.latency config e.fu
+      in
+      let t = ref !issue_free in
+      (match org with
+      | Simple ->
+          (* Execution stage must be empty; no other checks needed. *)
+          t := max !t !prev_completion
+      | Serial_memory | Non_segmented | Cray_like ->
+          List.iter (fun r -> t := max !t reg_ready.(Reg.index r)) e.srcs;
+          (match e.dest with
+          | Some d -> t := max !t reg_ready.(Reg.index d)
+          | None -> ());
+          if Fu.is_shared_unit e.fu then t := max !t fu_free.(Fu.index e.fu));
+      (* interleaved-memory bank conflicts (pipelined memory orgs only) *)
+      (match (org, mem_addr e) with
+      | (Non_segmented | Cray_like), Some addr
+        when not (unit_is_serial org e.fu) ->
+          t := Memory_system.accept mem_state ~addr ~from_:!t
+      | _ -> ());
+      let t = !t in
+      (* a vector instruction delivers its last element vl-1 cycles after
+         the first, and streams vl operands through its (pipelined) unit *)
+      let completion = t + latency + e.vl - 1 in
+      let occupancy =
+        if unit_is_serial org e.fu then latency + e.vl - 1 else max 1 e.vl
+      in
+      (match e.dest with
+      | Some d -> reg_ready.(Reg.index d) <- completion
+      | None -> ());
+      if Fu.is_shared_unit e.fu then
+        fu_free.(Fu.index e.fu) <- t + occupancy;
+      prev_completion := completion;
+      finish := max !finish completion;
+      issue_free := t + (if Trace.is_branch e then branch_time else e.parcels))
+    trace;
+  { Sim_types.cycles = max !finish !issue_free; instructions = Array.length trace }

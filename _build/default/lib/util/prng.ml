@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators". *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let float_range t ~lo ~hi =
+  if hi <= lo then invalid_arg "Prng.float_range: hi <= lo";
+  lo +. ((hi -. lo) *. float t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  let bits = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem bits (Int64.of_int bound))

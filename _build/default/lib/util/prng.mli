@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Used to initialize workload arrays reproducibly; the study must produce
+    identical traces on every run, so we avoid [Random] and its global
+    state. *)
+
+type t
+
+val create : seed:int -> t
+(** A fresh generator. Equal seeds give equal streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform float in [lo, hi). @raise Invalid_argument if [hi <= lo]. *)
+
+val int : t -> bound:int -> int
+(** Uniform int in [0, bound). @raise Invalid_argument if [bound <= 0]. *)

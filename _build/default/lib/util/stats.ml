@@ -1,0 +1,38 @@
+let check_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | _ :: _ -> ()
+
+let check_positive name xs =
+  if List.exists (fun x -> x <= 0.0) xs then
+    invalid_arg (name ^ ": non-positive element")
+
+let harmonic_mean xs =
+  check_nonempty "Stats.harmonic_mean" xs;
+  check_positive "Stats.harmonic_mean" xs;
+  let n = float_of_int (List.length xs) in
+  let denom = List.fold_left (fun acc x -> acc +. (1.0 /. x)) 0.0 xs in
+  n /. denom
+
+let arithmetic_mean xs =
+  check_nonempty "Stats.arithmetic_mean" xs;
+  let n = float_of_int (List.length xs) in
+  List.fold_left ( +. ) 0.0 xs /. n
+
+let geometric_mean xs =
+  check_nonempty "Stats.geometric_mean" xs;
+  check_positive "Stats.geometric_mean" xs;
+  let n = float_of_int (List.length xs) in
+  let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+  exp (log_sum /. n)
+
+let min_list xs =
+  check_nonempty "Stats.min_list" xs;
+  List.fold_left min infinity xs
+
+let max_list xs =
+  check_nonempty "Stats.max_list" xs;
+  List.fold_left max neg_infinity xs
+
+let round2 x = Float.round (x *. 100.0) /. 100.0
+
+let pct_of x ~limit = 100.0 *. x /. limit

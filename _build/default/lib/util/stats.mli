@@ -1,0 +1,30 @@
+(** Small statistics helpers used throughout the study.
+
+    The paper reports per-class issue rates as the harmonic mean of the
+    individual loop issue rates (Worlton, "Understanding Supercomputer
+    Benchmarks"). *)
+
+val harmonic_mean : float list -> float
+(** [harmonic_mean xs] is [n /. sum (1/x)]. All elements must be strictly
+    positive. @raise Invalid_argument on an empty list or a non-positive
+    element. *)
+
+val arithmetic_mean : float list -> float
+(** Plain average. @raise Invalid_argument on an empty list. *)
+
+val geometric_mean : float list -> float
+(** nth root of the product. All elements must be strictly positive.
+    @raise Invalid_argument on an empty list or a non-positive element. *)
+
+val min_list : float list -> float
+(** Smallest element. @raise Invalid_argument on an empty list. *)
+
+val max_list : float list -> float
+(** Largest element. @raise Invalid_argument on an empty list. *)
+
+val round2 : float -> float
+(** Round to two decimal places, the precision the paper's tables use. *)
+
+val pct_of : float -> limit:float -> float
+(** [pct_of x ~limit] is [100 * x / limit]: achieved fraction of a
+    theoretical maximum, as used in the paper's conclusions. *)

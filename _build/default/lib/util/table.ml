@@ -1,0 +1,97 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~columns () =
+  {
+    title;
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.headers :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter note_row all_cell_rows;
+  let buf = Buffer.create 1024 in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n');
+  let render_cells cells =
+    let parts =
+      List.mapi
+        (fun i c ->
+          let align = List.nth t.aligns i in
+          pad align widths.(i) c)
+        cells
+    in
+    Buffer.add_string buf (String.concat "  " parts);
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  let rule () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  render_cells t.headers;
+  rule ();
+  List.iter
+    (function Cells c -> render_cells c | Separator -> rule ())
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f2 x = Printf.sprintf "%.2f" x
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iter
+    (function Cells c -> emit c | Separator -> ())
+    (List.rev t.rows);
+  Buffer.contents buf

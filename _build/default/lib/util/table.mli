@@ -1,0 +1,33 @@
+(** Plain-text table rendering for the experiment reports.
+
+    Renders tables in the style of the paper: a header row, a separator, and
+    left-aligned first column with right-aligned numeric columns. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** [create ~title ~columns ()] starts a table whose columns have the given
+    headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append one row. @raise Invalid_argument if the row width does not match
+    the number of columns. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render the table, including its title when present. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a blank line. *)
+
+val to_csv : t -> string
+(** CSV rendering: a header row then one line per data row; separators are
+    dropped and cells containing commas or quotes are quoted. *)
+
+val cell_f2 : float -> string
+(** Format a float with two decimals, the paper's table precision. *)

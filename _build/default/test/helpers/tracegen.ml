@@ -1,0 +1,29 @@
+module Reg = Mfu_isa.Reg
+module Fu = Mfu_isa.Fu
+module Trace = Mfu_exec.Trace
+
+let entry ?dest ?(srcs = []) ?(parcels = 1) ?(kind = Trace.Plain)
+    ?(static_index = 0) ?(vl = 1) fu =
+  { Trace.static_index; fu; dest; srcs; parcels; kind; vl }
+
+let fadd ~d ~a ~b =
+  entry ~dest:(Reg.S d) ~srcs:[ Reg.S a; Reg.S b ] Fu.Float_add
+
+let fmul ~d ~a ~b =
+  entry ~dest:(Reg.S d) ~srcs:[ Reg.S a; Reg.S b ] Fu.Float_multiply
+
+let load ~d ~addr =
+  entry ~dest:(Reg.S d) ~srcs:[ Reg.A 1 ] ~parcels:2 ~kind:(Trace.Load addr)
+    Fu.Memory
+
+let store ~v ~addr =
+  entry ~srcs:[ Reg.S v; Reg.A 1 ] ~parcels:2 ~kind:(Trace.Store addr) Fu.Memory
+
+let branch ~taken =
+  entry ~srcs:[ Reg.a0 ] ~parcels:2
+    ~kind:(if taken then Trace.Taken_branch else Trace.Untaken_branch)
+    Fu.Branch
+
+let imm ~d = entry ~dest:(Reg.S d) Fu.Transfer
+
+let of_list = Array.of_list

@@ -1,0 +1,32 @@
+(** Hand-built dynamic traces for simulator unit tests. *)
+
+val entry :
+  ?dest:Mfu_isa.Reg.t ->
+  ?srcs:Mfu_isa.Reg.t list ->
+  ?parcels:int ->
+  ?kind:Mfu_exec.Trace.kind ->
+  ?static_index:int ->
+  ?vl:int ->
+  Mfu_isa.Fu.kind ->
+  Mfu_exec.Trace.entry
+(** A trace entry with explicit fields; everything defaults to an
+    operand-free single-parcel plain instruction. *)
+
+val fadd : d:int -> a:int -> b:int -> Mfu_exec.Trace.entry
+(** Floating add [S_d <- S_a + S_b]. *)
+
+val fmul : d:int -> a:int -> b:int -> Mfu_exec.Trace.entry
+
+val load : d:int -> addr:int -> Mfu_exec.Trace.entry
+(** Memory load into [S_d] from [addr] (base register elided). *)
+
+val store : v:int -> addr:int -> Mfu_exec.Trace.entry
+(** Memory store of [S_v] to [addr]. *)
+
+val branch : taken:bool -> Mfu_exec.Trace.entry
+(** Conditional branch reading A0. *)
+
+val imm : d:int -> Mfu_exec.Trace.entry
+(** One-cycle transfer writing [S_d] with no sources. *)
+
+val of_list : Mfu_exec.Trace.entry list -> Mfu_exec.Trace.t

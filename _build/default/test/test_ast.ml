@@ -1,0 +1,120 @@
+open Mfu_kern.Ast
+
+let decls = { float_arrays = [ ("x", 10); ("y", 10) ]; int_arrays = [ ("ix", 10) ] }
+
+let mk body = { name = "t"; decls; body }
+
+let ok k = match validate k with Ok () -> true | Error _ -> false
+
+let test_validate_good () =
+  Alcotest.(check bool) "simple assign" true
+    (ok (mk [ Fassign ("x", Some (Int 1), Const 1.0) ]));
+  Alcotest.(check bool) "int array" true
+    (ok (mk [ Iassign ("ix", Some (Int 1), Int 3) ]));
+  Alcotest.(check bool) "loop" true
+    (ok
+       (mk
+          [
+            For
+              {
+                var = "k";
+                lo = Int 1;
+                hi = Int 10;
+                step = 2;
+                body = [ Fassign ("x", Some (Ivar "k"), Elem ("y", Ivar "k")) ];
+              };
+          ]))
+
+let test_validate_bad () =
+  Alcotest.(check bool) "undeclared float array" false
+    (ok (mk [ Fassign ("z", Some (Int 1), Const 1.0) ]));
+  Alcotest.(check bool) "undeclared int array" false
+    (ok (mk [ Iassign ("jx", Some (Int 1), Int 1) ]));
+  Alcotest.(check bool) "reading undeclared array" false
+    (ok (mk [ Fassign ("x", Some (Int 1), Elem ("nope", Int 1)) ]));
+  Alcotest.(check bool) "Iload of float array" false
+    (ok (mk [ Iassign ("i", None, Iload ("x", Int 1)) ]));
+  Alcotest.(check bool) "non-positive step" false
+    (ok (mk [ For { var = "k"; lo = Int 1; hi = Int 2; step = 0; body = [] } ]));
+  Alcotest.(check bool) "Idiv by zero" false
+    (ok (mk [ Iassign ("i", None, Idiv (Int 4, 0)) ]));
+  Alcotest.(check bool) "scalar assign shadowing array name" false
+    (ok (mk [ Fassign ("x", None, Const 1.0) ]))
+
+let test_duplicate_arrays () =
+  let k =
+    {
+      name = "dup";
+      decls = { float_arrays = [ ("x", 1); ("x", 2) ]; int_arrays = [] };
+      body = [];
+    }
+  in
+  Alcotest.(check bool) "duplicate rejected" false (ok k)
+
+let test_name_collection () =
+  let k =
+    mk
+      [
+        Fassign ("q", None, Add (Fvar "r", Const 1.0));
+        For
+          {
+            var = "k";
+            lo = Int 1;
+            hi = Ivar "n";
+            step = 1;
+            body =
+              [
+                Iassign ("m", None, Itrunc (Fvar "w"));
+                Fassign ("x", Some (Ivar "k"), Of_int (Ivar "m"));
+              ];
+          };
+      ]
+  in
+  Alcotest.(check (list string)) "float scalars" [ "q"; "r"; "w" ]
+    (float_scalar_names k);
+  Alcotest.(check (list string)) "int scalars (incl. loop var)"
+    [ "k"; "m"; "n" ] (int_scalar_names k)
+
+let test_no_inputs () =
+  Alcotest.(check bool) "empty" true
+    (no_inputs.float_data = [] && no_inputs.int_data = []
+    && no_inputs.float_scalars = [] && no_inputs.int_scalars = [])
+
+let test_pp () =
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  pp_kernel fmt
+    (mk
+       [
+         For
+           {
+             var = "k";
+             lo = Int 1;
+             hi = Int 3;
+             step = 1;
+             body = [ Fassign ("x", Some (Ivar "k"), Div (Const 1.0, Fvar "r")) ];
+           };
+       ]);
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "loop header printed" true (contains "do k = 1, 3, 1" text);
+  Alcotest.(check bool) "division printed" true (contains "(1 / r)" text)
+
+let () =
+  Alcotest.run "ast"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "validate accepts" `Quick test_validate_good;
+          Alcotest.test_case "validate rejects" `Quick test_validate_bad;
+          Alcotest.test_case "duplicate arrays" `Quick test_duplicate_arrays;
+          Alcotest.test_case "name collection" `Quick test_name_collection;
+          Alcotest.test_case "no_inputs" `Quick test_no_inputs;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+    ]

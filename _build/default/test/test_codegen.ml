@@ -1,0 +1,254 @@
+open Mfu_kern.Ast
+module Codegen = Mfu_kern.Codegen
+module Layout = Mfu_kern.Layout
+module Program = Mfu_asm.Program
+module Instr = Mfu_isa.Instr
+
+let decls = { float_arrays = [ ("x", 16); ("y", 16) ]; int_arrays = [ ("ix", 16) ] }
+let mk body = { name = "t"; decls; body }
+
+let check_ok kernel inputs =
+  match Codegen.check_against_interpreter (Codegen.compile kernel) inputs with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_assign () = check_ok (mk [ Fassign ("x", Some (Int 1), Const 2.0) ]) no_inputs
+
+let test_expression_shapes () =
+  let e =
+    Add
+      ( Mul (Fvar "a", Elem ("y", Int 1)),
+        Div (Sub (Const 1.0, Fvar "b"), Add (Fvar "a", Const 2.0)) )
+  in
+  check_ok
+    (mk [ Fassign ("x", Some (Int 2), e) ])
+    {
+      no_inputs with
+      float_data = [ ("y", [| 3.0 |]) ];
+      float_scalars = [ ("a", 0.5); ("b", 0.25) ];
+    }
+
+let test_deep_expression_compiles () =
+  (* A right-leaning chain much deeper than the register files: the
+     Sethi-Ullman ordering must keep it within 8 S registers. *)
+  let rec chain n = if n = 0 then Fvar "a" else Add (Fvar "a", Mul (Fvar "b", chain (n - 1))) in
+  check_ok
+    (mk [ Fassign ("x", Some (Int 1), chain 30) ])
+    { no_inputs with float_scalars = [ ("a", 0.5); ("b", 0.5) ] }
+
+let test_loop_and_branches () =
+  check_ok
+    (mk
+       [
+         For
+           {
+             var = "k";
+             lo = Int 1;
+             hi = Int 10;
+             step = 1;
+             body =
+               [
+                 If
+                   ( Icmp (Gt, Ivar "k", Int 5),
+                     [ Fassign ("x", Some (Ivar "k"), Const 1.0) ],
+                     [ Fassign ("x", Some (Ivar "k"), Const 2.0) ] );
+               ];
+           };
+       ])
+    no_inputs
+
+let test_while_loop () =
+  check_ok
+    (mk
+       [
+         Iassign ("i", None, Int 8);
+         While
+           ( Icmp (Gt, Ivar "i", Int 1),
+             [
+               Fassign ("x", Some (Ivar "i"), Of_int (Ivar "i"));
+               Iassign ("i", None, Idiv (Ivar "i", 2));
+             ] );
+       ])
+    no_inputs
+
+let test_int_array_ops () =
+  check_ok
+    (mk
+       [
+         For
+           {
+             var = "k";
+             lo = Int 1;
+             hi = Int 8;
+             step = 1;
+             body =
+               [
+                 Iassign ("ix", Some (Ivar "k"), Iand (Imul (Ivar "k", Int 3), Int 7));
+                 Fassign
+                   ("y", Some (Ivar "k"), Of_int (Iload ("ix", Ivar "k")));
+               ];
+           };
+       ])
+    no_inputs
+
+let test_itrunc_roundtrip () =
+  check_ok
+    (mk
+       [
+         Fassign ("x", Some (Int 1), Const 7.75);
+         Iassign ("m", None, Itrunc (Elem ("x", Int 1)));
+         Fassign ("y", Some (Int 1), Of_int (Ivar "m"));
+       ])
+    no_inputs
+
+let test_scalar_homes_written_back () =
+  (* Scalars live in B/T registers during execution; the epilogue must
+     store them back so the final memory matches the interpreter. *)
+  let kernel = mk [ Iassign ("n", None, Int 42); Fassign ("q", None, Const 2.5) ] in
+  let compiled = Codegen.compile kernel in
+  let r = Codegen.run compiled no_inputs in
+  let layout = compiled.Codegen.layout in
+  Alcotest.(check int) "int scalar home" 42
+    (Mfu_exec.Memory.get_int r.Mfu_exec.Cpu.memory
+       (Layout.int_scalar_addr layout "n"));
+  Alcotest.(check (float 0.0)) "float scalar home" 2.5
+    (Mfu_exec.Memory.get_float r.Mfu_exec.Cpu.memory
+       (Layout.float_scalar_addr layout "q"))
+
+let test_division_expands_to_reciprocal () =
+  let compiled =
+    Codegen.compile (mk [ Fassign ("q", None, Div (Fvar "a", Fvar "b")) ])
+  in
+  let instrs = Program.instrs compiled.Codegen.program in
+  let has_recip =
+    Array.exists (function Instr.S_recip _ -> true | _ -> false) instrs
+  in
+  Alcotest.(check bool) "reciprocal emitted" true has_recip
+
+let test_branch_condition_on_a0 () =
+  let compiled =
+    Codegen.compile
+      (mk
+         [
+           While
+             (Icmp (Gt, Ivar "i", Int 0),
+              [ Iassign ("i", None, Isub (Ivar "i", Int 1)) ]);
+         ])
+  in
+  let instrs = Program.instrs compiled.Codegen.program in
+  let writes_a0 =
+    Array.exists
+      (function
+        | Instr.A_sub (d, _, _) -> Mfu_isa.Reg.equal d Mfu_isa.Reg.a0
+        | _ -> false)
+      instrs
+  in
+  Alcotest.(check bool) "condition computed into A0" true writes_a0
+
+(* -- random kernel property ------------------------------------------------- *)
+
+(* Straight-line random kernels over small fixed arrays: every compiled
+   kernel must agree with the golden interpreter. *)
+let gen_kernel =
+  let open QCheck.Gen in
+  let idx = map (fun k -> Int k) (int_range 1 16) in
+  let rec fexpr n =
+    if n = 0 then
+      oneof
+        [
+          map (fun x -> Const x) (float_range (-4.0) 4.0);
+          return (Fvar "a");
+          return (Fvar "b");
+          map (fun i -> Elem ("y", i)) idx;
+        ]
+    else
+      let sub = fexpr (n - 1) in
+      oneof
+        [
+          map2 (fun a b -> Add (a, b)) sub sub;
+          map2 (fun a b -> Sub (a, b)) sub sub;
+          map2 (fun a b -> Mul (a, b)) sub sub;
+          map (fun a -> Neg a) sub;
+          sub;
+        ]
+  in
+  let stmt =
+    oneof
+      [
+        map2 (fun i e -> Fassign ("x", Some i, e)) idx (fexpr 3);
+        map (fun e -> Fassign ("q", None, e)) (fexpr 3);
+      ]
+  in
+  let body = list_size (int_range 1 8) stmt in
+  map mk body
+
+let arb_kernel =
+  QCheck.make
+    ~print:(fun k -> Format.asprintf "%a" Mfu_kern.Ast.pp_kernel k)
+    gen_kernel
+
+let inputs_for_prop =
+  {
+    float_data = [ ("y", Array.init 16 (fun i -> 0.25 *. float_of_int (i + 1))) ];
+    int_data = [];
+    float_scalars = [ ("a", 1.5); ("b", -0.5) ];
+    int_scalars = [];
+  }
+
+let restrict_inputs kernel =
+  let used = Mfu_kern.Ast.float_scalar_names kernel in
+  {
+    inputs_for_prop with
+    float_scalars =
+      List.filter (fun (n, _) -> List.mem n used) inputs_for_prop.float_scalars;
+  }
+
+let prop_compiled_matches_interpreter =
+  QCheck.Test.make ~name:"compiled kernels match the interpreter" ~count:200
+    arb_kernel (fun kernel ->
+      match
+        Codegen.check_against_interpreter (Codegen.compile kernel)
+          (restrict_inputs kernel)
+      with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_programs_end_with_halt =
+  QCheck.Test.make ~name:"generated programs end with Halt" ~count:100
+    arb_kernel (fun kernel ->
+      let p = (Codegen.compile kernel).Codegen.program in
+      Program.instr p (Program.length p - 1) = Instr.Halt)
+
+let prop_all_instructions_valid =
+  QCheck.Test.make ~name:"every emitted instruction validates" ~count:100
+    arb_kernel (fun kernel ->
+      let p = (Codegen.compile kernel).Codegen.program in
+      Array.for_all
+        (fun i -> match Instr.validate i with Ok () -> true | Error _ -> false)
+        (Program.instrs p))
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "assign" `Quick test_assign;
+          Alcotest.test_case "expression shapes" `Quick test_expression_shapes;
+          Alcotest.test_case "deep expression" `Quick test_deep_expression_compiles;
+          Alcotest.test_case "loops and branches" `Quick test_loop_and_branches;
+          Alcotest.test_case "while" `Quick test_while_loop;
+          Alcotest.test_case "int arrays" `Quick test_int_array_ops;
+          Alcotest.test_case "itrunc" `Quick test_itrunc_roundtrip;
+          Alcotest.test_case "scalar homes" `Quick test_scalar_homes_written_back;
+          Alcotest.test_case "division via reciprocal" `Quick
+            test_division_expands_to_reciprocal;
+          Alcotest.test_case "A0 conditions" `Quick test_branch_condition_on_a0;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compiled_matches_interpreter;
+            prop_programs_end_with_halt;
+            prop_all_instructions_valid;
+          ] );
+    ]

@@ -1,0 +1,277 @@
+module Instr = Mfu_isa.Instr
+module Reg = Mfu_isa.Reg
+module Program = Mfu_asm.Program
+module Builder = Mfu_asm.Builder
+module Memory = Mfu_exec.Memory
+module Cpu = Mfu_exec.Cpu
+module Trace = Mfu_exec.Trace
+
+let a i = Reg.A i
+let s i = Reg.S i
+
+let run ?(size = 32) instrs labels =
+  let program = Program.make_exn ~instrs:(Array.of_list instrs) ~labels in
+  Cpu.run ~program ~memory:(Memory.create ~size) ()
+
+let test_integer_arithmetic () =
+  let r =
+    run
+      [
+        Instr.A_imm (a 1, 10);
+        Instr.A_imm (a 2, 3);
+        Instr.A_add (a 3, a 1, a 2);
+        Instr.A_sub (a 4, a 1, a 2);
+        Instr.A_mul (a 5, a 1, a 2);
+        Instr.A_and (a 6, a 1, a 2);
+        Instr.A_store (a 3, a 2, 0); (* mem[3] = 13 *)
+        Instr.A_store (a 4, a 2, 1); (* mem[4] = 7 *)
+        Instr.A_store (a 5, a 2, 2); (* mem[5] = 30 *)
+        Instr.A_store (a 6, a 2, 3); (* mem[6] = 10 & 3 = 2 *)
+        Instr.Halt;
+      ]
+      []
+  in
+  Alcotest.(check int) "add" 13 (Memory.get_int r.Cpu.memory 3);
+  Alcotest.(check int) "sub" 7 (Memory.get_int r.Cpu.memory 4);
+  Alcotest.(check int) "mul" 30 (Memory.get_int r.Cpu.memory 5);
+  Alcotest.(check int) "and" 2 (Memory.get_int r.Cpu.memory 6);
+  Alcotest.(check int) "10 instructions traced" 10 r.Cpu.instructions
+
+let test_float_arithmetic () =
+  let r =
+    run
+      [
+        Instr.S_imm (s 1, 1.5);
+        Instr.S_imm (s 2, 2.0);
+        Instr.A_imm (a 1, 0);
+        Instr.S_fadd (s 3, s 1, s 2);
+        Instr.S_fsub (s 4, s 1, s 2);
+        Instr.S_fmul (s 5, s 1, s 2);
+        Instr.S_recip (s 6, s 2);
+        Instr.S_store (s 3, a 1, 0);
+        Instr.S_store (s 4, a 1, 1);
+        Instr.S_store (s 5, a 1, 2);
+        Instr.S_store (s 6, a 1, 3);
+        Instr.Halt;
+      ]
+      []
+  in
+  let g i = Memory.get_float r.Cpu.memory i in
+  Alcotest.(check (float 1e-12)) "fadd" 3.5 (g 0);
+  Alcotest.(check (float 1e-12)) "fsub" (-0.5) (g 1);
+  Alcotest.(check (float 1e-12)) "fmul" 3.0 (g 2);
+  Alcotest.(check (float 1e-12)) "recip" 0.5 (g 3)
+
+let test_loads () =
+  let program =
+    Program.make_exn
+      ~instrs:
+        [|
+          Instr.A_imm (a 1, 4);
+          Instr.S_load (s 1, a 1, 1);  (* mem[5] *)
+          Instr.A_load (a 2, a 1, 2);  (* mem[6] *)
+          Instr.A_imm (a 3, 0);
+          Instr.S_store (s 1, a 3, 0);
+          Instr.A_store (a 2, a 3, 1);
+          Instr.Halt;
+        |]
+      ~labels:[]
+  in
+  let memory = Memory.create ~size:8 in
+  Memory.set_float memory 5 9.25;
+  Memory.set_int memory 6 17;
+  let r = Cpu.run ~program ~memory () in
+  Alcotest.(check (float 0.0)) "S load" 9.25 (Memory.get_float r.Cpu.memory 0);
+  Alcotest.(check int) "A load" 17 (Memory.get_int r.Cpu.memory 1);
+  (* effective addresses recorded in the trace *)
+  (match r.Cpu.trace.(1).Trace.kind with
+  | Trace.Load addr -> Alcotest.(check int) "load address" 5 addr
+  | _ -> Alcotest.fail "expected a load");
+  match r.Cpu.trace.(4).Trace.kind with
+  | Trace.Store addr -> Alcotest.(check int) "store address" 0 addr
+  | _ -> Alcotest.fail "expected a store"
+
+let test_transfers_and_conversions () =
+  let r =
+    run
+      [
+        Instr.A_imm (a 1, 5);
+        Instr.A_to_s (s 1, a 1);      (* 5.0 *)
+        Instr.S_imm (s 2, 2.75);
+        Instr.S_to_a (a 2, s 2);      (* 2 *)
+        Instr.S_to_t (Reg.T 9, s 1);
+        Instr.T_to_s (s 3, Reg.T 9);
+        Instr.A_to_b (Reg.B 8, a 1);
+        Instr.B_to_a (a 3, Reg.B 8);
+        Instr.A_imm (a 4, 0);
+        Instr.S_store (s 3, a 4, 0);
+        Instr.A_store (a 2, a 4, 1);
+        Instr.A_store (a 3, a 4, 2);
+        Instr.Halt;
+      ]
+      []
+  in
+  Alcotest.(check (float 0.0)) "A->S then T roundtrip" 5.0
+    (Memory.get_float r.Cpu.memory 0);
+  Alcotest.(check int) "S->A truncates" 2 (Memory.get_int r.Cpu.memory 1);
+  Alcotest.(check int) "B roundtrip" 5 (Memory.get_int r.Cpu.memory 2)
+
+let test_branch_taken_untaken () =
+  (* A0 = 0: branch-on-zero taken, skips the store of 111; then a
+     non-taken branch falls through. *)
+  let r =
+    run
+      [
+        Instr.A_imm (Reg.a0, 0);
+        Instr.Branch (Instr.Zero, "skip");
+        Instr.A_imm (a 1, 111);
+        Instr.Halt;
+        (* skip: *)
+        Instr.A_imm (a 2, 0);
+        Instr.Branch (Instr.Nonzero, "skip"); (* A0 = 0: not taken *)
+        Instr.A_imm (a 3, 5);
+        Instr.A_store (a 3, a 2, 0);
+        Instr.Halt;
+      ]
+      [ ("skip", 4) ]
+  in
+  Alcotest.(check int) "fell through to store" 5 (Memory.get_int r.Cpu.memory 0);
+  (match r.Cpu.trace.(1).Trace.kind with
+  | Trace.Taken_branch -> ()
+  | _ -> Alcotest.fail "expected taken branch");
+  match r.Cpu.trace.(3).Trace.kind with
+  | Trace.Untaken_branch -> ()
+  | _ -> Alcotest.fail "expected untaken branch"
+
+let test_branch_conditions () =
+  let outcome cond v =
+    let r =
+      run
+        [
+          Instr.A_imm (Reg.a0, v);
+          Instr.Branch (cond, "yes");
+          Instr.Halt;
+          (* yes: *)
+          Instr.Halt;
+        ]
+        [ ("yes", 3) ]
+    in
+    match r.Cpu.trace.(1).Trace.kind with
+    | Trace.Taken_branch -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "zero taken on 0" true (outcome Instr.Zero 0);
+  Alcotest.(check bool) "zero not taken on 1" false (outcome Instr.Zero 1);
+  Alcotest.(check bool) "nonzero" true (outcome Instr.Nonzero (-3));
+  Alcotest.(check bool) "plus on 0" true (outcome Instr.Plus 0);
+  Alcotest.(check bool) "plus on -1" false (outcome Instr.Plus (-1));
+  Alcotest.(check bool) "minus on -1" true (outcome Instr.Minus (-1));
+  Alcotest.(check bool) "minus on 0" false (outcome Instr.Minus 0)
+
+let test_loop_execution () =
+  (* sum 1..5 into mem[0] using a counted loop *)
+  let r =
+    run
+      [
+        Instr.A_imm (a 1, 0);  (* sum *)
+        Instr.A_imm (a 2, 5);  (* k *)
+        Instr.A_imm (a 3, 1);
+        (* top: *)
+        Instr.A_add (a 1, a 1, a 2);
+        Instr.A_sub (a 2, a 2, a 3);
+        Instr.A_mov (Reg.a0, a 2);
+        Instr.Branch (Instr.Nonzero, "top");
+        Instr.A_imm (a 4, 0);
+        Instr.A_store (a 1, a 4, 0);
+        Instr.Halt;
+      ]
+      [ ("top", 3) ]
+  in
+  Alcotest.(check int) "sum" 15 (Memory.get_int r.Cpu.memory 0)
+
+let test_budget () =
+  let program =
+    Program.make_exn
+      ~instrs:[| Instr.Jump "self"; Instr.Halt |]
+      ~labels:[ ("self", 0) ]
+  in
+  match
+    Cpu.run ~max_instructions:100 ~program ~memory:(Memory.create ~size:1) ()
+  with
+  | exception Cpu.Step_budget_exceeded 100 -> ()
+  | _ -> Alcotest.fail "expected budget exhaustion"
+
+let test_bit_ops () =
+  let r =
+    run
+      [
+        Instr.S_imm (s 1, 1.0);
+        Instr.S_imm (s 2, 1.0);
+        Instr.S_xor (s 3, s 1, s 2); (* identical bit patterns -> 0.0 *)
+        Instr.S_and (s 4, s 1, s 2); (* unchanged *)
+        Instr.S_or (s 5, s 1, s 2);
+        Instr.A_imm (a 1, 0);
+        Instr.S_store (s 3, a 1, 0);
+        Instr.S_store (s 4, a 1, 1);
+        Instr.S_store (s 5, a 1, 2);
+        Instr.Halt;
+      ]
+      []
+  in
+  Alcotest.(check (float 0.0)) "xor self" 0.0 (Memory.get_float r.Cpu.memory 0);
+  Alcotest.(check (float 0.0)) "and self" 1.0 (Memory.get_float r.Cpu.memory 1);
+  Alcotest.(check (float 0.0)) "or self" 1.0 (Memory.get_float r.Cpu.memory 2)
+
+let test_trace_metadata () =
+  let r =
+    run
+      [ Instr.S_imm (s 1, 1.0); Instr.S_fadd (s 2, s 1, s 1); Instr.Halt ]
+      []
+  in
+  Alcotest.(check int) "halt not traced" 2 (Array.length r.Cpu.trace);
+  let e = r.Cpu.trace.(1) in
+  Alcotest.(check int) "static index" 1 e.Trace.static_index;
+  Alcotest.(check bool) "produces result" true (Trace.produces_result e);
+  Alcotest.(check int) "parcels" 1 e.Trace.parcels
+
+let test_trace_stats () =
+  let r =
+    run
+      [
+        Instr.A_imm (a 1, 0);
+        Instr.S_load (s 1, a 1, 1);
+        Instr.S_store (s 1, a 1, 2);
+        Instr.A_imm (Reg.a0, 0);
+        Instr.Branch (Instr.Zero, "end");
+        Instr.Halt;
+        (* end: *)
+        Instr.Halt;
+      ]
+      [ ("end", 6) ]
+  in
+  let st = Trace.stats r.Cpu.trace in
+  Alcotest.(check int) "instructions" 5 st.Trace.instructions;
+  Alcotest.(check int) "loads" 1 st.Trace.loads;
+  Alcotest.(check int) "stores" 1 st.Trace.stores;
+  Alcotest.(check int) "branches" 1 st.Trace.branches;
+  Alcotest.(check int) "taken" 1 st.Trace.taken_branches
+
+let () =
+  Alcotest.run "cpu"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "integer arithmetic" `Quick test_integer_arithmetic;
+          Alcotest.test_case "float arithmetic" `Quick test_float_arithmetic;
+          Alcotest.test_case "loads" `Quick test_loads;
+          Alcotest.test_case "transfers/conversions" `Quick
+            test_transfers_and_conversions;
+          Alcotest.test_case "branches" `Quick test_branch_taken_untaken;
+          Alcotest.test_case "branch conditions" `Quick test_branch_conditions;
+          Alcotest.test_case "loop" `Quick test_loop_execution;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "bit operations" `Quick test_bit_ops;
+          Alcotest.test_case "trace metadata" `Quick test_trace_metadata;
+          Alcotest.test_case "trace stats" `Quick test_trace_stats;
+        ] );
+    ]

@@ -1,0 +1,46 @@
+module Data = Mfu_loops.Data
+
+let test_determinism () =
+  let a = Data.floats ~seed:1 ~name:"x" ~n:100 ~lo:0.0 ~hi:1.0 in
+  let b = Data.floats ~seed:1 ~name:"x" ~n:100 ~lo:0.0 ~hi:1.0 in
+  Alcotest.(check (array (float 0.0))) "same data" a b
+
+let test_name_sensitivity () =
+  let a = Data.floats ~seed:1 ~name:"x" ~n:10 ~lo:0.0 ~hi:1.0 in
+  let b = Data.floats ~seed:1 ~name:"y" ~n:10 ~lo:0.0 ~hi:1.0 in
+  Alcotest.(check bool) "different arrays" true (a <> b)
+
+let test_seed_sensitivity () =
+  let a = Data.floats ~seed:1 ~name:"x" ~n:10 ~lo:0.0 ~hi:1.0 in
+  let b = Data.floats ~seed:2 ~name:"x" ~n:10 ~lo:0.0 ~hi:1.0 in
+  Alcotest.(check bool) "different arrays" true (a <> b)
+
+let test_ranges () =
+  let a = Data.floats ~seed:3 ~name:"z" ~n:1000 ~lo:0.5 ~hi:1.5 in
+  Alcotest.(check bool) "floats in range" true
+    (Array.for_all (fun x -> x >= 0.5 && x < 1.5) a);
+  let i = Data.ints ~seed:3 ~name:"e" ~n:1000 ~bound:4 in
+  Alcotest.(check bool) "ints in range" true
+    (Array.for_all (fun k -> k >= 0 && k < 4) i);
+  let p = Data.positions ~seed:3 ~name:"p" ~n:1000 ~limit:64.0 in
+  Alcotest.(check bool) "positions in [1,64)" true
+    (Array.for_all (fun x -> x >= 1.0 && x < 64.0) p)
+
+let test_lengths () =
+  Alcotest.(check int) "n floats" 17
+    (Array.length (Data.floats ~seed:1 ~name:"a" ~n:17 ~lo:0.0 ~hi:1.0));
+  Alcotest.(check int) "n ints" 9
+    (Array.length (Data.ints ~seed:1 ~name:"a" ~n:9 ~bound:5))
+
+let () =
+  Alcotest.run "data"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "name sensitivity" `Quick test_name_sensitivity;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "ranges" `Quick test_ranges;
+          Alcotest.test_case "lengths" `Quick test_lengths;
+        ] );
+    ]

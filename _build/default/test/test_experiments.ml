@@ -1,0 +1,249 @@
+module E = Mfu.Experiments
+module R = Mfu.Reporting
+module P = Mfu.Paper_data
+module Livermore = Mfu_loops.Livermore
+module Config = Mfu_isa.Config
+module Si = Mfu_sim.Single_issue
+module Sim_types = Mfu_sim.Sim_types
+
+let table1 = lazy (E.table1 ())
+
+let test_table1_shape () =
+  let tables = Lazy.force table1 in
+  Alcotest.(check int) "two classes" 2 (List.length tables);
+  List.iter
+    (fun (t : E.single_issue_table) ->
+      Alcotest.(check int) "four organizations" 4 (List.length t.E.si_rows);
+      List.iter
+        (fun (_, rates) ->
+          Alcotest.(check int) "four variants" 4 (Array.length rates);
+          Array.iter
+            (fun r ->
+              Alcotest.(check bool) "rate in (0,1]" true (r > 0.0 && r <= 1.0))
+            rates)
+        t.E.si_rows)
+    tables
+
+let test_table1_matches_paper_shape () =
+  let c =
+    R.compare_cells
+      ~paper:(P.flatten_table1 P.table1)
+      ~measured:(R.flatten_measured_table1 (Lazy.force table1))
+  in
+  Alcotest.(check int) "all 32 cells join" 32 c.R.cells;
+  Alcotest.(check bool)
+    (Printf.sprintf "pearson %.3f > 0.7" c.R.pearson)
+    true (c.R.pearson > 0.7);
+  Alcotest.(check bool)
+    (Printf.sprintf "rank agreement %.2f > 0.75" c.R.rank_agreement)
+    true (c.R.rank_agreement > 0.75);
+  Alcotest.(check bool)
+    (Printf.sprintf "level x%.2f within 30%%" c.R.mean_ratio)
+    true
+    (c.R.mean_ratio > 0.7 && c.R.mean_ratio < 1.3)
+
+let test_table2_relations () =
+  let tables = E.table2 () in
+  List.iter
+    (fun (t : E.limits_table) ->
+      List.iter
+        (fun (r : E.limits_row) ->
+          Alcotest.(check bool) "actual <= pseudo" true
+            (r.E.lim_actual <= r.E.lim_pseudo +. 1e-9);
+          Alcotest.(check bool) "actual <= resource" true
+            (r.E.lim_actual <= r.E.lim_resource +. 1e-9);
+          Alcotest.(check bool) "positive" true (r.E.lim_actual > 0.0))
+        t.E.lim_rows;
+      (* serial rows are bounded by the matching pure rows *)
+      let pure = List.filter (fun r -> r.E.lim_pure) t.E.lim_rows in
+      let serial = List.filter (fun r -> not r.E.lim_pure) t.E.lim_rows in
+      List.iter2
+        (fun (p : E.limits_row) (s : E.limits_row) ->
+          Alcotest.(check bool) "serial <= pure" true
+            (s.E.lim_pseudo <= p.E.lim_pseudo +. 1e-9))
+        pure serial)
+    tables
+
+let test_table2_exceeds_one () =
+  (* the paper's motivating observation: limits allow > 1 instr/cycle *)
+  let tables = E.table2 () in
+  let vector = List.nth tables 1 in
+  let some_pure_above_one =
+    List.exists
+      (fun (r : E.limits_row) -> r.E.lim_pure && r.E.lim_actual > 1.0)
+      vector.E.lim_rows
+  in
+  Alcotest.(check bool) "vectorizable pure limit > 1" true some_pure_above_one
+
+let test_class_rate_is_harmonic () =
+  let loops = Livermore.scalar_loops () in
+  let sim trace = Si.simulate ~config:Config.m11br5 Si.Cray_like trace in
+  let manual =
+    Mfu_util.Stats.harmonic_mean
+      (List.map
+         (fun l -> Sim_types.issue_rate (sim (Livermore.trace l)))
+         loops)
+  in
+  Alcotest.(check (float 1e-9)) "matches manual computation" manual
+    (E.class_rate sim loops)
+
+let test_ablation_xbar_matches_nbus () =
+  (* the paper: X-bar results "essentially the same" as N-bus *)
+  let rows = E.ablation_xbar ~config:Config.m11br5 () in
+  List.iter
+    (fun (r : E.xbar_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s s%d: |%.3f - %.3f| small"
+           (Livermore.classification_to_string r.E.xb_class)
+           r.E.xb_stations r.E.xb_n_bus r.E.xb_x_bar)
+        true
+        (abs_float (r.E.xb_n_bus -. r.E.xb_x_bar) < 0.02))
+    rows
+
+let test_ablation_speculation_positive () =
+  let rows = E.ablation_speculation ~config:Config.m11br5 () in
+  Alcotest.(check int) "2 classes x 4 unit counts" 8 (List.length rows);
+  List.iter
+    (fun (r : E.speculation_row) ->
+      Alcotest.(check bool) "oracle >= blocking" true
+        (r.E.spec_oracle >= r.E.spec_blocking -. 1e-9))
+    rows
+
+let test_ablation_latency () =
+  let rows = E.ablation_latency ~config_name:"M11BR5" () in
+  Alcotest.(check int) "2 classes x 4 orgs" 8 (List.length rows);
+  List.iter
+    (fun (r : E.latency_row) ->
+      (* the accounting difference is worth at most a few percent *)
+      Alcotest.(check bool) "small sensitivity" true
+        (abs_float (r.E.lat_cray_manual -. r.E.lat_paper) < 0.05))
+    rows
+
+let test_unknown_variant_rejected () =
+  match E.ablation_latency ~config_name:"M7BR3" () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unknown-variant error"
+
+let test_section33_ladder () =
+  let rows = E.section33 ~config:Config.m11br5 () in
+  Alcotest.(check int) "two classes" 2 (List.length rows);
+  List.iter
+    (fun (r : E.section33_row) ->
+      Alcotest.(check bool) "scoreboard >= blocking" true
+        (r.E.s33_scoreboard >= r.E.s33_blocking -. 0.005);
+      Alcotest.(check bool) "tomasulo >= scoreboard" true
+        (r.E.s33_tomasulo >= r.E.s33_scoreboard -. 0.005);
+      (* the paper's ratio: dependency resolution lifts single-issue rates
+         by roughly 1.6x on M11BR5 *)
+      Alcotest.(check bool) "substantial improvement" true
+        (r.E.s33_ruu1 /. r.E.s33_blocking > 1.3))
+    rows
+
+let test_scheduling_helps () =
+  let rows = E.ablation_scheduling ~config:Config.m11br5 () in
+  Alcotest.(check int) "2 classes x 4 orgs" 8 (List.length rows);
+  List.iter
+    (fun (r : E.scheduling_row) ->
+      Alcotest.(check bool) "never hurts materially" true
+        (r.E.sch_scheduled >= r.E.sch_naive -. 0.01))
+    rows;
+  (* on the CRAY-like machine scheduling must visibly help vector code *)
+  let cray_vector =
+    List.find
+      (fun (r : E.scheduling_row) ->
+        r.E.sch_class = Livermore.Vectorizable
+        && r.E.sch_org = Si.Cray_like)
+      rows
+  in
+  Alcotest.(check bool) "vector gain > 5%" true
+    (cray_vector.E.sch_scheduled > cray_vector.E.sch_naive *. 1.05)
+
+let test_alignment_rows () =
+  let rows =
+    E.ablation_alignment ~config:Config.m11br5 ~class_:Livermore.Scalar ()
+  in
+  Alcotest.(check int) "8 station counts" 8 (List.length rows);
+  List.iter
+    (fun (r : E.alignment_row) ->
+      Alcotest.(check bool) "both positive" true
+        (r.E.al_dynamic > 0.0 && r.E.al_static > 0.0))
+    rows
+
+let test_conclusions_ladder () =
+  let rows = E.conclusions () in
+  Alcotest.(check int) "seven rungs" 7 (List.length rows);
+  let rec monotone f = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "ladder climbs" true (f b >= f a -. 3.0);
+        monotone f rest
+    | _ -> ()
+  in
+  (* each rung's best case improves (or holds) as the machine grows *)
+  monotone (fun (r : E.conclusion_row) -> snd r.E.con_scalar) rows;
+  monotone (fun (r : E.conclusion_row) -> snd r.E.con_vector) rows;
+  List.iter
+    (fun (r : E.conclusion_row) ->
+      let lo, hi = r.E.con_scalar in
+      Alcotest.(check bool) "percentages sane" true
+        (lo > 0.0 && hi <= 100.0 && lo <= hi +. 1e-9))
+    rows
+
+let test_paper_data_consistency () =
+  Alcotest.(check int) "table1 rows" 8 (List.length P.table1);
+  Alcotest.(check int) "table2 rows" 16 (List.length P.table2);
+  List.iter
+    (fun (machine, cells) ->
+      Alcotest.(check bool) ("machine name " ^ machine) true
+        (List.mem machine P.machines);
+      Alcotest.(check int) "8 station rows" 8 (Array.length cells))
+    P.table3;
+  List.iter
+    (fun (_, rows) ->
+      Alcotest.(check (list int)) "ruu sizes" P.ruu_sizes (List.map fst rows))
+    P.table7
+
+let test_compare_cells_requires_overlap () =
+  match
+    R.compare_cells ~paper:[ ("a", 1.0) ] ~measured:[ ("b", 1.0) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected mismatch error"
+
+let test_comparison_of_identical_data () =
+  let cells = [ ("a", 0.5); ("b", 0.7); ("c", 0.9); ("d", 0.2) ] in
+  let c = R.compare_cells ~paper:cells ~measured:cells in
+  Alcotest.(check (float 1e-9)) "pearson 1" 1.0 c.R.pearson;
+  Alcotest.(check (float 1e-9)) "ratio 1" 1.0 c.R.mean_ratio;
+  Alcotest.(check (float 1e-9)) "rank 1" 1.0 c.R.rank_agreement
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "table1 shape" `Slow test_table1_shape;
+          Alcotest.test_case "table1 vs paper" `Slow test_table1_matches_paper_shape;
+          Alcotest.test_case "table2 relations" `Slow test_table2_relations;
+          Alcotest.test_case "table2 exceeds 1" `Slow test_table2_exceeds_one;
+          Alcotest.test_case "class rate" `Quick test_class_rate_is_harmonic;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "xbar == nbus" `Slow test_ablation_xbar_matches_nbus;
+          Alcotest.test_case "speculation" `Slow test_ablation_speculation_positive;
+          Alcotest.test_case "latency accounting" `Slow test_ablation_latency;
+          Alcotest.test_case "unknown variant" `Quick test_unknown_variant_rejected;
+          Alcotest.test_case "section 3.3" `Slow test_section33_ladder;
+          Alcotest.test_case "scheduling" `Slow test_scheduling_helps;
+          Alcotest.test_case "alignment" `Slow test_alignment_rows;
+          Alcotest.test_case "section 6 ladder" `Slow test_conclusions_ladder;
+        ] );
+      ( "paper data",
+        [
+          Alcotest.test_case "consistency" `Quick test_paper_data_consistency;
+          Alcotest.test_case "comparison overlap" `Quick
+            test_compare_cells_requires_overlap;
+          Alcotest.test_case "identity comparison" `Quick
+            test_comparison_of_identical_data;
+        ] );
+    ]

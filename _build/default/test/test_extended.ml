@@ -1,0 +1,136 @@
+module Extended = Mfu_loops.Extended
+module Livermore = Mfu_loops.Livermore
+module Codegen = Mfu_kern.Codegen
+module Trace = Mfu_exec.Trace
+module Interp = Mfu_kern.Interp
+
+let all = Extended.all ()
+
+let test_six_kernels () =
+  Alcotest.(check (list int)) "numbers" [ 18; 19; 20; 21; 23; 24 ]
+    (List.map (fun (l : Livermore.loop) -> l.Livermore.number) all)
+
+let test_classification () =
+  let numbers c =
+    List.map (fun (l : Livermore.loop) -> l.Livermore.number)
+      (Extended.of_class c)
+  in
+  Alcotest.(check (list int)) "vectorizable" [ 18; 21 ]
+    (numbers Livermore.Vectorizable);
+  Alcotest.(check (list int)) "scalar" [ 19; 20; 23; 24 ]
+    (numbers Livermore.Scalar)
+
+(* correctness oracle, as for the original 14 *)
+let test_golden_model_agreement () =
+  List.iter
+    (fun (l : Livermore.loop) ->
+      match
+        Codegen.check_against_interpreter (Livermore.compiled l)
+          l.Livermore.inputs
+      with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    all
+
+let test_traces_nontrivial () =
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let stats = Trace.stats (Livermore.trace l) in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d >400 instructions" l.Livermore.number)
+        true
+        (stats.Trace.instructions > 400))
+    all
+
+let test_loop20_exercises_float_branches () =
+  (* kernel 20's MIN/MAX conditionals must produce untaken branches and a
+     reciprocal per element *)
+  let l = Extended.loop20 () in
+  let stats = Trace.stats (Livermore.trace l) in
+  Alcotest.(check bool) "has untaken branches" true
+    (stats.Trace.branches > stats.Trace.taken_branches);
+  Alcotest.(check bool) "uses the reciprocal unit" true
+    (List.exists
+       (fun (fu, _) -> Mfu_isa.Fu.equal fu Mfu_isa.Fu.Reciprocal)
+       stats.Trace.per_fu)
+
+let test_loop24_finds_minimum () =
+  (* the planted minimum at n/2 must be found *)
+  let l = Extended.loop24 ~n:60 () in
+  let r = Interp.run l.Livermore.kernel l.Livermore.inputs in
+  Alcotest.(check int) "m = n/2" 30 (List.assoc "m" r.Interp.int_scalars)
+
+let test_loop21_is_matrix_multiply () =
+  (* spot-check one output element against a direct computation *)
+  let l = Extended.loop21 () in
+  let r = Interp.run l.Livermore.kernel l.Livermore.inputs in
+  let px = List.assoc "px" r.Interp.float_arrays in
+  let vy = List.assoc "vy" (l.Livermore.inputs).Mfu_kern.Ast.float_data in
+  let cx = List.assoc "cx" (l.Livermore.inputs).Mfu_kern.Ast.float_data in
+  let px0 = List.assoc "px" (l.Livermore.inputs).Mfu_kern.Ast.float_data in
+  let m = 8 in
+  (* element (i=3, j=5), 1-based; inputs are 0-based arrays *)
+  let i = 3 and j = 5 in
+  let expected = ref px0.((i - 1) + ((j - 1) * m)) in
+  for k = 1 to m do
+    expected :=
+      !expected
+      +. (vy.((i - 1) + ((k - 1) * m)) *. cx.((k - 1) + ((j - 1) * m)))
+  done;
+  Alcotest.(check (float 1e-9)) "px(3,5)" !expected (px.(i + ((j - 1) * m)))
+
+let test_limits_dominate_with_float_branches () =
+  (* regression: the RUU's branch stall must wait for the float condition
+     register (S0), not just A0 — kernels 20 and 24 exercise this *)
+  let config = Mfu_isa.Config.m11br5 in
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let trace = Livermore.trace l in
+      let lim =
+        Mfu_limits.Limits.actual (Mfu_limits.Limits.analyze ~config trace)
+      in
+      let ruu =
+        Mfu_sim.Sim_types.issue_rate
+          (Mfu_sim.Ruu.simulate ~config ~issue_units:4 ~ruu_size:100
+             ~bus:Mfu_sim.Sim_types.N_bus trace)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d ruu %.3f <= limit %.3f" l.Livermore.number ruu lim)
+        true
+        (ruu <= lim +. 0.01))
+    all
+
+let test_rates_sane () =
+  let config = Mfu_isa.Config.m11br5 in
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let rate =
+        Mfu_sim.Sim_types.issue_rate
+          (Mfu_sim.Single_issue.simulate ~config
+             Mfu_sim.Single_issue.Cray_like (Livermore.trace l))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d rate %.3f in (0,1]" l.Livermore.number rate)
+        true
+        (rate > 0.0 && rate <= 1.0))
+    all
+
+let () =
+  Alcotest.run "extended"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "six kernels" `Quick test_six_kernels;
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "golden model agreement" `Slow
+            test_golden_model_agreement;
+          Alcotest.test_case "traces nontrivial" `Quick test_traces_nontrivial;
+          Alcotest.test_case "LL20 float branches" `Quick
+            test_loop20_exercises_float_branches;
+          Alcotest.test_case "LL24 minimum" `Quick test_loop24_finds_minimum;
+          Alcotest.test_case "LL21 matmul" `Quick test_loop21_is_matrix_multiply;
+          Alcotest.test_case "limits dominate (S0 branches)" `Quick
+            test_limits_dominate_with_float_branches;
+          Alcotest.test_case "rates sane" `Quick test_rates_sane;
+        ] );
+    ]

@@ -1,0 +1,82 @@
+module Fu = Mfu_isa.Fu
+module Config = Mfu_isa.Config
+
+let test_roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "roundtrip" true
+        (Fu.equal (Fu.of_index (Fu.index k)) k))
+    Fu.all
+
+let test_count () =
+  Alcotest.(check int) "count matches all" Fu.count (List.length Fu.all)
+
+let test_cray1_latencies () =
+  let l = Fu.cray1_latencies ~memory:11 ~branch:5 in
+  Alcotest.(check int) "address add" 2 (Fu.latency l Fu.Address_add);
+  Alcotest.(check int) "address multiply" 6 (Fu.latency l Fu.Address_multiply);
+  Alcotest.(check int) "logical" 1 (Fu.latency l Fu.Scalar_logical);
+  Alcotest.(check int) "shift" 2 (Fu.latency l Fu.Scalar_shift);
+  Alcotest.(check int) "scalar add" 3 (Fu.latency l Fu.Scalar_add);
+  Alcotest.(check int) "float add" 6 (Fu.latency l Fu.Float_add);
+  Alcotest.(check int) "float multiply" 7 (Fu.latency l Fu.Float_multiply);
+  Alcotest.(check int) "reciprocal" 14 (Fu.latency l Fu.Reciprocal);
+  Alcotest.(check int) "memory" 11 (Fu.latency l Fu.Memory);
+  Alcotest.(check int) "branch" 5 (Fu.latency l Fu.Branch);
+  Alcotest.(check int) "transfer" 1 (Fu.latency l Fu.Transfer)
+
+let test_paper_latencies () =
+  let l = Fu.paper_latencies ~memory:5 ~branch:2 in
+  Alcotest.(check int) "scalar add = 2" 2 (Fu.latency l Fu.Scalar_add);
+  Alcotest.(check int) "memory" 5 (Fu.latency l Fu.Memory)
+
+let test_shared_units () =
+  Alcotest.(check bool) "transfer is not shared" false
+    (Fu.is_shared_unit Fu.Transfer);
+  Alcotest.(check bool) "memory is shared" true (Fu.is_shared_unit Fu.Memory);
+  Alcotest.(check bool) "float add is shared" true (Fu.is_shared_unit Fu.Float_add)
+
+let test_result_bus () =
+  Alcotest.(check bool) "branch produces no result" false
+    (Fu.uses_result_bus Fu.Branch);
+  Alcotest.(check bool) "memory delivers over bus" true
+    (Fu.uses_result_bus Fu.Memory)
+
+let test_config_variants () =
+  Alcotest.(check (list string)) "names"
+    [ "M11BR5"; "M11BR2"; "M5BR5"; "M5BR2" ]
+    (List.map Config.name Config.all);
+  Alcotest.(check int) "M11 memory" 11 (Config.memory_latency Config.m11br5);
+  Alcotest.(check int) "M5 memory" 5 (Config.memory_latency Config.m5br2);
+  Alcotest.(check int) "BR5 branch" 5 (Config.branch_time Config.m5br5);
+  Alcotest.(check int) "BR2 branch" 2 (Config.branch_time Config.m11br2)
+
+let test_config_latency_lookup () =
+  Alcotest.(check int) "memory via config" 11
+    (Config.latency Config.m11br2 Fu.Memory);
+  Alcotest.(check int) "branch via config" 2
+    (Config.latency Config.m11br2 Fu.Branch)
+
+let prop_all_latencies_positive =
+  QCheck.Test.make ~name:"all latencies strictly positive" ~count:100
+    QCheck.(pair (int_range 1 50) (int_range 1 20))
+    (fun (memory, branch) ->
+      let l = Fu.cray1_latencies ~memory ~branch in
+      List.for_all (fun k -> Fu.latency l k > 0) Fu.all)
+
+let () =
+  Alcotest.run "fu"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "index roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "CRAY-1 latencies" `Quick test_cray1_latencies;
+          Alcotest.test_case "paper latencies" `Quick test_paper_latencies;
+          Alcotest.test_case "shared units" `Quick test_shared_units;
+          Alcotest.test_case "result bus" `Quick test_result_bus;
+          Alcotest.test_case "config variants" `Quick test_config_variants;
+          Alcotest.test_case "config latency" `Quick test_config_latency_lookup;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_all_latencies_positive ]);
+    ]

@@ -1,0 +1,164 @@
+module Instr = Mfu_isa.Instr
+module Reg = Mfu_isa.Reg
+module Fu = Mfu_isa.Fu
+
+let a i = Reg.A i
+let s i = Reg.S i
+
+let reg = Alcotest.testable Reg.pp Reg.equal
+
+let test_dest_srcs () =
+  let i = Instr.S_fadd (s 1, s 2, s 3) in
+  Alcotest.(check (option reg)) "dest" (Some (s 1)) (Instr.dest i);
+  Alcotest.(check (list reg)) "srcs" [ s 2; s 3 ] (Instr.srcs i);
+  let st = Instr.S_store (s 4, a 2, 100) in
+  Alcotest.(check (option reg)) "store has no dest" None (Instr.dest st);
+  Alcotest.(check (list reg)) "store reads value and base" [ s 4; a 2 ]
+    (Instr.srcs st);
+  let br = Instr.Branch (Instr.Nonzero, "loop") in
+  Alcotest.(check (option reg)) "branch has no dest" None (Instr.dest br);
+  Alcotest.(check (list reg)) "branch reads A0" [ Reg.a0 ] (Instr.srcs br);
+  Alcotest.(check (list reg)) "jump reads nothing" [] (Instr.srcs (Instr.Jump "x"))
+
+let test_fu_assignment () =
+  let check_fu name i expected =
+    Alcotest.(check string) name (Fu.to_string expected) (Fu.to_string (Instr.fu i))
+  in
+  check_fu "A add" (Instr.A_add (a 1, a 2, a 3)) Fu.Address_add;
+  check_fu "A mul" (Instr.A_mul (a 1, a 2, a 3)) Fu.Address_multiply;
+  check_fu "A imm is a transfer" (Instr.A_imm (a 1, 5)) Fu.Transfer;
+  check_fu "B transfer" (Instr.B_to_a (a 1, Reg.B 3)) Fu.Transfer;
+  check_fu "T transfer" (Instr.T_to_s (s 1, Reg.T 3)) Fu.Transfer;
+  check_fu "S logical" (Instr.S_and (s 1, s 2, s 3)) Fu.Scalar_logical;
+  check_fu "shift" (Instr.S_shl (s 1, s 2, 3)) Fu.Scalar_shift;
+  check_fu "conversion uses scalar add" (Instr.A_to_s (s 1, a 2)) Fu.Scalar_add;
+  check_fu "fadd" (Instr.S_fadd (s 1, s 2, s 3)) Fu.Float_add;
+  check_fu "fmul" (Instr.S_fmul (s 1, s 2, s 3)) Fu.Float_multiply;
+  check_fu "recip" (Instr.S_recip (s 1, s 2)) Fu.Reciprocal;
+  check_fu "load" (Instr.S_load (s 1, a 2, 0)) Fu.Memory;
+  check_fu "store" (Instr.A_store (a 1, a 2, 0)) Fu.Memory;
+  check_fu "branch" (Instr.Branch (Instr.Zero, "l")) Fu.Branch
+
+let test_parcels () =
+  Alcotest.(check int) "register op is 1 parcel" 1
+    (Instr.parcels (Instr.S_fadd (s 1, s 2, s 3)));
+  Alcotest.(check int) "memory ref is 2 parcels" 2
+    (Instr.parcels (Instr.S_load (s 1, a 2, 0)));
+  Alcotest.(check int) "branch is 2 parcels" 2
+    (Instr.parcels (Instr.Branch (Instr.Zero, "l")));
+  Alcotest.(check int) "S immediate is 2 parcels" 2
+    (Instr.parcels (Instr.S_imm (s 1, 3.14)));
+  Alcotest.(check int) "small A immediate is 1 parcel" 1
+    (Instr.parcels (Instr.A_imm (a 1, 63)));
+  Alcotest.(check int) "large A immediate is 2 parcels" 2
+    (Instr.parcels (Instr.A_imm (a 1, 64)))
+
+let test_predicates () =
+  Alcotest.(check bool) "jump is a branch" true (Instr.is_branch (Instr.Jump "x"));
+  Alcotest.(check bool) "fadd is not" false
+    (Instr.is_branch (Instr.S_fadd (s 1, s 2, s 3)));
+  Alcotest.(check bool) "store" true (Instr.is_store (Instr.S_store (s 1, a 2, 0)));
+  Alcotest.(check bool) "load" true (Instr.is_load (Instr.A_load (a 1, a 2, 0)));
+  Alcotest.(check (option string)) "target" (Some "loop")
+    (Instr.branch_target (Instr.Branch (Instr.Plus, "loop")))
+
+let ok_instr i =
+  match Instr.validate i with Ok () -> true | Error _ -> false
+
+let test_validate () =
+  Alcotest.(check bool) "good fadd" true (ok_instr (Instr.S_fadd (s 1, s 2, s 3)));
+  Alcotest.(check bool) "fadd on A regs rejected" false
+    (ok_instr (Instr.S_fadd (a 1, s 2, s 3)));
+  Alcotest.(check bool) "A add on S regs rejected" false
+    (ok_instr (Instr.A_add (s 1, a 2, a 3)));
+  Alcotest.(check bool) "out of range index rejected" false
+    (ok_instr (Instr.A_add (a 9, a 2, a 3)));
+  Alcotest.(check bool) "load base must be A" false
+    (ok_instr (Instr.S_load (s 1, s 2, 0)));
+  Alcotest.(check bool) "transfer files checked" false
+    (ok_instr (Instr.S_to_t (Reg.B 1, s 2)));
+  Alcotest.(check bool) "empty label rejected" false
+    (ok_instr (Instr.Branch (Instr.Zero, "")));
+  Alcotest.(check bool) "halt fine" true (ok_instr Instr.Halt)
+
+let test_to_string () =
+  Alcotest.(check string) "fadd" "S1 <- S2 +f S3"
+    (Instr.to_string (Instr.S_fadd (s 1, s 2, s 3)));
+  Alcotest.(check string) "load" "S1 <- mem[A2+7]"
+    (Instr.to_string (Instr.S_load (s 1, a 2, 7)));
+  Alcotest.(check string) "branch" "br A0<0, top"
+    (Instr.to_string (Instr.Branch (Instr.Minus, "top")))
+
+(* random valid instruction generator *)
+let instr_gen =
+  let open QCheck.Gen in
+  let areg = map (fun i -> Reg.A i) (int_range 0 7) in
+  let sreg = map (fun i -> Reg.S i) (int_range 0 7) in
+  let breg = map (fun i -> Reg.B i) (int_range 0 63) in
+  let treg = map (fun i -> Reg.T i) (int_range 0 63) in
+  let label = return "l" in
+  QCheck.make
+    (oneof
+       [
+         map2 (fun d k -> Instr.A_imm (d, k)) areg small_int;
+         map3 (fun d x y -> Instr.A_add (d, x, y)) areg areg areg;
+         map3 (fun d x y -> Instr.A_sub (d, x, y)) areg areg areg;
+         map3 (fun d x y -> Instr.A_mul (d, x, y)) areg areg areg;
+         map3 (fun d b k -> Instr.A_load (d, b, k)) areg areg small_nat;
+         map3 (fun v b k -> Instr.A_store (v, b, k)) areg areg small_nat;
+         map3 (fun d x y -> Instr.S_fadd (d, x, y)) sreg sreg sreg;
+         map3 (fun d x y -> Instr.S_fmul (d, x, y)) sreg sreg sreg;
+         map2 (fun d x -> Instr.S_recip (d, x)) sreg sreg;
+         map3 (fun d b k -> Instr.S_load (d, b, k)) sreg areg small_nat;
+         map3 (fun v b k -> Instr.S_store (v, b, k)) sreg areg small_nat;
+         map2 (fun d x -> Instr.S_to_t (d, x)) treg sreg;
+         map2 (fun d x -> Instr.T_to_s (d, x)) sreg treg;
+         map2 (fun d x -> Instr.A_to_b (d, x)) breg areg;
+         map2 (fun d x -> Instr.B_to_a (d, x)) areg breg;
+         map2 (fun d x -> Instr.A_to_s (d, x)) sreg areg;
+         map2 (fun d x -> Instr.S_to_a (d, x)) areg sreg;
+         map (fun l -> Instr.Branch (Instr.Nonzero, l)) label;
+         map (fun l -> Instr.Jump l) label;
+       ])
+
+let prop_generated_valid =
+  QCheck.Test.make ~name:"generated instructions validate" ~count:500 instr_gen
+    ok_instr
+
+let prop_srcs_dest_valid_regs =
+  QCheck.Test.make ~name:"dest and srcs are valid registers" ~count:500
+    instr_gen (fun i ->
+      let regs =
+        (match Instr.dest i with Some d -> [ d ] | None -> [])
+        @ Instr.srcs i
+      in
+      List.for_all Reg.is_valid regs)
+
+let prop_parcels_1_or_2 =
+  QCheck.Test.make ~name:"parcels is 1 or 2" ~count:500 instr_gen (fun i ->
+      let p = Instr.parcels i in
+      p = 1 || p = 2)
+
+let prop_to_string_nonempty =
+  QCheck.Test.make ~name:"printable" ~count:500 instr_gen (fun i ->
+      String.length (Instr.to_string i) > 0)
+
+let () =
+  Alcotest.run "instr"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "dest/srcs" `Quick test_dest_srcs;
+          Alcotest.test_case "functional units" `Quick test_fu_assignment;
+          Alcotest.test_case "parcels" `Quick test_parcels;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_generated_valid; prop_srcs_dest_valid_regs;
+            prop_parcels_1_or_2; prop_to_string_nonempty;
+          ] );
+    ]

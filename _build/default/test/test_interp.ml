@@ -1,0 +1,223 @@
+open Mfu_kern.Ast
+module Interp = Mfu_kern.Interp
+
+let decls1 = { float_arrays = [ ("x", 8); ("y", 8) ]; int_arrays = [ ("ix", 8) ] }
+
+let run ?max_statements body inputs =
+  Interp.run ?max_statements { name = "t"; decls = decls1; body } inputs
+
+let farr name (r : Interp.result) = List.assoc name r.Interp.float_arrays
+let _iarr name (r : Interp.result) = List.assoc name r.Interp.int_arrays
+let fsc name (r : Interp.result) = List.assoc name r.Interp.float_scalars
+let isc name (r : Interp.result) = List.assoc name r.Interp.int_scalars
+
+let test_simple_assign () =
+  let r = run [ Fassign ("x", Some (Int 3), Const 2.5) ] no_inputs in
+  Alcotest.(check (float 0.0)) "x(3)" 2.5 (farr "x" r).(3)
+
+let test_scalars_default_zero () =
+  let r = run [ Fassign ("q", None, Add (Fvar "unset", Const 1.0)) ] no_inputs in
+  Alcotest.(check (float 0.0)) "q = 0 + 1" 1.0 (fsc "q" r)
+
+let test_inputs_applied () =
+  let inputs =
+    {
+      float_data = [ ("y", [| 10.0; 20.0 |]) ];
+      int_data = [ ("ix", [| 7 |]) ];
+      float_scalars = [ ("a", 0.5) ];
+      int_scalars = [ ("n", 2) ];
+    }
+  in
+  let r =
+    run
+      [
+        Fassign ("x", Some (Int 1), Mul (Fvar "a", Elem ("y", Ivar "n")));
+        Iassign ("m", None, Iload ("ix", Int 1));
+      ]
+      inputs
+  in
+  Alcotest.(check (float 0.0)) "0.5 * y(2)" 10.0 (farr "x" r).(1);
+  Alcotest.(check int) "ix(1)" 7 (isc "m" r)
+
+let test_for_f66_at_least_once () =
+  (* lo > hi must still execute the body once (Fortran-66 DO). *)
+  let r =
+    run
+      [
+        Iassign ("count", None, Int 0);
+        For
+          {
+            var = "k";
+            lo = Int 5;
+            hi = Int 1;
+            step = 1;
+            body = [ Iassign ("count", None, Iadd (Ivar "count", Int 1)) ];
+          };
+      ]
+      no_inputs
+  in
+  Alcotest.(check int) "one trip" 1 (isc "count" r)
+
+let test_for_step () =
+  let r =
+    run
+      [
+        Iassign ("sum", None, Int 0);
+        For
+          {
+            var = "k";
+            lo = Int 1;
+            hi = Int 10;
+            step = 3;
+            body = [ Iassign ("sum", None, Iadd (Ivar "sum", Ivar "k")) ];
+          };
+      ]
+      no_inputs
+  in
+  (* k = 1, 4, 7, 10 *)
+  Alcotest.(check int) "sum" 22 (isc "sum" r);
+  Alcotest.(check int) "loop var past bound" 13 (isc "k" r)
+
+let test_while_top_tested () =
+  let r =
+    run
+      [
+        Iassign ("i", None, Int 0);
+        While
+          ( Icmp (Lt, Ivar "i", Int 4),
+            [ Iassign ("i", None, Iadd (Ivar "i", Int 1)) ] );
+      ]
+      no_inputs
+  in
+  Alcotest.(check int) "i = 4" 4 (isc "i" r);
+  (* false condition: zero iterations *)
+  let r2 =
+    run
+      [
+        Iassign ("i", None, Int 9);
+        While
+          ( Icmp (Lt, Ivar "i", Int 4),
+            [ Iassign ("i", None, Int 1000) ] );
+      ]
+      no_inputs
+  in
+  Alcotest.(check int) "untouched" 9 (isc "i" r2)
+
+let test_if_else () =
+  let body v =
+    [
+      Iassign ("n", None, Int v);
+      If
+        ( Icmp (Ge, Ivar "n", Int 0),
+          [ Fassign ("q", None, Const 1.0) ],
+          [ Fassign ("q", None, Const 2.0) ] );
+    ]
+  in
+  Alcotest.(check (float 0.0)) "then" 1.0 (fsc "q" (run (body 3) no_inputs));
+  Alcotest.(check (float 0.0)) "else" 2.0 (fsc "q" (run (body (-3)) no_inputs))
+
+let test_comparisons () =
+  let check cmp x y expected =
+    let r =
+      run
+        [
+          If
+            ( Icmp (cmp, Int x, Int y),
+              [ Iassign ("r", None, Int 1) ],
+              [ Iassign ("r", None, Int 0) ] );
+        ]
+        no_inputs
+    in
+    Alcotest.(check int) "cmp" expected (isc "r" r)
+  in
+  check Le 1 1 1; check Le 2 1 0;
+  check Lt 1 2 1; check Lt 2 2 0;
+  check Ge 2 2 1; check Ge 1 2 0;
+  check Gt 3 2 1; check Gt 2 2 0;
+  check Eq 2 2 1; check Eq 2 3 0;
+  check Ne 2 3 1; check Ne 3 3 0
+
+let test_div_semantics () =
+  (* Div is multiply-by-reciprocal, matching the generated code. *)
+  let r =
+    run [ Fassign ("q", None, Div (Const 1.0, Const 3.0)) ] no_inputs
+  in
+  Alcotest.(check (float 0.0)) "1/3" (1.0 *. (1.0 /. 3.0)) (fsc "q" r)
+
+let test_int_ops () =
+  let r =
+    run
+      [
+        Iassign ("h", None, Idiv (Int 7, 2));
+        Iassign ("m", None, Iand (Int 13, Int 6));
+        Iassign ("t", None, Itrunc (Const 3.9));
+        Fassign ("f", None, Of_int (Int 4));
+      ]
+      no_inputs
+  in
+  Alcotest.(check int) "7/2" 3 (isc "h" r);
+  Alcotest.(check int) "13&6" 4 (isc "m" r);
+  Alcotest.(check int) "trunc 3.9" 3 (isc "t" r);
+  Alcotest.(check (float 0.0)) "of_int" 4.0 (fsc "f" r)
+
+let test_neg () =
+  let r = run [ Fassign ("q", None, Neg (Const 2.5)) ] no_inputs in
+  Alcotest.(check (float 0.0)) "neg" (-2.5) (fsc "q" r)
+
+let test_index_error () =
+  match run [ Fassign ("x", Some (Int 99), Const 1.0) ] no_inputs with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected runtime error"
+
+let test_budget () =
+  let infinite =
+    [ While (Icmp (Ge, Int 1, Int 0), [ Iassign ("i", None, Int 1) ]) ]
+  in
+  match run ~max_statements:1000 infinite no_inputs with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected budget exhaustion"
+
+let test_input_too_long () =
+  match
+    run [ Fassign ("x", Some (Int 1), Const 0.0) ]
+      { no_inputs with float_data = [ ("x", Array.make 99 0.0) ] }
+  with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected input-length error"
+
+let test_memory_image () =
+  let kernel =
+    {
+      name = "img";
+      decls = { float_arrays = [ ("x", 2) ]; int_arrays = [] };
+      body = [ Fassign ("x", Some (Int 1), Const 5.0) ];
+    }
+  in
+  let layout = Mfu_kern.Layout.build kernel in
+  let memory = Interp.memory_image kernel no_inputs ~layout in
+  let base = Mfu_kern.Layout.float_array_base layout "x" in
+  Alcotest.(check (float 0.0)) "cell written" 5.0
+    (Mfu_exec.Memory.get_float memory (base + 1))
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simple assign" `Quick test_simple_assign;
+          Alcotest.test_case "scalar default" `Quick test_scalars_default_zero;
+          Alcotest.test_case "inputs" `Quick test_inputs_applied;
+          Alcotest.test_case "F66 at-least-once" `Quick test_for_f66_at_least_once;
+          Alcotest.test_case "stepped loop" `Quick test_for_step;
+          Alcotest.test_case "while" `Quick test_while_top_tested;
+          Alcotest.test_case "if/else" `Quick test_if_else;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "division" `Quick test_div_semantics;
+          Alcotest.test_case "integer ops" `Quick test_int_ops;
+          Alcotest.test_case "negation" `Quick test_neg;
+          Alcotest.test_case "index error" `Quick test_index_error;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "input too long" `Quick test_input_too_long;
+          Alcotest.test_case "memory image" `Quick test_memory_image;
+        ] );
+    ]

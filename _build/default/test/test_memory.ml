@@ -1,0 +1,110 @@
+module Memory = Mfu_exec.Memory
+
+let test_zero_init () =
+  let m = Memory.create ~size:4 in
+  Alcotest.(check (float 0.0)) "float zero" 0.0 (Memory.get_float m 0);
+  Alcotest.(check int) "int view of zero" 0 (Memory.get_int m 3)
+
+let test_set_get () =
+  let m = Memory.create ~size:8 in
+  Memory.set_float m 1 3.5;
+  Memory.set_int m 2 42;
+  Alcotest.(check (float 0.0)) "float" 3.5 (Memory.get_float m 1);
+  Alcotest.(check int) "int" 42 (Memory.get_int m 2)
+
+let test_conversions () =
+  let m = Memory.create ~size:2 in
+  Memory.set_int m 0 7;
+  Memory.set_float m 1 2.9;
+  Alcotest.(check (float 0.0)) "int read as float" 7.0 (Memory.get_float m 0);
+  Alcotest.(check int) "float read as int truncates" 2 (Memory.get_int m 1)
+
+let test_bounds () =
+  let m = Memory.create ~size:4 in
+  let is_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "negative" true (is_invalid (fun () -> Memory.get_float m (-1)));
+  Alcotest.(check bool) "past end" true (is_invalid (fun () -> Memory.set_int m 4 0));
+  Alcotest.(check bool) "negative size" true
+    (is_invalid (fun () -> Memory.create ~size:(-1)))
+
+let test_copy_independent () =
+  let m = Memory.create ~size:2 in
+  Memory.set_float m 0 1.0;
+  let c = Memory.copy m in
+  Memory.set_float c 0 2.0;
+  Alcotest.(check (float 0.0)) "original unchanged" 1.0 (Memory.get_float m 0)
+
+let test_blit_read () =
+  let m = Memory.create ~size:10 in
+  Memory.blit_floats m ~pos:2 [| 1.0; 2.0; 3.0 |];
+  Memory.blit_ints m ~pos:6 [| 7; 8 |];
+  Alcotest.(check (array (float 0.0))) "floats roundtrip" [| 1.0; 2.0; 3.0 |]
+    (Memory.read_floats m ~pos:2 ~len:3);
+  Alcotest.(check (array int)) "ints roundtrip" [| 7; 8 |]
+    (Memory.read_ints m ~pos:6 ~len:2)
+
+let test_equal_within () =
+  let m1 = Memory.create ~size:3 and m2 = Memory.create ~size:3 in
+  Memory.set_float m1 0 1.0;
+  Memory.set_float m2 0 (1.0 +. 1e-12);
+  Alcotest.(check bool) "tolerant equality" true
+    (Memory.equal_within ~tol:1e-9 m1 m2);
+  Memory.set_float m2 1 0.5;
+  Alcotest.(check bool) "detects mismatch" false
+    (Memory.equal_within ~tol:1e-9 m1 m2);
+  match Memory.first_mismatch ~tol:1e-9 m1 m2 with
+  | Some (addr, _) -> Alcotest.(check int) "mismatch address" 1 addr
+  | None -> Alcotest.fail "expected mismatch"
+
+let test_mixed_tags_compare () =
+  let m1 = Memory.create ~size:1 and m2 = Memory.create ~size:1 in
+  Memory.set_int m1 0 3;
+  Memory.set_float m2 0 3.0;
+  Alcotest.(check bool) "int 3 equals float 3.0" true
+    (Memory.equal_within ~tol:1e-9 m1 m2)
+
+let test_size_mismatch () =
+  let m1 = Memory.create ~size:1 and m2 = Memory.create ~size:2 in
+  match Memory.first_mismatch ~tol:1e-9 m1 m2 with
+  | Some (-1, _) -> ()
+  | _ -> Alcotest.fail "expected size mismatch marker"
+
+let prop_set_get_roundtrip =
+  QCheck.Test.make ~name:"set/get roundtrip" ~count:300
+    QCheck.(triple (int_range 0 63) (float_range (-1e6) 1e6) (int_range 64 128))
+    (fun (addr, x, size) ->
+      let m = Memory.create ~size in
+      Memory.set_float m addr x;
+      Memory.get_float m addr = x)
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~name:"copy compares equal" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range (-10.) 10.))
+    (fun xs ->
+      let m = Memory.create ~size:(List.length xs) in
+      List.iteri (Memory.set_float m) xs;
+      Memory.equal_within ~tol:0.0 m (Memory.copy m))
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "zero init" `Quick test_zero_init;
+          Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "conversions" `Quick test_conversions;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "blit/read" `Quick test_blit_read;
+          Alcotest.test_case "equal_within" `Quick test_equal_within;
+          Alcotest.test_case "mixed tags" `Quick test_mixed_tags_compare;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_set_get_roundtrip; prop_equal_reflexive ] );
+    ]

@@ -1,0 +1,179 @@
+module Parser = Mfu_asm.Parser
+module Program = Mfu_asm.Program
+module Instr = Mfu_isa.Instr
+module Reg = Mfu_isa.Reg
+module Livermore = Mfu_loops.Livermore
+module Codegen = Mfu_kern.Codegen
+
+let a i = Reg.A i
+let s i = Reg.S i
+
+let check_instr src expected =
+  match Parser.parse_instruction src with
+  | Ok i ->
+      Alcotest.(check string) src (Instr.to_string expected) (Instr.to_string i)
+  | Error m -> Alcotest.fail m
+
+let test_register_ops () =
+  check_instr "A1 <- 42" (Instr.A_imm (a 1, 42));
+  check_instr "A1 <- -5" (Instr.A_imm (a 1, -5));
+  check_instr "S2 <- 3.25" (Instr.S_imm (s 2, 3.25));
+  check_instr "A3 <- A1 + A2" (Instr.A_add (a 3, a 1, a 2));
+  check_instr "A3 <- A1 - A2" (Instr.A_sub (a 3, a 1, a 2));
+  check_instr "A3 <- A1 * A2" (Instr.A_mul (a 3, a 1, a 2));
+  check_instr "A3 <- A1 & A2" (Instr.A_and (a 3, a 1, a 2));
+  check_instr "S3 <- S1 +f S2" (Instr.S_fadd (s 3, s 1, s 2));
+  check_instr "S3 <- S1 -f S2" (Instr.S_fsub (s 3, s 1, s 2));
+  check_instr "S3 <- S1 *f S2" (Instr.S_fmul (s 3, s 1, s 2));
+  check_instr "S3 <- S1 +i S2" (Instr.S_iadd (s 3, s 1, s 2));
+  check_instr "S3 <- S1 & S2" (Instr.S_and (s 3, s 1, s 2));
+  check_instr "S3 <- S1 | S2" (Instr.S_or (s 3, s 1, s 2));
+  check_instr "S3 <- S1 ^ S2" (Instr.S_xor (s 3, s 1, s 2));
+  check_instr "S3 <- S1 << 4" (Instr.S_shl (s 3, s 1, 4));
+  check_instr "S3 <- S1 >> 4" (Instr.S_shr (s 3, s 1, 4));
+  check_instr "S3 <- 1/S1" (Instr.S_recip (s 3, s 1))
+
+let test_transfers () =
+  check_instr "A1 <- A2" (Instr.A_mov (a 1, a 2));
+  check_instr "S1 <- S2" (Instr.S_mov (s 1, s 2));
+  check_instr "T5 <- S2" (Instr.S_to_t (Reg.T 5, s 2));
+  check_instr "S2 <- T5" (Instr.T_to_s (s 2, Reg.T 5));
+  check_instr "B9 <- A2" (Instr.A_to_b (Reg.B 9, a 2));
+  check_instr "A2 <- B9" (Instr.B_to_a (a 2, Reg.B 9));
+  check_instr "S1 <- float(A2)" (Instr.A_to_s (s 1, a 2));
+  check_instr "A1 <- trunc(S2)" (Instr.S_to_a (a 1, s 2))
+
+let test_memory () =
+  check_instr "S1 <- mem[A2+7]" (Instr.S_load (s 1, a 2, 7));
+  check_instr "A1 <- mem[A2+0]" (Instr.A_load (a 1, a 2, 0));
+  check_instr "mem[A2+7] <- S1" (Instr.S_store (s 1, a 2, 7));
+  check_instr "mem[A2+-3] <- A1" (Instr.A_store (a 1, a 2, -3))
+
+let test_control () =
+  check_instr "br A0=0, top" (Instr.Branch (Instr.Zero, "top"));
+  check_instr "br A0<>0, top" (Instr.Branch (Instr.Nonzero, "top"));
+  check_instr "br A0>=0, top" (Instr.Branch (Instr.Plus, "top"));
+  check_instr "br A0<0, top" (Instr.Branch (Instr.Minus, "top"));
+  check_instr "jump away" (Instr.Jump "away");
+  check_instr "halt" Instr.Halt
+
+let test_parse_errors () =
+  let bad src =
+    match Parser.parse_instruction src with
+    | Error _ -> ()
+    | Ok i -> Alcotest.fail (src ^ " parsed as " ^ Instr.to_string i)
+  in
+  bad "";
+  bad "frobnicate";
+  bad "A1 <-";
+  bad "X1 <- 3";
+  bad "br A0~0, top";
+  bad "jump"
+
+let test_full_program () =
+  let source =
+    {|
+; sum the first 5 integers
+  A1 <- 0        ; accumulator
+  A2 <- 5
+  A3 <- 1
+top:
+  A1 <- A1 + A2
+  A2 <- A2 - A3
+  A0 <- A2
+  br A0<>0, top
+  A4 <- 0
+  mem[A4+0] <- A1
+  halt
+|}
+  in
+  match Parser.parse source with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+      Alcotest.(check int) "10 instructions" 10 (Program.length p);
+      Alcotest.(check int) "label" 3 (Program.resolve p "top");
+      let memory = Mfu_exec.Memory.create ~size:4 in
+      let r = Mfu_exec.Cpu.run ~program:p ~memory () in
+      Alcotest.(check int) "executes correctly" 15
+        (Mfu_exec.Memory.get_int r.Mfu_exec.Cpu.memory 0)
+
+let test_error_carries_line_number () =
+  match Parser.parse "A1 <- 1\nbogus line\nhalt" with
+  | Error m ->
+      Alcotest.(check bool) "mentions line 2" true
+        (String.length m >= 7 && String.sub m 0 7 = "line 2:")
+  | Ok _ -> Alcotest.fail "expected failure"
+
+(* The big one: disassembly of every Livermore loop parses back to the
+   identical program. *)
+let test_disassembly_roundtrip () =
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let p = (Livermore.compiled l).Codegen.program in
+      match Parser.parse (Program.disassemble p) with
+      | Error m -> Alcotest.fail (Printf.sprintf "LL%d: %s" l.number m)
+      | Ok q ->
+          Alcotest.(check int)
+            (Printf.sprintf "LL%d length" l.number)
+            (Program.length p) (Program.length q);
+          Alcotest.(check bool)
+            (Printf.sprintf "LL%d instructions equal" l.number)
+            true
+            (Program.instrs p = Program.instrs q);
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "LL%d labels" l.number)
+            (List.sort compare (Program.labels p))
+            (List.sort compare (Program.labels q)))
+    (Livermore.all () @ Mfu_loops.Extended.all ())
+
+let test_vector_syntax () =
+  check_instr "VL <- A3" (Instr.Set_vl (a 3));
+  check_instr "V1 <- mem[A2+5]" (Instr.V_load (Reg.V 1, a 2, 5));
+  check_instr "mem[A2+5] <- V1" (Instr.V_store (Reg.V 1, a 2, 5));
+  check_instr "V3 <- V1 +f V2" (Instr.V_fadd (Reg.V 3, Reg.V 1, Reg.V 2));
+  check_instr "V3 <- V1 -f V2" (Instr.V_fsub (Reg.V 3, Reg.V 1, Reg.V 2));
+  check_instr "V3 <- V1 *f V2" (Instr.V_fmul (Reg.V 3, Reg.V 1, Reg.V 2));
+  check_instr "V3 <- S1 +f V2" (Instr.V_fadd_sv (Reg.V 3, s 1, Reg.V 2));
+  check_instr "V3 <- S1 *f V2" (Instr.V_fmul_sv (Reg.V 3, s 1, Reg.V 2));
+  check_instr "V3 <- 1/V1" (Instr.V_recip (Reg.V 3, Reg.V 1));
+  check_instr "br S0<0, top" (Instr.Branch_s (Instr.Minus, "top"))
+
+let test_vector_program_roundtrip () =
+  List.iter
+    (fun (t : Mfu_loops.Vectorized.t) ->
+      let p = t.Mfu_loops.Vectorized.program in
+      match Parser.parse (Program.disassemble p) with
+      | Error m ->
+          Alcotest.fail
+            (Printf.sprintf "vectorized LL%d: %s"
+               t.Mfu_loops.Vectorized.loop.Livermore.number m)
+      | Ok q ->
+          Alcotest.(check bool)
+            (Printf.sprintf "vectorized LL%d instructions equal"
+               t.Mfu_loops.Vectorized.loop.Livermore.number)
+            true
+            (Program.instrs p = Program.instrs q))
+    (Mfu_loops.Vectorized.all ())
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "register ops" `Quick test_register_ops;
+          Alcotest.test_case "transfers" `Quick test_transfers;
+          Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "control" `Quick test_control;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "full program" `Quick test_full_program;
+          Alcotest.test_case "vector syntax" `Quick test_vector_syntax;
+          Alcotest.test_case "line numbers" `Quick test_error_carries_line_number;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "disassembly of all loops" `Slow
+            test_disassembly_roundtrip;
+          Alcotest.test_case "vector programs" `Quick
+            test_vector_program_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,78 @@
+module Prng = Mfu_util.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_float_range_bounds () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.float_range g ~lo:2.0 ~hi:3.0 in
+    Alcotest.(check bool) "in [2,3)" true (x >= 2.0 && x < 3.0)
+  done
+
+let test_float_unit_interval () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_int_bounds () =
+  let g = Prng.create ~seed:9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    let k = Prng.int g ~bound:5 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 5);
+    seen.(k) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_errors () =
+  let g = Prng.create ~seed:1 in
+  Alcotest.check_raises "bad range" (Invalid_argument "Prng.float_range: hi <= lo")
+    (fun () -> ignore (Prng.float_range g ~lo:1.0 ~hi:1.0));
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound <= 0")
+    (fun () -> ignore (Prng.int g ~bound:0))
+
+let test_rough_uniformity () =
+  (* SplitMix64 should fill [0,1) without gross bias: mean ~0.5. *)
+  let g = Prng.create ~seed:1234 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float g
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int always within bound" ~count:300
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let k = Prng.int g ~bound in
+      k >= 0 && k < bound)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "float_range bounds" `Quick test_float_range_bounds;
+          Alcotest.test_case "float bounds" `Quick test_float_unit_interval;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "rough uniformity" `Quick test_rough_uniformity;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_int_in_bounds ]);
+    ]

@@ -1,0 +1,107 @@
+module Instr = Mfu_isa.Instr
+module Reg = Mfu_isa.Reg
+module Program = Mfu_asm.Program
+module Builder = Mfu_asm.Builder
+
+let a i = Reg.A i
+
+let sample_instrs =
+  [|
+    Instr.A_imm (a 1, 3);
+    Instr.A_imm (a 2, 4);
+    Instr.A_add (a 3, a 1, a 2);
+    Instr.Halt;
+  |]
+
+let test_make_ok () =
+  match Program.make ~instrs:sample_instrs ~labels:[ ("start", 0) ] with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+      Alcotest.(check int) "length" 4 (Program.length p);
+      Alcotest.(check int) "resolve" 0 (Program.resolve p "start");
+      Alcotest.(check (list (pair string int))) "labels" [ ("start", 0) ]
+        (Program.labels p)
+
+let expect_error name instrs labels =
+  match Program.make ~instrs ~labels with
+  | Ok _ -> Alcotest.fail (name ^ ": expected failure")
+  | Error _ -> ()
+
+let test_make_errors () =
+  expect_error "empty program" [||] [];
+  expect_error "no halt" [| Instr.A_imm (a 1, 3) |] [];
+  expect_error "duplicate label" sample_instrs [ ("x", 0); ("x", 1) ];
+  expect_error "label out of range" sample_instrs [ ("x", 99) ];
+  expect_error "unbound branch target"
+    [| Instr.Branch (Instr.Zero, "nowhere"); Instr.Halt |]
+    [];
+  expect_error "invalid register"
+    [| Instr.A_imm (Reg.S 1, 3); Instr.Halt |]
+    []
+
+let test_targets () =
+  let instrs =
+    [| Instr.Branch (Instr.Nonzero, "end"); Instr.A_imm (a 1, 1); Instr.Halt |]
+  in
+  let p = Program.make_exn ~instrs ~labels:[ ("end", 2) ] in
+  Alcotest.(check (option int)) "branch target" (Some 2) (Program.target p 0);
+  Alcotest.(check (option int)) "non-branch" None (Program.target p 1)
+
+let test_builder () =
+  let b = Builder.create () in
+  Builder.label b "top";
+  Builder.emit b (Instr.A_imm (a 1, 1));
+  Alcotest.(check int) "here" 1 (Builder.here b);
+  Builder.emit_list b [ Instr.A_add (a 2, a 1, a 1); Instr.Halt ];
+  let p = Builder.finish b in
+  Alcotest.(check int) "3 instructions" 3 (Program.length p);
+  Alcotest.(check int) "label bound" 0 (Program.resolve p "top")
+
+let test_fresh_labels () =
+  let b = Builder.create () in
+  let l1 = Builder.fresh_label b "loop" in
+  let l2 = Builder.fresh_label b "loop" in
+  Alcotest.(check bool) "unique" true (l1 <> l2)
+
+let test_static_parcels () =
+  let p = Program.make_exn ~instrs:sample_instrs ~labels:[] in
+  (* two 1-parcel immediates (3 and 4 fit in 7 bits), one add, one halt *)
+  Alcotest.(check int) "parcels" 4 (Program.static_parcels p)
+
+let test_disassemble () =
+  let instrs =
+    [| Instr.A_imm (a 1, 1); Instr.Jump "top"; Instr.Halt |]
+  in
+  let p = Program.make_exn ~instrs ~labels:[ ("top", 0) ] in
+  let text = Program.disassemble p in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions label" true (contains "top:" text);
+  Alcotest.(check bool) "mentions jump" true (contains "jump top" text)
+
+let test_instrs_copy_is_immutable () =
+  let p = Program.make_exn ~instrs:sample_instrs ~labels:[] in
+  let copy = Program.instrs p in
+  copy.(0) <- Instr.Halt;
+  (* mutating the copy must not affect the program *)
+  Alcotest.(check bool) "unchanged" true (Program.instr p 0 = sample_instrs.(0))
+
+let () =
+  Alcotest.run "program"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "assembly ok" `Quick test_make_ok;
+          Alcotest.test_case "assembly errors" `Quick test_make_errors;
+          Alcotest.test_case "branch targets" `Quick test_targets;
+          Alcotest.test_case "builder" `Quick test_builder;
+          Alcotest.test_case "fresh labels" `Quick test_fresh_labels;
+          Alcotest.test_case "static parcels" `Quick test_static_parcels;
+          Alcotest.test_case "disassembly" `Quick test_disassemble;
+          Alcotest.test_case "instrs returns a copy" `Quick
+            test_instrs_copy_is_immutable;
+        ] );
+    ]

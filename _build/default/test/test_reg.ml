@@ -1,0 +1,84 @@
+module Reg = Mfu_isa.Reg
+
+let test_validity () =
+  Alcotest.(check bool) "A7 valid" true (Reg.is_valid (Reg.A 7));
+  Alcotest.(check bool) "A8 invalid" false (Reg.is_valid (Reg.A 8));
+  Alcotest.(check bool) "S0 valid" true (Reg.is_valid (Reg.S 0));
+  Alcotest.(check bool) "S-1 invalid" false (Reg.is_valid (Reg.S (-1)));
+  Alcotest.(check bool) "B63 valid" true (Reg.is_valid (Reg.B 63));
+  Alcotest.(check bool) "B64 invalid" false (Reg.is_valid (Reg.B 64));
+  Alcotest.(check bool) "T63 valid" true (Reg.is_valid (Reg.T 63))
+
+let test_names () =
+  Alcotest.(check string) "A0" "A0" (Reg.to_string Reg.a0);
+  Alcotest.(check string) "S3" "S3" (Reg.to_string (Reg.S 3));
+  Alcotest.(check string) "B12" "B12" (Reg.to_string (Reg.B 12));
+  Alcotest.(check string) "T63" "T63" (Reg.to_string (Reg.T 63))
+
+let test_count () = Alcotest.(check int) "8+8+64+64+8+1" 153 Reg.count
+
+let test_index_disjoint () =
+  (* every valid register maps to a distinct dense index *)
+  let all =
+    List.concat
+      [
+        List.init 8 (fun i -> Reg.A i);
+        List.init 8 (fun i -> Reg.S i);
+        List.init 64 (fun i -> Reg.B i);
+        List.init 64 (fun i -> Reg.T i);
+        List.init 8 (fun i -> Reg.V i);
+        [ Reg.VL ];
+      ]
+  in
+  let indices = List.map Reg.index all in
+  let sorted = List.sort_uniq compare indices in
+  Alcotest.(check int) "all distinct" (List.length all) (List.length sorted);
+  Alcotest.(check bool) "dense in [0, count)" true
+    (List.for_all (fun i -> i >= 0 && i < Reg.count) indices)
+
+let test_of_index_errors () =
+  Alcotest.check_raises "negative" (Invalid_argument "Reg.of_index") (fun () ->
+      ignore (Reg.of_index (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Reg.of_index") (fun () ->
+      ignore (Reg.of_index Reg.count))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_index . index = id" ~count:300
+    QCheck.(int_range 0 (Reg.count - 1))
+    (fun i -> Reg.index (Reg.of_index i) = i)
+
+let reg_gen =
+  QCheck.make
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun i -> Reg.A i) (int_range 0 7);
+          map (fun i -> Reg.S i) (int_range 0 7);
+          map (fun i -> Reg.B i) (int_range 0 63);
+          map (fun i -> Reg.T i) (int_range 0 63);
+        ])
+
+let prop_roundtrip_reg =
+  QCheck.Test.make ~name:"index . of_index = id on registers" ~count:300
+    reg_gen (fun r -> Reg.equal (Reg.of_index (Reg.index r)) r)
+
+let prop_compare_consistent =
+  QCheck.Test.make ~name:"equal agrees with compare" ~count:300
+    QCheck.(pair reg_gen reg_gen)
+    (fun (a, b) -> Reg.equal a b = (Reg.compare a b = 0))
+
+let () =
+  Alcotest.run "reg"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "validity" `Quick test_validity;
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "dense index" `Quick test_index_disjoint;
+          Alcotest.test_case "of_index errors" `Quick test_of_index_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_roundtrip_reg; prop_compare_consistent ] );
+    ]

@@ -1,0 +1,212 @@
+module Ruu = Mfu_sim.Ruu
+module Si = Mfu_sim.Single_issue
+module Sim_types = Mfu_sim.Sim_types
+module Config = Mfu_isa.Config
+module Reg = Mfu_isa.Reg
+module Fu = Mfu_isa.Fu
+module T = Tracegen
+
+let cfg = Config.m11br5
+
+let run ?branches ?(config = cfg) ?(issue_units = 2) ?(ruu_size = 20)
+    ?(bus = Sim_types.N_bus) trace =
+  Ruu.simulate ?branches ~config ~issue_units ~ruu_size ~bus trace
+
+let cycles ?branches ?config ?issue_units ?ruu_size ?bus t =
+  (run ?branches ?config ?issue_units ?ruu_size ?bus t).Sim_types.cycles
+
+let test_terminates_and_counts () =
+  let t = T.of_list [ T.imm ~d:1; T.fadd ~d:2 ~a:1 ~b:1; T.store ~v:2 ~addr:0 ] in
+  let r = run t in
+  Alcotest.(check int) "instructions" 3 r.Sim_types.instructions;
+  Alcotest.(check bool) "cycles bounded" true (r.Sim_types.cycles < 40)
+
+let test_single_instruction_latency () =
+  let t = T.of_list [ T.fadd ~d:1 ~a:2 ~b:3 ] in
+  let c = cycles t in
+  (* issue at 0, dispatch at 1, complete at 7, commit at 7: small overhead
+     over the raw latency is expected *)
+  Alcotest.(check bool) "close to latency" true (c >= 6 && c <= 9)
+
+let test_waw_does_not_block_issue () =
+  (* load S1 (slow) followed by a transfer writing S1 and a consumer of the
+     transfer's instance: with register instances the consumer finishes
+     long before the load would allow under issue-blocking. *)
+  let t =
+    T.of_list
+      [ T.load ~d:1 ~addr:0; T.imm ~d:1; T.fadd ~d:2 ~a:1 ~b:1 ]
+  in
+  let ruu = cycles ~ruu_size:20 t in
+  let blocking =
+    (Si.simulate ~config:cfg Si.Cray_like t).Sim_types.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ruu (%d) < cray single issue (%d)" ruu blocking)
+    true (ruu < blocking)
+
+let test_raw_respected () =
+  (* consumer of a load's value cannot complete before the load *)
+  let t = T.of_list [ T.load ~d:1 ~addr:0; T.fadd ~d:2 ~a:1 ~b:1 ] in
+  (* load dispatches at 1, completes 12; add dispatches >= 12 *)
+  Alcotest.(check bool) "ordering respected" true (cycles t >= 18)
+
+let test_ruu_full_blocks_but_completes () =
+  let many = List.init 30 (fun i -> T.imm ~d:(i mod 8)) in
+  let small = cycles ~ruu_size:2 (T.of_list many) in
+  let large = cycles ~ruu_size:30 (T.of_list many) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiny RUU (%d) slower than big (%d)" small large)
+    true (small > large)
+
+let test_bigger_ruu_monotone_on_loop () =
+  let trace = Mfu_loops.Livermore.trace (Mfu_loops.Livermore.loop 1) in
+  let rate size = Sim_types.issue_rate (run ~issue_units:4 ~ruu_size:size trace) in
+  Alcotest.(check bool) "50 >= 10" true (rate 50 >= rate 10 -. 0.005)
+
+let test_one_bus_not_faster () =
+  List.iter
+    (fun (l : Mfu_loops.Livermore.loop) ->
+      let trace = Mfu_loops.Livermore.trace l in
+      let rate bus = Sim_types.issue_rate (run ~issue_units:4 ~ruu_size:50 ~bus trace) in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d" l.number)
+        true
+        (rate Sim_types.One_bus <= rate Sim_types.N_bus +. 0.01))
+    [ Mfu_loops.Livermore.loop 9; Mfu_loops.Livermore.loop 13 ]
+
+let test_more_units_help_parallel_code () =
+  (* independent work spread over distinct units: more issue units help
+     (a single unit class would be serialized by its 1-per-cycle port) *)
+  let mixed i =
+    match i mod 4 with
+    | 0 -> T.fmul ~d:i ~a:i ~b:i
+    | 1 -> T.fadd ~d:i ~a:i ~b:i
+    | 2 -> T.entry ~dest:(Reg.S i) ~srcs:[ Reg.S i ] Fu.Scalar_shift
+    | _ -> T.entry ~dest:(Reg.S i) ~srcs:[ Reg.S i ] Fu.Scalar_logical
+  in
+  let t = T.of_list (List.init 8 mixed) in
+  let c1 = cycles ~issue_units:1 t and c4 = cycles ~issue_units:4 t in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 units (%d) faster than 1 (%d)" c4 c1)
+    true (c4 < c1)
+
+let test_branch_blocks_issue_stage () =
+  let t = T.of_list [ T.branch ~taken:true; T.imm ~d:1 ] in
+  let br5 = cycles ~config:Config.m11br5 t in
+  let br2 = cycles ~config:Config.m11br2 t in
+  Alcotest.(check bool)
+    (Printf.sprintf "slow branch (%d) > fast branch (%d)" br5 br2)
+    true (br5 > br2)
+
+let test_branch_waits_for_a0 () =
+  let write_a0 =
+    T.entry ~dest:Reg.a0 ~srcs:[ Reg.A 1 ] ~parcels:2
+      ~kind:(Mfu_exec.Trace.Load 0) Fu.Memory
+  in
+  let t = T.of_list [ write_a0; T.branch ~taken:false; T.imm ~d:1 ] in
+  (* load completes ~12; branch waits for it, then blocks 5 more *)
+  Alcotest.(check bool) "branch gated by A0" true (cycles t >= 17)
+
+let test_oracle_speculation_helps () =
+  (* loop 12 has no loop-carried dependence, so branch handling is the
+     bottleneck and oracle prediction must pay off *)
+  let trace = Mfu_loops.Livermore.trace (Mfu_loops.Livermore.loop 12) in
+  let blocking =
+    Sim_types.issue_rate (run ~issue_units:4 ~ruu_size:50 trace)
+  in
+  let oracle =
+    Sim_types.issue_rate
+      (run ~branches:Ruu.Oracle ~issue_units:4 ~ruu_size:50 trace)
+  in
+  let static =
+    Sim_types.issue_rate
+      (run ~branches:Ruu.Static_taken ~issue_units:4 ~ruu_size:50 trace)
+  in
+  let bimodal =
+    Sim_types.issue_rate
+      (run ~branches:(Ruu.Bimodal 256) ~issue_units:4 ~ruu_size:50 trace)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "oracle %.3f > blocking %.3f" oracle blocking)
+    true (oracle > blocking);
+  (* loop branches are overwhelmingly taken: static-taken and bimodal land
+     between stall and oracle *)
+  Alcotest.(check bool)
+    (Printf.sprintf "static %.3f within [blocking, oracle]" static)
+    true
+    (static >= blocking -. 0.005 && static <= oracle +. 0.005);
+  Alcotest.(check bool)
+    (Printf.sprintf "bimodal %.3f within [blocking, oracle]" bimodal)
+    true
+    (bimodal >= blocking -. 0.005 && bimodal <= oracle +. 0.005)
+
+let test_memory_same_address_ordering () =
+  (* load after store to the same address waits for the store *)
+  let t = T.of_list [ T.store ~v:1 ~addr:7; T.load ~d:2 ~addr:7 ] in
+  (* store dispatch 1, completes 12; load dispatch >= 12, completes 23 *)
+  Alcotest.(check bool) "store->load ordered" true (cycles t >= 23)
+
+let test_disjoint_addresses_overlap () =
+  let t = T.of_list [ T.store ~v:1 ~addr:7; T.load ~d:2 ~addr:9 ] in
+  Alcotest.(check bool) "independent accesses overlap" true (cycles t <= 16)
+
+let test_invalid_args () =
+  (match run ~issue_units:0 (T.of_list [ T.imm ~d:1 ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "issue_units");
+  match run ~issue_units:4 ~ruu_size:2 (T.of_list [ T.imm ~d:1 ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ruu_size"
+
+let test_beats_buffer_issue_on_loops () =
+  (* the paper's headline: dependency resolution dominates both buffered
+     issue schemes at the same width *)
+  List.iter
+    (fun (l : Mfu_loops.Livermore.loop) ->
+      let trace = Mfu_loops.Livermore.trace l in
+      let ruu =
+        Sim_types.issue_rate (run ~issue_units:4 ~ruu_size:50 trace)
+      in
+      let ooo =
+        Sim_types.issue_rate
+          (Mfu_sim.Buffer_issue.simulate ~config:cfg
+             ~policy:Mfu_sim.Buffer_issue.Out_of_order ~stations:4
+             ~bus:Sim_types.N_bus trace)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d ruu %.3f >= ooo %.3f" l.number ruu ooo)
+        true (ruu >= ooo -. 0.01))
+    (Mfu_loops.Livermore.all ())
+
+let () =
+  Alcotest.run "ruu"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "terminates" `Quick test_terminates_and_counts;
+          Alcotest.test_case "single instruction" `Quick
+            test_single_instruction_latency;
+          Alcotest.test_case "WAW does not block" `Quick
+            test_waw_does_not_block_issue;
+          Alcotest.test_case "RAW respected" `Quick test_raw_respected;
+          Alcotest.test_case "RUU full" `Quick test_ruu_full_blocks_but_completes;
+          Alcotest.test_case "more units help" `Quick
+            test_more_units_help_parallel_code;
+          Alcotest.test_case "branch blocks" `Quick test_branch_blocks_issue_stage;
+          Alcotest.test_case "branch waits for A0" `Quick test_branch_waits_for_a0;
+          Alcotest.test_case "oracle speculation" `Quick
+            test_oracle_speculation_helps;
+          Alcotest.test_case "memory ordering" `Quick
+            test_memory_same_address_ordering;
+          Alcotest.test_case "memory overlap" `Quick test_disjoint_addresses_overlap;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "RUU size monotone" `Quick
+            test_bigger_ruu_monotone_on_loop;
+          Alcotest.test_case "1-bus not faster" `Quick test_one_bus_not_faster;
+          Alcotest.test_case "RUU >= OOO buffer" `Slow
+            test_beats_buffer_issue_on_loops;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+module Scheduler = Mfu_asm.Scheduler
+module Program = Mfu_asm.Program
+module Instr = Mfu_isa.Instr
+module Reg = Mfu_isa.Reg
+module Fu = Mfu_isa.Fu
+module Codegen = Mfu_kern.Codegen
+module Livermore = Mfu_loops.Livermore
+
+let latencies = Fu.cray1_latencies ~memory:11 ~branch:5
+let a i = Reg.A i
+let s i = Reg.S i
+
+let test_block_boundaries () =
+  let instrs =
+    [|
+      Instr.A_imm (a 1, 1);
+      Instr.Branch (Instr.Zero, "top");
+      Instr.A_imm (a 2, 2);
+      Instr.A_imm (a 3, 3);
+      Instr.Halt;
+    |]
+  in
+  let p = Program.make_exn ~instrs ~labels:[ ("top", 3) ] in
+  Alcotest.(check (list (pair int int)))
+    "blocks split at branch and label"
+    [ (0, 2); (2, 3); (3, 5) ]
+    (Scheduler.block_boundaries p)
+
+let test_separates_producer_consumer () =
+  (* load; use-of-load; independent-imm: the scheduler should hoist the
+     independent transfer between producer and consumer... in fact it
+     pulls independent work up, leaving the dependent pair adjacent or
+     separated — the key property is the load comes first and the consumer
+     stays after it. *)
+  let instrs =
+    [|
+      Instr.S_load (s 1, a 1, 0);
+      Instr.S_fadd (s 2, s 1, s 1);
+      Instr.S_imm (s 3, 1.0);
+      Instr.Halt;
+    |]
+  in
+  let p = Program.make_exn ~instrs ~labels:[] in
+  let q = Scheduler.schedule ~latencies p in
+  let pos f =
+    let rec go i = if f (Program.instr q i) then i else go (i + 1) in
+    go 0
+  in
+  let load_pos = pos (function Instr.S_load _ -> true | _ -> false) in
+  let fadd_pos = pos (function Instr.S_fadd _ -> true | _ -> false) in
+  Alcotest.(check bool) "consumer after producer" true (fadd_pos > load_pos);
+  Alcotest.(check int) "same length" 4 (Program.length q);
+  Alcotest.(check bool) "halt still last" true
+    (Program.instr q 3 = Instr.Halt)
+
+let test_preserves_war () =
+  (* read of S1 followed by a write of S1: order must be kept *)
+  let instrs =
+    [|
+      Instr.S_fadd (s 2, s 1, s 1); (* reads S1 *)
+      Instr.S_imm (s 1, 9.0);       (* writes S1 *)
+      Instr.Halt;
+    |]
+  in
+  let p = Program.make_exn ~instrs ~labels:[] in
+  let q = Scheduler.schedule ~latencies p in
+  (match Program.instr q 0 with
+  | Instr.S_fadd _ -> ()
+  | i -> Alcotest.fail ("reader moved: " ^ Instr.to_string i))
+
+let test_memory_barrier () =
+  (* store then load (addresses unknown statically): order preserved *)
+  let instrs =
+    [|
+      Instr.S_store (s 1, a 1, 0);
+      Instr.S_load (s 2, a 2, 0);
+      Instr.Halt;
+    |]
+  in
+  let p = Program.make_exn ~instrs ~labels:[] in
+  let q = Scheduler.schedule ~latencies p in
+  match (Program.instr q 0, Program.instr q 1) with
+  | Instr.S_store _, Instr.S_load _ -> ()
+  | _ -> Alcotest.fail "memory order broken"
+
+let test_branch_pinned () =
+  let instrs =
+    [|
+      Instr.A_imm (a 1, 1);
+      Instr.A_imm (a 2, 2);
+      Instr.Branch (Instr.Zero, "end");
+      Instr.Halt;
+    |]
+  in
+  let p = Program.make_exn ~instrs ~labels:[ ("end", 3) ] in
+  let q = Scheduler.schedule ~latencies p in
+  Alcotest.(check bool) "branch stays third" true
+    (Instr.is_branch (Program.instr q 2))
+
+(* The decisive oracle: every Livermore loop, scheduled, still computes the
+   same memory image as the golden interpreter. *)
+let test_scheduled_loops_still_correct () =
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let c = Livermore.compiled l in
+      let scheduled = Scheduler.schedule ~latencies c.Codegen.program in
+      let memory = Mfu_kern.Layout.initial_memory c.Codegen.layout l.inputs in
+      let result = Mfu_exec.Cpu.run ~program:scheduled ~memory () in
+      let golden =
+        Mfu_kern.Interp.memory_image l.kernel l.inputs ~layout:c.Codegen.layout
+      in
+      match
+        Mfu_exec.Memory.first_mismatch ~tol:1e-9 golden result.Mfu_exec.Cpu.memory
+      with
+      | None -> ()
+      | Some (addr, what) ->
+          Alcotest.fail
+            (Printf.sprintf "LL%d: scheduled code wrong at %d: %s" l.number
+               addr what))
+    (Livermore.all ())
+
+let test_scheduling_does_not_hurt () =
+  (* scheduled code should never be slower on the CRAY-like machine by
+     more than noise (it reorders within blocks only) *)
+  let config = Mfu_isa.Config.m11br5 in
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let naive =
+        Mfu_sim.Sim_types.issue_rate
+          (Mfu_sim.Single_issue.simulate ~config Mfu_sim.Single_issue.Cray_like
+             (Livermore.trace l))
+      in
+      let sched =
+        Mfu_sim.Sim_types.issue_rate
+          (Mfu_sim.Single_issue.simulate ~config Mfu_sim.Single_issue.Cray_like
+             (Livermore.scheduled_trace l))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d sched %.3f vs naive %.3f" l.number sched naive)
+        true
+        (sched >= naive -. 0.02))
+    (Livermore.all ())
+
+let test_instruction_multiset_preserved () =
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let c = Livermore.compiled l in
+      let before =
+        List.sort compare (Array.to_list (Program.instrs c.Codegen.program))
+      in
+      let after =
+        List.sort compare
+          (Array.to_list
+             (Program.instrs (Scheduler.schedule ~latencies c.Codegen.program)))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d same instructions" l.number)
+        true (before = after))
+    (Livermore.all ())
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "block boundaries" `Quick test_block_boundaries;
+          Alcotest.test_case "producer/consumer kept ordered" `Quick
+            test_separates_producer_consumer;
+          Alcotest.test_case "WAR preserved" `Quick test_preserves_war;
+          Alcotest.test_case "memory barrier" `Quick test_memory_barrier;
+          Alcotest.test_case "branch pinned" `Quick test_branch_pinned;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "scheduled loops correct" `Slow
+            test_scheduled_loops_still_correct;
+          Alcotest.test_case "scheduling does not hurt" `Slow
+            test_scheduling_does_not_hurt;
+          Alcotest.test_case "instruction multiset" `Quick
+            test_instruction_multiset_preserved;
+        ] );
+    ]

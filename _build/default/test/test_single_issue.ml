@@ -1,0 +1,148 @@
+module Si = Mfu_sim.Single_issue
+module Sim_types = Mfu_sim.Sim_types
+module Config = Mfu_isa.Config
+module Reg = Mfu_isa.Reg
+module Fu = Mfu_isa.Fu
+module T = Tracegen
+
+let cfg = Config.m11br5
+
+let cycles org trace = (Si.simulate ~config:cfg org trace).Sim_types.cycles
+
+let test_single_instruction () =
+  let t = T.of_list [ T.fadd ~d:1 ~a:2 ~b:3 ] in
+  List.iter
+    (fun org -> Alcotest.(check int) "fadd takes its latency" 6 (cycles org t))
+    Si.all_organizations
+
+let test_simple_serializes_everything () =
+  (* two independent instructions in distinct units still serialize *)
+  let t = T.of_list [ T.fadd ~d:1 ~a:2 ~b:3; T.fmul ~d:4 ~a:5 ~b:6 ] in
+  Alcotest.(check int) "Simple: 6 + 7" 13 (cycles Si.Simple t);
+  Alcotest.(check int) "SerialMemory overlaps distinct units" 8
+    (cycles Si.Serial_memory t);
+  Alcotest.(check int) "NonSegmented same" 8 (cycles Si.Non_segmented t);
+  Alcotest.(check int) "CRAY-like same" 8 (cycles Si.Cray_like t)
+
+let test_pipelining_same_unit () =
+  (* two independent floating adds: only the CRAY-like machine overlaps
+     them in the (segmented) adder *)
+  let t = T.of_list [ T.fadd ~d:1 ~a:2 ~b:3; T.fadd ~d:4 ~a:5 ~b:6 ] in
+  Alcotest.(check int) "SerialMemory waits for the unit" 12
+    (cycles Si.Serial_memory t);
+  Alcotest.(check int) "NonSegmented waits for the unit" 12
+    (cycles Si.Non_segmented t);
+  Alcotest.(check int) "CRAY-like pipelines" 7 (cycles Si.Cray_like t)
+
+let test_memory_interleaving () =
+  (* two independent loads: NonSegmented interleaves, SerialMemory serial *)
+  let t = T.of_list [ T.load ~d:1 ~addr:0; T.load ~d:2 ~addr:8 ] in
+  Alcotest.(check int) "SerialMemory: 11 + 11" 22 (cycles Si.Serial_memory t);
+  Alcotest.(check int) "NonSegmented: second starts at parcel time" 13
+    (cycles Si.Non_segmented t);
+  Alcotest.(check int) "CRAY-like same" 13 (cycles Si.Cray_like t)
+
+let test_raw_hazard_blocks () =
+  (* transfer produces S1 at cycle 1; consumer waits *)
+  let t = T.of_list [ T.imm ~d:1; T.fadd ~d:2 ~a:1 ~b:1 ] in
+  Alcotest.(check int) "consumer issues at 1" 7 (cycles Si.Cray_like t)
+
+let test_waw_hazard_blocks () =
+  (* a load writes S1 at 11; a transfer writing S1 must wait (WAW) *)
+  let t = T.of_list [ T.load ~d:1 ~addr:0; T.imm ~d:1 ] in
+  Alcotest.(check int) "WAW blocks issue until 11" 12 (cycles Si.Cray_like t)
+
+let test_branch_blocks_issue () =
+  let t = T.of_list [ T.branch ~taken:true; T.imm ~d:1 ] in
+  (* slow branch: issue stage blocked until 5; transfer completes at 6 *)
+  Alcotest.(check int) "BR5" 6
+    (Si.simulate ~config:Config.m11br5 Si.Cray_like t).Sim_types.cycles;
+  Alcotest.(check int) "BR2" 3
+    (Si.simulate ~config:Config.m11br2 Si.Cray_like t).Sim_types.cycles
+
+let test_branch_waits_for_a0 () =
+  (* A0 written by a load: the branch cannot resolve until cycle 11 *)
+  let write_a0 =
+    T.entry ~dest:Reg.a0 ~srcs:[ Reg.A 1 ] ~parcels:2 ~kind:(Mfu_exec.Trace.Load 0)
+      Fu.Memory
+  in
+  let t = T.of_list [ write_a0; T.branch ~taken:false ] in
+  Alcotest.(check int) "branch resolves at 16" 16 (cycles Si.Cray_like t)
+
+let test_two_parcel_issue_occupancy () =
+  (* a 2-parcel load delays the issue of an independent transfer by a cycle *)
+  let t = T.of_list [ T.load ~d:1 ~addr:0; T.imm ~d:2 ] in
+  Alcotest.(check int) "load 11, transfer at 2" 11 (cycles Si.Cray_like t);
+  let t2 = T.of_list [ T.imm ~d:1; T.imm ~d:2 ] in
+  Alcotest.(check int) "1-parcel back to back" 2 (cycles Si.Cray_like t2)
+
+let test_issue_rate_metric () =
+  let t = T.of_list [ T.imm ~d:1; T.imm ~d:2 ] in
+  let r = Si.simulate ~config:cfg Si.Cray_like t in
+  Alcotest.(check (float 1e-9)) "2 instrs / 2 cycles" 1.0 (Sim_types.issue_rate r)
+
+(* organization ordering on the real workloads *)
+let test_organization_ordering_on_loops () =
+  List.iter
+    (fun (l : Mfu_loops.Livermore.loop) ->
+      let trace = Mfu_loops.Livermore.trace l in
+      List.iter
+        (fun config ->
+          let rate org =
+            Sim_types.issue_rate (Si.simulate ~config org trace)
+          in
+          let simple = rate Si.Simple
+          and serial = rate Si.Serial_memory
+          and nonseg = rate Si.Non_segmented
+          and cray = rate Si.Cray_like in
+          let name = Printf.sprintf "LL%d/%s" l.number (Config.name config) in
+          Alcotest.(check bool) (name ^ " simple<=serial") true
+            (simple <= serial +. 1e-9);
+          Alcotest.(check bool) (name ^ " serial<=nonseg") true
+            (serial <= nonseg +. 1e-9);
+          Alcotest.(check bool) (name ^ " nonseg<=cray") true
+            (nonseg <= cray +. 1e-9);
+          Alcotest.(check bool) (name ^ " rate <= 1") true (cray <= 1.0))
+        Config.all)
+    (Mfu_loops.Livermore.all ())
+
+let test_faster_memory_helps () =
+  List.iter
+    (fun (l : Mfu_loops.Livermore.loop) ->
+      let trace = Mfu_loops.Livermore.trace l in
+      let rate config =
+        Sim_types.issue_rate (Si.simulate ~config Si.Cray_like trace)
+      in
+      Alcotest.(check bool) "M5 >= M11" true
+        (rate Config.m5br5 >= rate Config.m11br5 -. 1e-9);
+      Alcotest.(check bool) "BR2 >= BR5" true
+        (rate Config.m11br2 >= rate Config.m11br5 -. 1e-9))
+    (Mfu_loops.Livermore.all ())
+
+let () =
+  Alcotest.run "single_issue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single instruction" `Quick test_single_instruction;
+          Alcotest.test_case "Simple serializes" `Quick
+            test_simple_serializes_everything;
+          Alcotest.test_case "pipelining same unit" `Quick
+            test_pipelining_same_unit;
+          Alcotest.test_case "memory interleaving" `Quick test_memory_interleaving;
+          Alcotest.test_case "RAW blocks" `Quick test_raw_hazard_blocks;
+          Alcotest.test_case "WAW blocks" `Quick test_waw_hazard_blocks;
+          Alcotest.test_case "branch blocks issue" `Quick test_branch_blocks_issue;
+          Alcotest.test_case "branch waits for A0" `Quick test_branch_waits_for_a0;
+          Alcotest.test_case "parcel occupancy" `Quick
+            test_two_parcel_issue_occupancy;
+          Alcotest.test_case "issue rate metric" `Quick test_issue_rate_metric;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "organization ordering" `Slow
+            test_organization_ordering_on_loops;
+          Alcotest.test_case "memory/branch speed helps" `Slow
+            test_faster_memory_helps;
+        ] );
+    ]

@@ -1,0 +1,81 @@
+module Stats = Mfu_util.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_harmonic_basic () =
+  check_float "two elements" (4.0 /. 3.0) (Stats.harmonic_mean [ 1.0; 2.0 ]);
+  check_float "singleton" 5.0 (Stats.harmonic_mean [ 5.0 ]);
+  check_float "identical" 0.44 (Stats.harmonic_mean [ 0.44; 0.44; 0.44 ])
+
+let test_harmonic_paper_style () =
+  (* The harmonic mean is dominated by the slowest loop, which is why the
+     paper uses it for issue rates. *)
+  let hm = Stats.harmonic_mean [ 0.1; 1.0; 1.0; 1.0 ] in
+  Alcotest.(check bool) "dominated by the slowest" true (hm < 0.31)
+
+let test_harmonic_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.harmonic_mean: empty list")
+    (fun () -> ignore (Stats.harmonic_mean []));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.harmonic_mean: non-positive element") (fun () ->
+      ignore (Stats.harmonic_mean [ 1.0; 0.0 ]))
+
+let test_means () =
+  check_float "arithmetic" 2.0 (Stats.arithmetic_mean [ 1.0; 2.0; 3.0 ]);
+  check_float "geometric" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ]);
+  check_float "min" 1.0 (Stats.min_list [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.max_list [ 3.0; 1.0; 2.0 ])
+
+let test_round2 () =
+  check_float "round down" 0.44 (Stats.round2 0.444);
+  check_float "round up" 0.45 (Stats.round2 0.445000001);
+  check_float "negative" (-0.45) (Stats.round2 (-0.44500001))
+
+let test_pct () =
+  check_float "pct" 50.0 (Stats.pct_of 0.5 ~limit:1.0);
+  check_float "pct of limit" 34.11 (Stats.pct_of 0.44 ~limit:1.29 |> Stats.round2)
+
+let positive_list =
+  QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.001 1000.0))
+
+let prop_mean_inequality =
+  QCheck.Test.make ~name:"harmonic <= geometric <= arithmetic" ~count:300
+    positive_list (fun xs ->
+      QCheck.assume (xs <> []);
+      let h = Stats.harmonic_mean xs
+      and g = Stats.geometric_mean xs
+      and a = Stats.arithmetic_mean xs in
+      h <= g +. 1e-9 && g <= a +. 1e-9)
+
+let prop_harmonic_bounds =
+  QCheck.Test.make ~name:"harmonic mean within [min, max]" ~count:300
+    positive_list (fun xs ->
+      QCheck.assume (xs <> []);
+      let h = Stats.harmonic_mean xs in
+      Stats.min_list xs -. 1e-9 <= h && h <= Stats.max_list xs +. 1e-9)
+
+let prop_harmonic_scale =
+  QCheck.Test.make ~name:"harmonic mean is homogeneous" ~count:300
+    QCheck.(pair (float_range 0.1 10.0) positive_list)
+    (fun (k, xs) ->
+      QCheck.assume (xs <> []);
+      let a = Stats.harmonic_mean (List.map (fun x -> k *. x) xs) in
+      let b = k *. Stats.harmonic_mean xs in
+      abs_float (a -. b) <= 1e-6 *. max 1.0 (abs_float b))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "harmonic basics" `Quick test_harmonic_basic;
+          Alcotest.test_case "harmonic is pessimistic" `Quick test_harmonic_paper_style;
+          Alcotest.test_case "harmonic errors" `Quick test_harmonic_errors;
+          Alcotest.test_case "other means" `Quick test_means;
+          Alcotest.test_case "round2" `Quick test_round2;
+          Alcotest.test_case "pct_of" `Quick test_pct;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_mean_inequality; prop_harmonic_bounds; prop_harmonic_scale ] );
+    ]

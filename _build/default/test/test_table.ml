@@ -1,0 +1,96 @@
+module Table = Mfu_util.Table
+
+let lines s =
+  List.filter
+    (fun l -> l <> "")
+    (String.split_on_char '\n' s)
+
+let test_basic_render () =
+  let t =
+    Table.create ~title:"demo"
+      ~columns:[ ("Name", Table.Left); ("Rate", Table.Right) ]
+      ()
+  in
+  Table.add_row t [ "simple"; "0.24" ];
+  Table.add_row t [ "cray"; "0.44" ];
+  let out = Table.render t in
+  (match lines out with
+  | title :: header :: _rule :: row1 :: row2 :: _ ->
+      Alcotest.(check string) "title" "demo" title;
+      Alcotest.(check bool) "header has Name" true
+        (String.length header >= 4 && String.sub header 0 4 = "Name");
+      Alcotest.(check bool) "row1 starts with simple" true
+        (String.sub row1 0 6 = "simple");
+      Alcotest.(check bool) "row2 right-aligns rate" true
+        (String.length row2 = String.length row1)
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_no_title () =
+  let t = Table.create ~columns:[ ("A", Table.Left) ] () in
+  Table.add_row t [ "x" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "starts with header" true
+    (String.length out > 0 && out.[0] = 'A')
+
+let test_wrong_width () =
+  let t = Table.create ~columns:[ ("A", Table.Left); ("B", Table.Right) ] () in
+  Alcotest.check_raises "row too short"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let test_separator () =
+  let t = Table.create ~columns:[ ("A", Table.Left) ] () in
+  Table.add_row t [ "x" ];
+  Table.add_separator t;
+  Table.add_row t [ "y" ];
+  let out = Table.render t in
+  let dashes =
+    List.filter
+      (fun l -> String.length l > 0 && String.for_all (fun c -> c = '-') l)
+      (lines out)
+  in
+  Alcotest.(check int) "two rules (header + group)" 2 (List.length dashes)
+
+let test_column_width_grows () =
+  let t = Table.create ~columns:[ ("A", Table.Right) ] () in
+  Table.add_row t [ "very-long-cell" ];
+  Table.add_row t [ "x" ];
+  let out = Table.render t in
+  let widths = List.map String.length (lines out) in
+  Alcotest.(check bool) "all lines equally wide" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_cell_f2 () =
+  Alcotest.(check string) "format" "0.44" (Table.cell_f2 0.444);
+  Alcotest.(check string) "format up" "1.30" (Table.cell_f2 1.299)
+
+let prop_render_never_raises =
+  QCheck.Test.make ~name:"render is total for matching rows" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 5) (string_gen_of_size Gen.(int_range 0 8) Gen.printable))
+        (small_list (string_gen_of_size Gen.(int_range 0 12) Gen.printable)))
+    (fun (headers, cells) ->
+      let t =
+        Table.create ~columns:(List.map (fun h -> (h, Table.Left)) headers) ()
+      in
+      let row =
+        List.mapi (fun i _ -> try List.nth cells i with _ -> "pad") headers
+      in
+      Table.add_row t row;
+      String.length (Table.render t) > 0)
+
+let () =
+  Alcotest.run "table"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic render" `Quick test_basic_render;
+          Alcotest.test_case "no title" `Quick test_no_title;
+          Alcotest.test_case "wrong width" `Quick test_wrong_width;
+          Alcotest.test_case "separators" `Quick test_separator;
+          Alcotest.test_case "uniform width" `Quick test_column_width_grows;
+          Alcotest.test_case "cell_f2" `Quick test_cell_f2;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_render_never_raises ]);
+    ]

@@ -1,0 +1,98 @@
+module Trace = Mfu_exec.Trace
+module Trace_io = Mfu_exec.Trace_io
+module Livermore = Mfu_loops.Livermore
+module T = Tracegen
+
+let sample =
+  T.of_list
+    [
+      T.imm ~d:1;
+      T.load ~d:2 ~addr:17;
+      T.fadd ~d:3 ~a:1 ~b:2;
+      T.store ~v:3 ~addr:17;
+      T.branch ~taken:true;
+      T.branch ~taken:false;
+    ]
+
+let test_roundtrip_small () =
+  match Trace_io.of_string (Trace_io.to_string sample) with
+  | Error m -> Alcotest.fail m
+  | Ok t ->
+      Alcotest.(check int) "length" (Array.length sample) (Array.length t);
+      Alcotest.(check bool) "identical" true (t = sample)
+
+let test_roundtrip_all_loops () =
+  List.iter
+    (fun (l : Livermore.loop) ->
+      let trace = Livermore.trace l in
+      match Trace_io.of_string (Trace_io.to_string trace) with
+      | Error m -> Alcotest.fail (Printf.sprintf "LL%d: %s" l.number m)
+      | Ok t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "LL%d roundtrip" l.number)
+            true (t = trace))
+    [ Livermore.loop 1; Livermore.loop 13; Livermore.loop 14 ]
+
+let test_header_checked () =
+  match Trace_io.of_string "not a trace\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected header error"
+
+let test_bad_line_reported () =
+  let text = Trace_io.to_string sample ^ "garbage here\n" in
+  match Trace_io.of_string text with
+  | Error m ->
+      Alcotest.(check bool) "mentions line" true
+        (String.length m > 5 && String.sub m 0 5 = "line ")
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_empty_trace () =
+  match Trace_io.of_string (Trace_io.to_string [||]) with
+  | Ok t -> Alcotest.(check int) "empty" 0 (Array.length t)
+  | Error m -> Alcotest.fail m
+
+let test_file_io () =
+  let path = Filename.temp_file "mfu_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.write_file path sample;
+      match Trace_io.read_file path with
+      | Ok t -> Alcotest.(check bool) "file roundtrip" true (t = sample)
+      | Error m -> Alcotest.fail m)
+
+let test_missing_file () =
+  match Trace_io.read_file "/nonexistent/path/trace.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_simulators_agree_on_reloaded_trace () =
+  let trace = Livermore.trace (Livermore.loop 5) in
+  match Trace_io.of_string (Trace_io.to_string trace) with
+  | Error m -> Alcotest.fail m
+  | Ok reloaded ->
+      let config = Mfu_isa.Config.m11br5 in
+      let rate t =
+        Mfu_sim.Sim_types.issue_rate
+          (Mfu_sim.Single_issue.simulate ~config
+             Mfu_sim.Single_issue.Cray_like t)
+      in
+      Alcotest.(check (float 1e-12)) "same issue rate" (rate trace)
+        (rate reloaded)
+
+let () =
+  Alcotest.run "trace_io"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_small;
+          Alcotest.test_case "roundtrip loops" `Quick test_roundtrip_all_loops;
+          Alcotest.test_case "header" `Quick test_header_checked;
+          Alcotest.test_case "bad line" `Quick test_bad_line_reported;
+          Alcotest.test_case "empty" `Quick test_empty_trace;
+          Alcotest.test_case "file io" `Quick test_file_io;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+          Alcotest.test_case "reloaded trace simulates identically" `Quick
+            test_simulators_agree_on_reloaded_trace;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+module Vec = Mfu_loops.Vectorized
+module Livermore = Mfu_loops.Livermore
+module Si = Mfu_sim.Single_issue
+module Sim_types = Mfu_sim.Sim_types
+module Config = Mfu_isa.Config
+module Trace = Mfu_exec.Trace
+module T = Tracegen
+
+let cfg = Config.m11br5
+
+(* correctness: the vector programs compute exactly what the scalar kernel
+   computes, verified against the golden interpreter *)
+let test_vector_programs_correct () =
+  List.iter
+    (fun (t : Vec.t) ->
+      match Vec.check t with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    (Vec.all ())
+
+let test_correct_at_odd_sizes () =
+  (* sizes that are not multiples of 64 exercise the short final strip *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun t ->
+          match Vec.check t with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m)
+        [ Vec.loop1 ~n (); Vec.loop7 ~n (); Vec.loop12 ~n () ])
+    [ 1; 63; 64; 65; 130 ]
+
+let test_far_fewer_instructions () =
+  List.iter
+    (fun (t : Vec.t) ->
+      let vector = Array.length (Vec.trace t) in
+      let scalar = Array.length (Livermore.trace t.Vec.loop) in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d vector %d << scalar %d" t.Vec.loop.number vector
+           scalar)
+        true
+        (vector * 20 < scalar))
+    (Vec.all ())
+
+let test_vector_speedup () =
+  (* the CRAY-class vector/scalar gap: roughly an order of magnitude *)
+  List.iter
+    (fun (t : Vec.t) ->
+      let cycles trace =
+        (Si.simulate ~config:cfg Si.Cray_like trace).Sim_types.cycles
+      in
+      let speedup =
+        float_of_int (cycles (Livermore.trace t.Vec.loop))
+        /. float_of_int (cycles (Vec.trace t))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL%d speedup %.1fx" t.Vec.loop.number speedup)
+        true
+        (speedup > 4.0 && speedup < 40.0))
+    (Vec.all ())
+
+let test_traces_carry_vl () =
+  let t = Vec.loop12 ~n:100 () in
+  let trace = Vec.trace t in
+  Alcotest.(check bool) "some vl=64 entries" true
+    (Array.exists (fun (e : Trace.entry) -> e.Trace.vl = 64) trace);
+  Alcotest.(check bool) "last strip vl=36" true
+    (Array.exists (fun (e : Trace.entry) -> e.Trace.vl = 36) trace)
+
+(* timing semantics of vector entries in the single-issue model *)
+let test_vector_timing () =
+  let vload ~vl =
+    T.entry ~dest:(Mfu_isa.Reg.V 1) ~srcs:[ Mfu_isa.Reg.A 2 ] ~parcels:2
+      ~kind:(Trace.Load 0) ~vl Mfu_isa.Fu.Memory
+  in
+  (* one 64-element vector load: latency 11 + 63 streaming cycles *)
+  let t1 = T.of_list [ vload ~vl:64 ] in
+  Alcotest.(check int) "last element at 74" 74
+    (Si.simulate ~config:cfg Si.Cray_like t1).Sim_types.cycles;
+  (* a second, independent vector load must wait for the memory port to
+     finish streaming the first (64 busy slots) even on the CRAY machine *)
+  let vload2 ~vl =
+    T.entry ~dest:(Mfu_isa.Reg.V 2) ~srcs:[ Mfu_isa.Reg.A 2 ] ~parcels:2
+      ~kind:(Trace.Load 256) ~vl Mfu_isa.Fu.Memory
+  in
+  let t2 = T.of_list [ vload ~vl:64; vload2 ~vl:64 ] in
+  Alcotest.(check int) "second stream starts at 64" (64 + 11 + 63)
+    (Si.simulate ~config:cfg Si.Cray_like t2).Sim_types.cycles
+
+let test_vl_dependency () =
+  (* Set_vl writes VL; vector instructions read it, so reordering is
+     impossible and a vector op waits for Set_vl's completion *)
+  let setvl =
+    T.entry ~dest:Mfu_isa.Reg.VL ~srcs:[ Mfu_isa.Reg.A 3 ] Mfu_isa.Fu.Transfer
+  in
+  let vadd =
+    T.entry ~dest:(Mfu_isa.Reg.V 1)
+      ~srcs:[ Mfu_isa.Reg.V 2; Mfu_isa.Reg.V 3; Mfu_isa.Reg.VL ]
+      ~vl:64 Mfu_isa.Fu.Float_add
+  in
+  let t = T.of_list [ setvl; vadd ] in
+  (* setvl completes at 1; vadd t=1, completion 1+6+63 = 70 *)
+  Alcotest.(check int) "gated by VL" 70
+    (Si.simulate ~config:cfg Si.Cray_like t).Sim_types.cycles
+
+let test_e2_rows () =
+  let rows = Mfu.Experiments.vectorization_study ~config:cfg () in
+  Alcotest.(check (list int)) "loops 1, 7, 12" [ 1; 7; 12 ]
+    (List.map (fun (r : Mfu.Experiments.vector_row) -> r.Mfu.Experiments.vec_number) rows);
+  List.iter
+    (fun (r : Mfu.Experiments.vector_row) ->
+      Alcotest.(check bool) "speedup sane" true
+        (r.Mfu.Experiments.vec_speedup > 4.0))
+    rows
+
+let () =
+  Alcotest.run "vectorized"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "golden model" `Quick test_vector_programs_correct;
+          Alcotest.test_case "odd sizes" `Quick test_correct_at_odd_sizes;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "fewer instructions" `Quick
+            test_far_fewer_instructions;
+          Alcotest.test_case "speedup" `Quick test_vector_speedup;
+          Alcotest.test_case "vl in traces" `Quick test_traces_carry_vl;
+          Alcotest.test_case "vector streaming" `Quick test_vector_timing;
+          Alcotest.test_case "VL dependency" `Quick test_vl_dependency;
+          Alcotest.test_case "E2 rows" `Quick test_e2_rows;
+        ] );
+    ]
