@@ -30,15 +30,27 @@ let print_comparison title paper measured =
   print_endline (R.render_comparison ~title (R.compare_cells ~paper ~measured));
   print_newline ()
 
+(* Per-table wall-clock of the parallel experiment engine, reported next to
+   the worker-domain count so MFU_JOBS sweeps are easy to read off. *)
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.eprintf "[engine] %s: %d job(s), %.2fs wall-clock\n%!" name
+    (Mfu_util.Pool.current_jobs ())
+    (Unix.gettimeofday () -. t0);
+  r
+
 let reproduce () =
   print_endline "=== Reproduction: Pleszkun & Sohi 1988, Tables 1-8 ===";
+  Printf.printf "(experiment engine: %d worker domain(s); set MFU_JOBS to change)\n"
+    (Mfu_util.Pool.current_jobs ());
   print_newline ();
-  let t1 = E.table1 () in
+  let t1 = timed "table 1" E.table1 in
   Mfu_util.Table.print (R.render_table1 t1);
   print_comparison "Table 1 shape vs paper"
     (P.flatten_table1 P.table1)
     (R.flatten_measured_table1 t1);
-  Mfu_util.Table.print (R.render_table2 (E.table2 ()));
+  Mfu_util.Table.print (R.render_table2 (timed "table 2" E.table2));
   let buffer_tables =
     [
       (3, "Table 3. Multiple issue units, sequential issue, scalar code", E.table3, P.table3);
@@ -49,7 +61,7 @@ let reproduce () =
   in
   List.iter
     (fun (n, title, compute, paper) ->
-      let t = compute () in
+      let t = timed (Printf.sprintf "table %d" n) compute in
       Mfu_util.Table.print (R.render_buffer_table ~title t);
       let name = Printf.sprintf "t%d" n in
       print_comparison
@@ -65,7 +77,7 @@ let reproduce () =
   in
   List.iter
     (fun (n, title, compute, paper) ->
-      let t = compute () in
+      let t = timed (Printf.sprintf "table %d" n) compute in
       Mfu_util.Table.print (R.render_ruu_table ~title t);
       let name = Printf.sprintf "t%d" n in
       print_comparison

@@ -1,1 +1,1 @@
-bin/tables.ml: Arg Cmd Cmdliner List Mfu Mfu_isa Mfu_loops Mfu_util Printf Term
+bin/tables.ml: Arg Cmd Cmdliner List Mfu Mfu_isa Mfu_loops Mfu_util Option Printf Term Unix

@@ -1,9 +1,21 @@
 (* Regenerate the paper's tables (and the extension ablations) from the
    simulators, optionally with a shape comparison against the published
-   numbers. *)
+   numbers.
+
+   Tables run on the parallel experiment engine (Mfu_util.Pool); worker
+   count comes from --jobs or MFU_JOBS. Per-table timing goes to stderr so
+   stdout stays byte-identical across worker counts. *)
 
 let output_table ~csv t =
   if csv then print_string (Mfu_util.Table.to_csv t) else Mfu_util.Table.print t
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.eprintf "[engine] %s: %d job(s), %.2fs wall-clock\n%!" name
+    (Mfu_util.Pool.current_jobs ())
+    (Unix.gettimeofday () -. t0);
+  r
 
 let table_of_int ~compare ~csv n =
   let module E = Mfu.Experiments in
@@ -67,11 +79,14 @@ let run_ablations () =
   Mfu_util.Table.print
     (R.render_conclusions ~paper:Mfu.Paper_data.conclusions (E.conclusions ()))
 
-let run table ablations compare csv =
+let run table ablations compare csv jobs =
+  Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
+  let one n =
+    timed (Printf.sprintf "table %d" n) (fun () -> table_of_int ~compare ~csv n)
+  in
   (match table with
-  | Some n -> table_of_int ~compare ~csv n
-  | None ->
-      List.iter (table_of_int ~compare ~csv) [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+  | Some n -> one n
+  | None -> List.iter one [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
   if ablations then run_ablations ()
 
 open Cmdliner
@@ -92,9 +107,16 @@ let csv =
   let doc = "Emit the tables as CSV instead of aligned text." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the experiment engine (overrides MFU_JOBS; 1 runs \
+     sequentially)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "regenerate the tables of Pleszkun & Sohi 1988" in
   let info = Cmd.info "mfu-tables" ~doc in
-  Cmd.v info Term.(const run $ table $ ablations $ compare $ csv)
+  Cmd.v info Term.(const run $ table $ ablations $ compare $ csv $ jobs)
 
 let () = exit (Cmd.eval cmd)

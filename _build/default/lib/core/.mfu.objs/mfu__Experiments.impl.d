@@ -1,1 +1,1 @@
-lib/core/experiments.ml: Array List Mfu_isa Mfu_limits Mfu_loops Mfu_sim Mfu_util
+lib/core/experiments.ml: Array List Mfu_exec Mfu_isa Mfu_limits Mfu_loops Mfu_sim Mfu_util

@@ -1,6 +1,7 @@
 module Livermore = Mfu_loops.Livermore
 module Config = Mfu_isa.Config
 module Stats = Mfu_util.Stats
+module Pool = Mfu_util.Pool
 module Sim_types = Mfu_sim.Sim_types
 module Single_issue = Mfu_sim.Single_issue
 module Buffer_issue = Mfu_sim.Buffer_issue
@@ -18,6 +19,43 @@ let class_rate simulate loops =
 let configs = Config.all
 let classes = [ Livermore.Scalar; Livermore.Vectorizable ]
 
+(* -- execution engine -------------------------------------------------------
+
+   Each table builds a flat list of independent cell jobs and maps them
+   through the domain pool ({!Mfu_util.Pool.map}), then reassembles the rows
+   in fixed order with [chunks]. The pool preserves input order and every
+   cell is a pure function of its inputs, so the result is bit-identical to
+   the sequential path regardless of MFU_JOBS.
+
+   Traces are prewarmed sequentially on the calling domain before fanning
+   out, so worker domains only ever take the {!Mfu_loops.Trace_cache} read
+   path instead of serializing on trace generation. *)
+
+let chunks n xs =
+  if n <= 0 then invalid_arg "Experiments.chunks";
+  let rec take k = function
+    | x :: rest when k > 0 ->
+        let h, t = take (k - 1) rest in
+        (x :: h, t)
+    | rest -> ([], rest)
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+        let h, t = take n xs in
+        h :: go t
+  in
+  go xs
+
+let prewarm ?(scheduled = false) loops =
+  List.iter
+    (fun l ->
+      ignore (Livermore.trace l : Mfu_exec.Trace.t);
+      if scheduled then ignore (Livermore.scheduled_trace l : Mfu_exec.Trace.t))
+    loops
+
+let all_class_loops () = List.concat_map Livermore.of_class classes
+
 (* -- Table 1 ---------------------------------------------------------------- *)
 
 type single_issue_table = {
@@ -26,20 +64,35 @@ type single_issue_table = {
 }
 
 let table1 () =
-  let table cls =
-    let loops = Livermore.of_class cls in
-    let row org =
-      let rates =
-        List.map
-          (fun config ->
-            class_rate (Single_issue.simulate ~config org) loops)
-          configs
-      in
-      (org, Array.of_list rates)
-    in
-    { si_class = cls; si_rows = List.map row Single_issue.all_organizations }
+  prewarm (all_class_loops ());
+  let orgs = Single_issue.all_organizations in
+  let jobs =
+    List.concat_map
+      (fun cls ->
+        let loops = Livermore.of_class cls in
+        List.concat_map
+          (fun org -> List.map (fun config -> (loops, org, config)) configs)
+          orgs)
+      classes
   in
-  List.map table classes
+  let rates =
+    Pool.map
+      (fun (loops, org, config) ->
+        class_rate (Single_issue.simulate ~config org) loops)
+      jobs
+  in
+  List.map2
+    (fun cls class_rates ->
+      {
+        si_class = cls;
+        si_rows =
+          List.map2
+            (fun org row -> (org, Array.of_list row))
+            orgs
+            (chunks (List.length configs) class_rates);
+      })
+    classes
+    (chunks (List.length orgs * List.length configs) rates)
 
 (* -- Table 2 ---------------------------------------------------------------- *)
 
@@ -57,32 +110,38 @@ type limits_table = {
 }
 
 let table2 () =
-  let table cls =
-    let loops = Livermore.of_class cls in
-    let row ~pure config =
-      let limits =
-        List.map (fun l -> Limits.analyze ~config (Livermore.trace l)) loops
-      in
-      let mean f = Stats.harmonic_mean (List.map f limits) in
-      {
-        lim_machine = config;
-        lim_pure = pure;
-        lim_pseudo =
-          mean (fun l ->
-              if pure then l.Limits.pseudo_dataflow else l.Limits.serial_dataflow);
-        lim_resource = mean (fun l -> l.Limits.resource);
-        lim_actual =
-          mean (fun l ->
-              if pure then Limits.actual l else Limits.actual_serial l);
-      }
+  prewarm (all_class_loops ());
+  let jobs =
+    List.concat_map
+      (fun cls ->
+        let loops = Livermore.of_class cls in
+        List.concat_map
+          (fun pure -> List.map (fun config -> (loops, pure, config)) configs)
+          [ true; false ])
+      classes
+  in
+  let row (loops, pure, config) =
+    let limits =
+      List.map (fun l -> Limits.analyze ~config (Livermore.trace l)) loops
     in
+    let mean f = Stats.harmonic_mean (List.map f limits) in
     {
-      lim_class = cls;
-      lim_rows =
-        List.map (row ~pure:true) configs @ List.map (row ~pure:false) configs;
+      lim_machine = config;
+      lim_pure = pure;
+      lim_pseudo =
+        mean (fun l ->
+            if pure then l.Limits.pseudo_dataflow else l.Limits.serial_dataflow);
+      lim_resource = mean (fun l -> l.Limits.resource);
+      lim_actual =
+        mean (fun l ->
+            if pure then Limits.actual l else Limits.actual_serial l);
     }
   in
-  List.map table classes
+  let rows = Pool.map row jobs in
+  List.map2
+    (fun cls lim_rows -> { lim_class = cls; lim_rows })
+    classes
+    (chunks (2 * List.length configs) rows)
 
 (* -- Tables 3-6 -------------------------------------------------------------- *)
 
@@ -99,24 +158,28 @@ let stations_swept = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
 let buffer_table cls policy =
   let loops = Livermore.of_class cls in
-  let cell stations config =
-    let rate bus =
-      class_rate (Buffer_issue.simulate ~config ~policy ~stations ~bus) loops
-    in
-    { n_bus = rate Sim_types.N_bus; one_bus = rate Sim_types.One_bus }
+  prewarm loops;
+  let jobs =
+    List.concat_map
+      (fun stations -> List.map (fun config -> (stations, config)) configs)
+      stations_swept
   in
   let cells =
-    Array.of_list
-      (List.map
-         (fun stations ->
-           Array.of_list (List.map (cell stations) configs))
-         stations_swept)
+    Pool.map
+      (fun (stations, config) ->
+        let rate bus =
+          class_rate (Buffer_issue.simulate ~config ~policy ~stations ~bus) loops
+        in
+        { n_bus = rate Sim_types.N_bus; one_bus = rate Sim_types.One_bus })
+      jobs
   in
   {
     buf_class = cls;
     buf_policy = policy;
     buf_stations = stations_swept;
-    buf_cells = cells;
+    buf_cells =
+      Array.of_list
+        (List.map Array.of_list (chunks (List.length configs) cells));
   }
 
 let table3 () = buffer_table Livermore.Scalar Buffer_issue.In_order
@@ -138,29 +201,38 @@ let ruu_units_swept = [ 1; 2; 3; 4 ]
 
 let ruu_table cls =
   let loops = Livermore.of_class cls in
-  let cell config ruu_size issue_units =
-    let rate bus =
-      class_rate (Ruu.simulate ~config ~issue_units ~ruu_size ~bus) loops
-    in
-    { n_bus = rate Sim_types.N_bus; one_bus = rate Sim_types.One_bus }
+  prewarm loops;
+  let jobs =
+    List.concat_map
+      (fun config ->
+        List.concat_map
+          (fun size ->
+            List.map (fun units -> (config, size, units)) ruu_units_swept)
+          ruu_sizes_swept)
+      configs
   in
   let cells =
-    Array.of_list
-      (List.map
-         (fun config ->
-           Array.of_list
-             (List.map
-                (fun size ->
-                  Array.of_list
-                    (List.map (cell config size) ruu_units_swept))
-                ruu_sizes_swept))
-         configs)
+    Pool.map
+      (fun (config, ruu_size, issue_units) ->
+        let rate bus =
+          class_rate (Ruu.simulate ~config ~issue_units ~ruu_size ~bus) loops
+        in
+        { n_bus = rate Sim_types.N_bus; one_bus = rate Sim_types.One_bus })
+      jobs
   in
+  let per_config = List.length ruu_sizes_swept * List.length ruu_units_swept in
   {
     ruu_class = cls;
     ruu_sizes = ruu_sizes_swept;
     ruu_units = ruu_units_swept;
-    ruu_cells = cells;
+    ruu_cells =
+      Array.of_list
+        (List.map
+           (fun config_cells ->
+             Array.of_list
+               (List.map Array.of_list
+                  (chunks (List.length ruu_units_swept) config_cells)))
+           (chunks per_config cells));
   }
 
 let table7 () = ruu_table Livermore.Scalar

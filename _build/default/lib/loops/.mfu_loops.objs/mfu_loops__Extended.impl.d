@@ -1,1 +1,1 @@
-lib/loops/extended.ml: Data List Livermore Mfu_kern
+lib/loops/extended.ml: Data Fun List Livermore Mfu_kern Mutex

@@ -1,1 +1,1 @@
-lib/loops/livermore.ml: Array Data Hashtbl List Mfu_asm Mfu_exec Mfu_isa Mfu_kern Printf String
+lib/loops/livermore.ml: Array Data Fun Hashtbl List Mfu_asm Mfu_exec Mfu_isa Mfu_kern Mutex Printf String Trace_cache

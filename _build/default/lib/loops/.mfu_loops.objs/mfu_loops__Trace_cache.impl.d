@@ -1,0 +1,1 @@
+lib/loops/trace_cache.ml: Fun Hashtbl Mfu_exec Mutex

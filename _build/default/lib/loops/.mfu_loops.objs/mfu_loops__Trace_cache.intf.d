@@ -1,0 +1,1 @@
+lib/loops/trace_cache.mli: Mfu_exec

@@ -1,1 +1,1 @@
-lib/loops/vectorized.ml: Hashtbl List Livermore Mfu_asm Mfu_exec Mfu_isa Mfu_kern Printf
+lib/loops/vectorized.ml: Fun Hashtbl List Livermore Mfu_asm Mfu_exec Mfu_isa Mfu_kern Mutex Printf

@@ -653,21 +653,27 @@ let loop14 ?(n = 64) () =
 
 (* -- collections ----------------------------------------------------------- *)
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let all_lock = Mutex.create ()
 let all_memo = ref None
 
 let all () =
-  match !all_memo with
-  | Some loops -> loops
-  | None ->
-      let loops =
-        [
-          loop1 (); loop2 (); loop3 (); loop4 (); loop5 (); loop6 ();
-          loop7 (); loop8 (); loop9 (); loop10 (); loop11 (); loop12 ();
-          loop13 (); loop14 ();
-        ]
-      in
-      all_memo := Some loops;
-      loops
+  with_lock all_lock (fun () ->
+      match !all_memo with
+      | Some loops -> loops
+      | None ->
+          let loops =
+            [
+              loop1 (); loop2 (); loop3 (); loop4 (); loop5 (); loop6 ();
+              loop7 (); loop8 (); loop9 (); loop10 (); loop11 (); loop12 ();
+              loop13 (); loop14 ();
+            ]
+          in
+          all_memo := Some loops;
+          loops)
 
 let loop n =
   if n < 1 || n > 14 then invalid_arg "Livermore.loop: n must be in 1..14";
@@ -678,6 +684,8 @@ let scalar_loops () = of_class Scalar
 let vectorizable_loops () = of_class Vectorizable
 
 (* -- compilation / trace caches ------------------------------------------- *)
+
+let compiled_lock = Mutex.create ()
 
 let compiled_cache : (int * string, Codegen.compiled) Hashtbl.t =
   Hashtbl.create 16
@@ -694,32 +702,27 @@ let cache_key l =
 
 let compiled l =
   let key = cache_key l in
-  match Hashtbl.find_opt compiled_cache key with
-  | Some c -> c
-  | None ->
-      let c = Codegen.compile l.kernel in
-      Hashtbl.add compiled_cache key c;
-      c
+  with_lock compiled_lock (fun () ->
+      match Hashtbl.find_opt compiled_cache key with
+      | Some c -> c
+      | None ->
+          let c = Codegen.compile l.kernel in
+          Hashtbl.add compiled_cache key c;
+          c)
 
-let trace_cache : (int * string, Mfu_exec.Trace.t) Hashtbl.t = Hashtbl.create 16
+(* Dynamic traces are memoized process-wide in the domain-safe
+   {!Trace_cache}, so repeated lookups — including ones racing from
+   {!Mfu_util.Pool} worker domains — share one physical array per key. *)
 
 let trace l =
-  let key = cache_key l in
-  match Hashtbl.find_opt trace_cache key with
-  | Some t -> t
-  | None ->
-      let result = Codegen.run (compiled l) l.inputs in
-      Hashtbl.add trace_cache key result.Cpu.trace;
-      result.Cpu.trace
-
-let scheduled_trace_cache : (int * string, Mfu_exec.Trace.t) Hashtbl.t =
-  Hashtbl.create 16
+  let number, sizes = cache_key l in
+  Trace_cache.find_or_generate ~number ~sizes ~kind:Trace_cache.Raw (fun () ->
+      (Codegen.run (compiled l) l.inputs).Cpu.trace)
 
 let scheduled_trace l =
-  let key = cache_key l in
-  match Hashtbl.find_opt scheduled_trace_cache key with
-  | Some t -> t
-  | None ->
+  let number, sizes = cache_key l in
+  Trace_cache.find_or_generate ~number ~sizes ~kind:Trace_cache.Scheduled
+    (fun () ->
       let c = compiled l in
       let latencies = Mfu_isa.Fu.cray1_latencies ~memory:11 ~branch:5 in
       let program =
@@ -728,6 +731,4 @@ let scheduled_trace l =
       let memory =
         Mfu_kern.Layout.initial_memory c.Mfu_kern.Codegen.layout l.inputs
       in
-      let result = Cpu.run ~program ~memory () in
-      Hashtbl.add scheduled_trace_cache key result.Cpu.trace;
-      result.Cpu.trace
+      (Cpu.run ~program ~memory ()).Cpu.trace)

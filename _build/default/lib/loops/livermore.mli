@@ -81,11 +81,14 @@ val compiled : loop -> Mfu_kern.Codegen.compiled
 (** Compile a loop's kernel (memoized per loop identity). *)
 
 val trace : loop -> Mfu_exec.Trace.t
-(** Execute the compiled loop on its inputs and return the dynamic trace
-    (memoized per loop identity). *)
+(** Execute the compiled loop on its inputs and return the dynamic trace.
+    Memoized process-wide in the domain-safe {!Trace_cache}: each trace is
+    generated once per process and repeated lookups return the same
+    physical array, even under concurrent access from {!Mfu_util.Pool}
+    worker domains. *)
 
 val scheduled_trace : loop -> Mfu_exec.Trace.t
 (** Like {!trace}, but the compiled program is first passed through the
     basic-block list scheduler ({!Mfu_asm.Scheduler}) with CRAY-1 M11BR5
     latencies — the paper's "software code scheduling" alternative.
-    Memoized per loop identity. *)
+    Memoized in {!Trace_cache} like {!trace}. *)

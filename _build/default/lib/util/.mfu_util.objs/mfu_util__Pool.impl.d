@@ -1,0 +1,1 @@
+lib/util/pool.ml: Array Atomic Domain List Option String Sys

@@ -1,0 +1,65 @@
+let clamp n = if n < 1 then 1 else if n > 64 then 64 else n
+
+let env_jobs () =
+  match Sys.getenv_opt "MFU_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Some (clamp n)
+      | None -> Some 1)
+
+let override : int option Atomic.t = Atomic.make None
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> clamp (Domain.recommended_domain_count ())
+
+let set_jobs j = Atomic.set override (Option.map clamp j)
+
+let current_jobs () =
+  match Atomic.get override with Some n -> n | None -> default_jobs ()
+
+let sequential f arr =
+  Array.map (fun x -> try Ok (f x) with e -> Error e) arr
+
+let parallel ~jobs f arr =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then (
+        let r = try Ok (f arr.(i)) with e -> Error e in
+        results.(i) <- Some r;
+        loop ())
+    in
+    loop ()
+  in
+  let spawned = ref [] in
+  (* On any spawn failure, keep whatever did spawn: the self-scheduling
+     counter lets any subset of workers (including just this domain) drain
+     the queue to completion. *)
+  (try
+     for _ = 2 to jobs do
+       spawned := Domain.spawn worker :: !spawned
+     done
+   with _ -> ());
+  worker ();
+  List.iter Domain.join !spawned;
+  Array.map
+    (function Some r -> r | None -> Error (Failure "Pool: missing result"))
+    results
+
+let try_map ?jobs f xs =
+  let arr = Array.of_list xs in
+  let jobs =
+    match jobs with Some j -> clamp j | None -> current_jobs ()
+  in
+  let jobs = min jobs (max 1 (Array.length arr)) in
+  let out = if jobs <= 1 then sequential f arr else parallel ~jobs f arr in
+  Array.to_list out
+
+let map ?jobs f xs =
+  List.map (function Ok v -> v | Error e -> raise e) (try_map ?jobs f xs)

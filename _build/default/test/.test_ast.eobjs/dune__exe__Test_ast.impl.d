@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Buffer Format Mfu_kern String

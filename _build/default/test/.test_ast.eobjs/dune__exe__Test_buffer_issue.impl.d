@@ -1,0 +1,1 @@
+test/test_buffer_issue.ml: Alcotest Array List Mfu_isa Mfu_loops Mfu_sim Printf Tracegen

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Format List Mfu_asm Mfu_exec Mfu_isa Mfu_kern QCheck QCheck_alcotest

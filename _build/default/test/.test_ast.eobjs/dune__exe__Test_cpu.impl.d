@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Mfu_asm Mfu_exec Mfu_isa

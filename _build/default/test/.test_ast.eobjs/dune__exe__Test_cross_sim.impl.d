@@ -1,0 +1,1 @@
+test/test_cross_sim.ml: Alcotest Array Format List Mfu_exec Mfu_isa Mfu_limits Mfu_loops Mfu_sim Printf QCheck QCheck_alcotest String Tracegen

@@ -1,0 +1,1 @@
+test/test_cross_sim.mli:

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Mfu_loops

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Lazy List Mfu Mfu_isa Mfu_loops Mfu_sim Mfu_util Printf

@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Array List Mfu_exec Mfu_isa Mfu_kern Mfu_limits Mfu_loops Mfu_sim Printf

@@ -1,0 +1,1 @@
+test/test_fu.ml: Alcotest List Mfu_isa QCheck QCheck_alcotest

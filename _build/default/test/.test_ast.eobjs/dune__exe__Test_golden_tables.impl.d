@@ -1,0 +1,1 @@
+test/test_golden_tables.ml: Alcotest Buffer Fun Int64 List Mfu Mfu_isa Mfu_loops Mfu_util Printf

@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest List Mfu_isa QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array List Mfu_exec Mfu_kern

@@ -1,0 +1,1 @@
+test/test_limits.ml: Alcotest Float List Mfu_isa Mfu_limits Mfu_loops Mfu_sim Printf Tracegen

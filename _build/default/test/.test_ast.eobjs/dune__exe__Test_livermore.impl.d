@@ -1,0 +1,1 @@
+test/test_livermore.ml: Alcotest Array List Mfu_exec Mfu_isa Mfu_kern Mfu_loops Printf

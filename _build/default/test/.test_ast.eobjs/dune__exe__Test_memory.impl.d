@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Gen List Mfu_exec QCheck QCheck_alcotest

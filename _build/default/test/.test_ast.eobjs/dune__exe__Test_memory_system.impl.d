@@ -1,0 +1,1 @@
+test/test_memory_system.ml: Alcotest List Mfu_isa Mfu_loops Mfu_sim Printf Tracegen

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List Mfu_asm Mfu_exec Mfu_isa Mfu_kern Mfu_loops Printf String

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest List Mfu_util QCheck QCheck_alcotest Unix

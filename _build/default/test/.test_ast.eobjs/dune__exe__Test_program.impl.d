@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Mfu_asm Mfu_isa String

@@ -1,0 +1,1 @@
+test/test_reg.ml: Alcotest List Mfu_isa QCheck QCheck_alcotest

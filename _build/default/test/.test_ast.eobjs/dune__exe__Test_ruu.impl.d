@@ -1,0 +1,1 @@
+test/test_ruu.ml: Alcotest List Mfu_exec Mfu_isa Mfu_loops Mfu_sim Printf Tracegen

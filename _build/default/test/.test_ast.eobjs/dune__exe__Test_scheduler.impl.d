@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array List Mfu_asm Mfu_exec Mfu_isa Mfu_kern Mfu_loops Mfu_sim Printf

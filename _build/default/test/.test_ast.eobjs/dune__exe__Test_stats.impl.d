@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Gen List Mfu_util QCheck QCheck_alcotest Random

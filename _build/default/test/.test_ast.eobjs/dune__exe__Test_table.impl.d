@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Gen List Mfu_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Filename Fun List Mfu_exec Mfu_isa Mfu_loops Mfu_sim Printf String Sys Tracegen

@@ -1,0 +1,1 @@
+test/test_vectorized.ml: Alcotest Array List Mfu Mfu_exec Mfu_isa Mfu_loops Mfu_sim Printf Tracegen

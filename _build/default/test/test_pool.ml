@@ -1,0 +1,83 @@
+(* Properties of the domain worker pool: parallel map must be
+   indistinguishable from List.map (ordering and values), and an exception
+   in one job must not lose the results of the others. *)
+
+module Pool = Mfu_util.Pool
+
+let f x = (x * 31) + (x asr 3)
+
+let arb_input =
+  QCheck.(pair (list small_signed_int) (int_range 1 6))
+
+let prop_map_is_list_map =
+  QCheck.Test.make ~name:"Pool.map ~jobs == List.map" ~count:200 arb_input
+    (fun (xs, jobs) -> Pool.map ~jobs f xs = List.map f xs)
+
+let prop_exceptions_do_not_lose_results =
+  QCheck.Test.make ~name:"a raising job loses only its own slot" ~count:200
+    arb_input (fun (xs, jobs) ->
+      let g x = if x < 0 then raise Not_found else x + 1 in
+      let rs = Pool.try_map ~jobs g xs in
+      List.length rs = List.length xs
+      && List.for_all2
+           (fun x r ->
+             match r with
+             | Ok y -> x >= 0 && y = x + 1
+             | Error Not_found -> x < 0
+             | Error _ -> false)
+           xs rs)
+
+let prop_map_raises_earliest_failure =
+  QCheck.Test.make ~name:"Pool.map re-raises deterministically" ~count:100
+    arb_input (fun (xs, jobs) ->
+      let g x = if x land 1 = 1 then raise Exit else x in
+      let has_odd = List.exists (fun x -> x land 1 = 1) xs in
+      match Pool.map ~jobs g xs with
+      | ys -> (not has_odd) && ys = xs
+      | exception Exit -> has_odd)
+
+let test_empty () =
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~jobs:4 f []);
+  Alcotest.(check (list int)) "singleton" [ f 7 ] (Pool.map ~jobs:4 f [ 7 ])
+
+let test_jobs_override () =
+  Pool.set_jobs (Some 3);
+  Alcotest.(check int) "override wins" 3 (Pool.current_jobs ());
+  Pool.set_jobs (Some 0);
+  Alcotest.(check int) "clamped to >= 1" 1 (Pool.current_jobs ());
+  Pool.set_jobs None;
+  Alcotest.(check bool) "env control restored" true (Pool.current_jobs () >= 1)
+
+let test_env_parsing () =
+  Pool.set_jobs None;
+  Unix.putenv "MFU_JOBS" "5";
+  Alcotest.(check int) "MFU_JOBS=5" 5 (Pool.default_jobs ());
+  Unix.putenv "MFU_JOBS" "not-a-number";
+  Alcotest.(check int) "garbage means sequential" 1 (Pool.default_jobs ());
+  Unix.putenv "MFU_JOBS" "1";
+  Alcotest.(check int) "MFU_JOBS=1" 1 (Pool.default_jobs ())
+
+let test_oversubscribed () =
+  (* More workers than elements and than cores: still complete and ordered. *)
+  let xs = List.init 5 (fun i -> i) in
+  Alcotest.(check (list int)) "jobs > length" (List.map f xs)
+    (Pool.map ~jobs:64 f xs)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty and singleton" `Quick test_empty;
+          Alcotest.test_case "set_jobs override" `Quick test_jobs_override;
+          Alcotest.test_case "MFU_JOBS parsing" `Quick test_env_parsing;
+          Alcotest.test_case "oversubscription" `Quick test_oversubscribed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_map_is_list_map;
+            prop_exceptions_do_not_lose_results;
+            prop_map_raises_earliest_failure;
+          ] );
+    ]

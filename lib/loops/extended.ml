@@ -325,17 +325,22 @@ let loop24 ?(n = 100) () =
       };
   }
 
+let all_lock = Mutex.create ()
 let all_memo = ref None
 
 let all () =
-  match !all_memo with
-  | Some loops -> loops
-  | None ->
-      let loops =
-        [ loop18 (); loop19 (); loop20 (); loop21 (); loop23 (); loop24 () ]
-      in
-      all_memo := Some loops;
-      loops
+  Mutex.lock all_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock all_lock)
+    (fun () ->
+      match !all_memo with
+      | Some loops -> loops
+      | None ->
+          let loops =
+            [ loop18 (); loop19 (); loop20 (); loop21 (); loop23 (); loop24 () ]
+          in
+          all_memo := Some loops;
+          loops)
 
 let of_class c =
   List.filter (fun (l : Livermore.loop) -> l.Livermore.classification = c) (all ())

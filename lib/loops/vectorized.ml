@@ -161,15 +161,20 @@ let check t =
   in
   scan 1
 
+let trace_lock = Mutex.create ()
 let trace_cache : (int * int, Mfu_exec.Trace.t) Hashtbl.t = Hashtbl.create 4
 
 let trace t =
   (* key on the loop number and program size so custom-sized variants do
      not collide with the defaults *)
   let key = (t.loop.Livermore.number, Mfu_asm.Program.length t.program) in
-  match Hashtbl.find_opt trace_cache key with
-  | Some tr -> tr
-  | None ->
-      let tr = (run t).Cpu.trace in
-      Hashtbl.add trace_cache key tr;
-      tr
+  Mutex.lock trace_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock trace_lock)
+    (fun () ->
+      match Hashtbl.find_opt trace_cache key with
+      | Some tr -> tr
+      | None ->
+          let tr = (run t).Cpu.trace in
+          Hashtbl.add trace_cache key tr;
+          tr)

@@ -136,12 +136,46 @@ let prop_trace_io_roundtrip =
       | Ok t' -> t' = t
       | Error _ -> false)
 
+let prop_one_station_policy_equivalence =
+  (* Differential: with a single reservation station the out-of-order window
+     holds one instruction, so out-of-order issue degenerates to exactly the
+     in-order machine — full result equality, not just the rate. *)
+  QCheck.Test.make ~name:"1 station: out-of-order == in-order" ~count:300
+    arb_trace (fun t ->
+      List.for_all
+        (fun bus ->
+          Bi.simulate ~config:cfg ~policy:Bi.Out_of_order ~stations:1 ~bus t
+          = Bi.simulate ~config:cfg ~policy:Bi.In_order ~stations:1 ~bus t)
+        [ Sim_types.N_bus; Sim_types.One_bus; Sim_types.X_bar ])
+
 let prop_deterministic =
   QCheck.Test.make ~name:"simulators are deterministic" ~count:100 arb_trace
     (fun t ->
       let a = Ruu.simulate ~config:cfg ~issue_units:3 ~ruu_size:15 ~bus:Sim_types.One_bus t in
       let b = Ruu.simulate ~config:cfg ~issue_units:3 ~ruu_size:15 ~bus:Sim_types.One_bus t in
       a = b)
+
+(* -- trace cache identity --------------------------------------------------- *)
+
+let test_trace_cache_physical_equality () =
+  let module L = Mfu_loops.Livermore in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "loop %d trace physically equal" l.L.number)
+        true
+        (L.trace l == L.trace l);
+      Alcotest.(check bool)
+        (Printf.sprintf "loop %d scheduled trace physically equal" l.L.number)
+        true
+        (L.scheduled_trace l == L.scheduled_trace l))
+    [ L.loop 1; L.loop 5; L.loop 13 ];
+  (* Repeated lookups are pure cache hits: entry count must not grow. *)
+  let before = (Mfu_loops.Trace_cache.stats ()).Mfu_loops.Trace_cache.entries in
+  ignore (L.trace (L.loop 1));
+  ignore (L.scheduled_trace (L.loop 5));
+  let after = (Mfu_loops.Trace_cache.stats ()).Mfu_loops.Trace_cache.entries in
+  Alcotest.(check int) "no new entries on repeated lookups" before after
 
 let () =
   Alcotest.run "cross_sim"
@@ -155,8 +189,14 @@ let () =
             prop_limits_dominate;
             prop_serial_limit_below_pure;
             prop_buffer_ooo_not_much_worse;
+            prop_one_station_policy_equivalence;
             prop_faster_config_not_slower;
             prop_trace_io_roundtrip;
             prop_deterministic;
           ] );
+      ( "trace cache",
+        [
+          Alcotest.test_case "physically equal across lookups" `Quick
+            test_trace_cache_physical_equality;
+        ] );
     ]

@@ -54,6 +54,32 @@ let prop_harmonic_bounds =
       let h = Stats.harmonic_mean xs in
       Stats.min_list xs -. 1e-9 <= h && h <= Stats.max_list xs +. 1e-9)
 
+let prop_harmonic_permutation =
+  (* Shuffle with a PRNG seeded by a generated int so failures shrink. *)
+  QCheck.Test.make ~name:"harmonic mean is permutation-invariant" ~count:300
+    QCheck.(pair positive_list (int_bound 9999))
+    (fun (xs, seed) ->
+      QCheck.assume (xs <> []);
+      let arr = Array.of_list xs in
+      let st = Random.State.make [| seed |] in
+      for i = Array.length arr - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- t
+      done;
+      let a = Stats.harmonic_mean xs in
+      let b = Stats.harmonic_mean (Array.to_list arr) in
+      abs_float (a -. b) <= 1e-9 *. max 1.0 (abs_float a))
+
+let prop_harmonic_identical =
+  QCheck.Test.make ~name:"harmonic mean of identical values is that value"
+    ~count:300
+    QCheck.(pair (int_range 1 30) (float_range 0.001 1000.0))
+    (fun (n, x) ->
+      let h = Stats.harmonic_mean (List.init n (fun _ -> x)) in
+      abs_float (h -. x) <= 1e-9 *. max 1.0 (abs_float x))
+
 let prop_harmonic_scale =
   QCheck.Test.make ~name:"harmonic mean is homogeneous" ~count:300
     QCheck.(pair (float_range 0.1 10.0) positive_list)
@@ -77,5 +103,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_mean_inequality; prop_harmonic_bounds; prop_harmonic_scale ] );
+          [
+            prop_mean_inequality;
+            prop_harmonic_bounds;
+            prop_harmonic_scale;
+            prop_harmonic_permutation;
+            prop_harmonic_identical;
+          ] );
     ]
