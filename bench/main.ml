@@ -106,7 +106,14 @@ let reproduce () =
   Mfu_util.Table.print
     (R.render_vectorization (E.vectorization_study ~config:Config.m11br5 ()));
   Mfu_util.Table.print
-    (R.render_conclusions ~paper:P.conclusions (E.conclusions ()))
+    (R.render_conclusions ~paper:P.conclusions (E.conclusions ()));
+  print_endline "=== Stall-cause attribution (M11BR5) ===";
+  print_newline ();
+  let rows =
+    timed "stall attribution" (fun () ->
+        E.stall_attribution ~config:Config.m11br5 ())
+  in
+  Mfu_util.Table.print (R.render_attribution rows)
 
 (* -- part 2: bechamel timing ------------------------------------------------ *)
 
@@ -190,7 +197,7 @@ let tests =
     Test.make ~name:"table8:RUU sweep (vector slice)" (Staged.stage bench_ruu);
   ]
 
-let run_benchmarks () =
+let run_benchmarks ?json_file () =
   let open Bechamel in
   print_endline "=== Bechamel: cost of regenerating each table (reduced workloads) ===";
   print_newline ();
@@ -200,6 +207,7 @@ let run_benchmarks () =
     Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:None ()
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -214,15 +222,47 @@ let run_benchmarks () =
           | ols -> (
               match Analyze.OLS.estimates ols with
               | Some [ est ] ->
+                  estimates := (name, est /. 1e6) :: !estimates;
                   Printf.printf "%-45s %10.3f ms/run\n%!" name (est /. 1e6)
               | _ -> Printf.printf "%-45s (no estimate)\n%!" name)
           | exception _ -> Printf.printf "%-45s (analysis failed)\n%!" name)
         results)
     tests;
-  print_newline ()
+  print_newline ();
+  Option.iter
+    (fun file ->
+      let open Mfu_util.Json in
+      let json =
+        Obj
+          [
+            ("schema", String "mfu-bench/v1");
+            ("jobs", Int (Mfu_util.Pool.current_jobs ()));
+            ("quota_s", Float 1.0);
+            ( "results",
+              List
+                (List.rev_map
+                   (fun (name, ms) ->
+                     Obj [ ("name", String name); ("ms_per_run", Float ms) ])
+                   !estimates) );
+          ]
+      in
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> to_channel oc json);
+      Printf.eprintf "[bench] wrote %s\n%!" file)
+    json_file
 
 let () =
   let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
   let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
+  let json_file =
+    let rec find = function
+      | "--json" :: file :: _ -> Some file
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   if not bench_only then reproduce ();
-  if not tables_only then run_benchmarks ()
+  if not tables_only then run_benchmarks ?json_file ()

@@ -79,7 +79,23 @@ let run_ablations () =
   Mfu_util.Table.print
     (R.render_conclusions ~paper:Mfu.Paper_data.conclusions (E.conclusions ()))
 
-let run table ablations compare csv jobs =
+let run_metrics ~csv ~json_file =
+  let module E = Mfu.Experiments in
+  let module R = Mfu.Reporting in
+  let config = Mfu_isa.Config.m11br5 in
+  let rows = timed "stall attribution" (fun () -> E.stall_attribution ~config ()) in
+  output_table ~csv (R.render_attribution rows);
+  Option.iter
+    (fun file ->
+      let json = R.attribution_to_json ~config rows in
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Mfu_util.Json.to_channel oc json);
+      Printf.eprintf "[metrics] wrote %s\n%!" file)
+    json_file
+
+let run table ablations compare csv metrics metrics_json jobs =
   Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
   let one n =
     timed (Printf.sprintf "table %d" n) (fun () -> table_of_int ~compare ~csv n)
@@ -87,7 +103,9 @@ let run table ablations compare csv jobs =
   (match table with
   | Some n -> one n
   | None -> List.iter one [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
-  if ablations then run_ablations ()
+  if ablations then run_ablations ();
+  if metrics || metrics_json <> None then
+    run_metrics ~csv ~json_file:metrics_json
 
 open Cmdliner
 
@@ -107,6 +125,24 @@ let csv =
   let doc = "Emit the tables as CSV instead of aligned text." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let metrics =
+  let doc =
+    "Also print the stall-cause attribution table (cycles lost to RAW, WAW, \
+     FU conflicts, etc., per loop class and machine model, on M11BR5). The \
+     default tables are unaffected."
+  in
+  Arg.(value & flag & info [ "m"; "metrics" ] ~doc)
+
+let metrics_json =
+  let doc =
+    "Write the stall-cause attribution as JSON (schema mfu-metrics/v1) to \
+     $(docv); implies $(b,--metrics)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
 let jobs =
   let doc =
     "Worker domains for the experiment engine (overrides MFU_JOBS; 1 runs \
@@ -117,6 +153,9 @@ let jobs =
 let cmd =
   let doc = "regenerate the tables of Pleszkun & Sohi 1988" in
   let info = Cmd.info "mfu-tables" ~doc in
-  Cmd.v info Term.(const run $ table $ ablations $ compare $ csv $ jobs)
+  Cmd.v info
+    Term.(
+      const run $ table $ ablations $ compare $ csv $ metrics $ metrics_json
+      $ jobs)
 
 let () = exit (Cmd.eval cmd)

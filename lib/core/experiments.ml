@@ -497,6 +497,82 @@ let vectorization_study ~config () =
       })
     (Mfu_loops.Vectorized.all ())
 
+(* -- stall attribution --------------------------------------------------------- *)
+
+type attribution_row = {
+  att_class : Livermore.classification;
+  att_model : string;
+  att_result : Sim_types.result;
+  att_metrics : Sim_types.Metrics.t;
+}
+
+(* One representative machine per simulator family, ordered from the
+   paper's baseline up to the dataflow limit. Each returns the per-trace
+   result while accumulating into the shared collector. *)
+let attribution_models ~config =
+  let module Dep = Mfu_sim.Dep_single in
+  [
+    ("Simple",
+     fun metrics trace ->
+       Single_issue.simulate ~metrics ~config Single_issue.Simple trace);
+    ("CRAY-like",
+     fun metrics trace ->
+       Single_issue.simulate ~metrics ~config Single_issue.Cray_like trace);
+    ("Scoreboard",
+     fun metrics trace -> Dep.simulate ~metrics ~config Dep.Scoreboard trace);
+    ("Tomasulo",
+     fun metrics trace -> Dep.simulate ~metrics ~config Dep.Tomasulo trace);
+    ("InOrder(8)",
+     fun metrics trace ->
+       Buffer_issue.simulate ~metrics ~config ~policy:Buffer_issue.In_order
+         ~stations:8 ~bus:Sim_types.N_bus trace);
+    ("OOO(8)",
+     fun metrics trace ->
+       Buffer_issue.simulate ~metrics ~config ~policy:Buffer_issue.Out_of_order
+         ~stations:8 ~bus:Sim_types.N_bus trace);
+    ("RUU(50)x4",
+     fun metrics trace ->
+       Ruu.simulate ~metrics ~config ~issue_units:4 ~ruu_size:50
+         ~bus:Sim_types.N_bus trace);
+    ("Dataflow",
+     fun metrics trace ->
+       let cycles = Limits.critical_path ~metrics ~config trace in
+       { Sim_types.cycles; instructions = Array.length trace });
+  ]
+
+let attribution_model_names =
+  List.map fst (attribution_models ~config:Config.m11br5)
+
+let stall_attribution ~config () =
+  prewarm (all_class_loops ());
+  let jobs =
+    List.concat_map
+      (fun cls ->
+        List.map (fun model -> (cls, model)) (attribution_models ~config))
+      classes
+  in
+  Pool.map
+    (fun (cls, (name, run)) ->
+      let metrics = Sim_types.Metrics.create () in
+      let result =
+        List.fold_left
+          (fun (acc : Sim_types.result) l ->
+            let r = run metrics (Livermore.trace l) in
+            {
+              Sim_types.cycles = acc.Sim_types.cycles + r.Sim_types.cycles;
+              instructions = acc.Sim_types.instructions + r.Sim_types.instructions;
+            })
+          { Sim_types.cycles = 0; instructions = 0 }
+          (Livermore.of_class cls)
+      in
+      {
+        att_class = cls;
+        att_model = name;
+        att_result = result;
+        att_metrics = metrics;
+      })
+    jobs
+
 type conclusion_row = {
   con_label : string;
   con_scalar : float * float;

@@ -209,6 +209,33 @@ val vectorization_study : config:Mfu_isa.Config.t -> unit -> vector_row list
     paper's "vectorizable" classification, quantifying the gap the scalar
     multiple-issue schemes are chasing. *)
 
+(** {1 Stall-cause attribution} *)
+
+type attribution_row = {
+  att_class : Livermore.classification;
+  att_model : string;            (** machine-model label, e.g. ["RUU(50)x4"] *)
+  att_result : Mfu_sim.Sim_types.result;
+      (** cycles and instructions summed over the class's loops *)
+  att_metrics : Mfu_sim.Sim_types.Metrics.t;
+      (** stall breakdown accumulated over the class's loops *)
+}
+
+val attribution_model_names : string list
+(** The machine models of {!stall_attribution}, in row order: one
+    representative per simulator family (Simple and CRAY-like single
+    issue, Scoreboard and Tomasulo dependency resolution, 8-station
+    in-order and out-of-order buffers, the 50-entry 4-unit RUU, and the
+    pseudo-dataflow walker). *)
+
+val stall_attribution :
+  config:Mfu_isa.Config.t -> unit -> attribution_row list
+(** Where the cycles go: for every loop class and machine model, run every
+    loop of the class with a shared metrics collector and report the
+    accumulated stall breakdown next to the summed result. Rows are
+    ordered class-major in {!attribution_model_names} order. Runs on the
+    experiment engine ({!Mfu_util.Pool}); one (class, model) pair per
+    job. *)
+
 type conclusion_row = {
   con_label : string;
   con_scalar : float * float;  (** min/max %% of the theoretical maximum

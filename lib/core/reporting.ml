@@ -373,6 +373,110 @@ let render_conclusions ~paper rows =
     rows;
   t
 
+(* -- stall attribution -------------------------------------------------------- *)
+
+module Metrics = Mfu_sim.Sim_types.Metrics
+module Fu = Mfu_isa.Fu
+
+let pct part total =
+  if total = 0 then "-"
+  else Printf.sprintf "%.1f" (100.0 *. float_of_int part /. float_of_int total)
+
+let render_attribution ?(title = "Stall-cause attribution: % of cycles, per loop class and machine model") rows =
+  let columns =
+    ("Code", Table.Left) :: ("Machine", Table.Left)
+    :: ("Cycles", Table.Right) :: ("IPC", Table.Right)
+    :: ("Issue%", Table.Right)
+    :: List.map
+         (fun c -> (Metrics.cause_to_string c ^ "%", Table.Right))
+         Metrics.all_causes
+  in
+  let t = Table.create ~title ~columns () in
+  let last_class = ref None in
+  List.iter
+    (fun (r : Experiments.attribution_row) ->
+      (match !last_class with
+      | Some c when c <> r.Experiments.att_class -> Table.add_separator t
+      | _ -> ());
+      last_class := Some r.Experiments.att_class;
+      let m = r.Experiments.att_metrics in
+      let total = m.Metrics.total_cycles in
+      Table.add_row t
+        (class_name r.Experiments.att_class
+        :: r.Experiments.att_model
+        :: string_of_int total
+        :: Printf.sprintf "%.2f"
+             (float_of_int m.Metrics.instructions
+             /. float_of_int (max 1 total))
+        :: pct m.Metrics.issue_cycles total
+        :: List.map
+             (fun c -> pct (Metrics.stall_cycles m c) total)
+             Metrics.all_causes))
+    rows;
+  t
+
+(* Trailing zeros carry no information; histograms grow in capacity
+   chunks, so trim them before serializing. *)
+let trim_hist a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  Array.sub a 0 !n
+
+let metrics_to_json (m : Metrics.t) =
+  let module J = Mfu_util.Json in
+  J.Obj
+    [
+      ("total_cycles", J.Int m.Metrics.total_cycles);
+      ("issue_cycles", J.Int m.Metrics.issue_cycles);
+      ("instructions", J.Int m.Metrics.instructions);
+      ( "stalls",
+        J.Obj
+          (List.map
+             (fun c ->
+               (Metrics.cause_to_string c, J.Int (Metrics.stall_cycles m c)))
+             Metrics.all_causes) );
+      ( "fu_busy",
+        J.Obj
+          (List.filter_map
+             (fun fu ->
+               let n = m.Metrics.fu_busy.(Fu.index fu) in
+               if n = 0 then None else Some (Fu.to_string fu, J.Int n))
+             Fu.all) );
+      ("issued_per_cycle", J.of_int_array (trim_hist m.Metrics.issued_per_cycle));
+      ("occupancy", J.of_int_array (trim_hist m.Metrics.occupancy));
+    ]
+
+let attribution_to_json ~config rows =
+  let module J = Mfu_util.Json in
+  J.Obj
+    [
+      ("schema", J.String "mfu-metrics/v1");
+      ("config", J.String (Config.name config));
+      ( "rows",
+        J.List
+          (List.map
+             (fun (r : Experiments.attribution_row) ->
+               J.Obj
+                 [
+                   ("class", J.String (class_name r.Experiments.att_class));
+                   ("machine", J.String r.Experiments.att_model);
+                   ( "cycles",
+                     J.Int r.Experiments.att_result.Mfu_sim.Sim_types.cycles );
+                   ( "instructions",
+                     J.Int
+                       r.Experiments.att_result.Mfu_sim.Sim_types.instructions
+                   );
+                   ( "issue_rate",
+                     J.Float
+                       (Mfu_sim.Sim_types.issue_rate r.Experiments.att_result)
+                   );
+                   ("metrics", metrics_to_json r.Experiments.att_metrics);
+                 ])
+             rows) );
+    ]
+
 (* -- flattening ------------------------------------------------------------- *)
 
 let flatten_measured_table1 tables =

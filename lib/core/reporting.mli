@@ -33,6 +33,31 @@ val table_to_csv : Mfu_util.Table.t -> string
 (** Render any report table as RFC-4180-ish CSV (header row + data rows;
     separator rows are dropped). *)
 
+(** {1 Stall-cause attribution} *)
+
+val render_attribution :
+  ?title:string -> Experiments.attribution_row list -> Mfu_util.Table.t
+(** The "where do the cycles go" breakdown: per loop class and machine
+    model, total cycles, achieved IPC, the share of cycles doing useful
+    issue work, and the share lost to each {!Mfu_sim.Sim_types.Metrics}
+    stall cause. Percentage columns sum to 100 (the conservation
+    invariant), up to rounding. *)
+
+val metrics_to_json : Mfu_sim.Sim_types.Metrics.t -> Mfu_util.Json.t
+(** One collector as JSON: total/issue cycles, instructions, per-cause
+    stall cycles keyed by {!Mfu_sim.Sim_types.Metrics.cause_to_string},
+    per-unit busy cycles keyed by {!Mfu_isa.Fu.to_string} (zero entries
+    omitted), and the issue-width and occupancy histograms with trailing
+    zeros trimmed. *)
+
+val attribution_to_json :
+  config:Mfu_isa.Config.t ->
+  Experiments.attribution_row list ->
+  Mfu_util.Json.t
+(** The full attribution study as a [{"schema": "mfu-metrics/v1", ...}]
+    document: one row object per (class, machine model) with its summed
+    result and {!metrics_to_json} payload. *)
+
 (** {1 Flattening measured results for comparison} *)
 
 val flatten_measured_table1 : Experiments.single_issue_table list -> (string * float) list

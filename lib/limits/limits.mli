@@ -27,9 +27,25 @@ type t = {
   resource : float;         (** busiest-functional-unit bound *)
 }
 
-val analyze : config:Mfu_isa.Config.t -> Mfu_exec.Trace.t -> t
+val analyze :
+  ?metrics:Mfu_sim.Sim_types.Metrics.t ->
+  config:Mfu_isa.Config.t ->
+  Mfu_exec.Trace.t ->
+  t
 (** Compute all limits of a trace under a machine configuration (the
-    memory and branch latencies matter; bus and issue structure do not). *)
+    memory and branch latencies matter; bus and issue structure do not).
+
+    When [metrics] is given, the {e pseudo-dataflow} walk (only) is
+    instrumented: a cycle in which k >= 1 instructions begin execution is
+    an issue cycle of width k; an empty cycle is attributed to whatever
+    delays the next instruction to start — [Branch] for control
+    dependences, [Raw] for register dependences, [Memory_conflict] for
+    store->load token waits — and the cycles between the last start and the
+    critical-path end are [Drain]. Functional-unit busy counts book one
+    acceptance cycle per operation through a shared (pipelined) unit; the
+    occupancy histogram records in-flight instructions per cycle (the
+    dataflow analogue of a buffer fill). The returned limits are
+    unchanged. *)
 
 val actual : t -> float
 (** [min pseudo_dataflow resource] — the paper's "Pure" actual limit. *)
@@ -37,6 +53,11 @@ val actual : t -> float
 val actual_serial : t -> float
 (** [min serial_dataflow resource] — the paper's "Serial" actual limit. *)
 
-val critical_path : config:Mfu_isa.Config.t -> Mfu_exec.Trace.t -> int
+val critical_path :
+  ?metrics:Mfu_sim.Sim_types.Metrics.t ->
+  config:Mfu_isa.Config.t ->
+  Mfu_exec.Trace.t ->
+  int
 (** Length in cycles of the pseudo-dataflow critical path (the denominator
-    of the pseudo-dataflow limit). *)
+    of the pseudo-dataflow limit). [metrics] instruments the walk exactly
+    as in {!analyze}. *)

@@ -2,6 +2,7 @@ module Config = Mfu_isa.Config
 module Fu = Mfu_isa.Fu
 module Reg = Mfu_isa.Reg
 module Trace = Mfu_exec.Trace
+module Metrics = Sim_types.Metrics
 
 type policy = In_order | Out_of_order
 
@@ -20,6 +21,7 @@ type state = {
   trace : Trace.t;
   stations : int;
   alignment : alignment;
+  metrics : Metrics.t option;
   bus : Sim_types.bus_model;
   reg_ready : int array;
   fu_last_used : int array; (* cycle of last dispatch into each (pipelined) unit *)
@@ -117,6 +119,11 @@ let can_issue_globally st (e : Trace.entry) ~slot ~t =
 let do_issue st (e : Trace.entry) ~pos ~bus ~t =
   let latency = latency_of st e in
   let completion = t + latency in
+  (match st.metrics with
+  | Some m ->
+      Metrics.record_instructions m 1;
+      if Fu.is_shared_unit e.fu then Metrics.record_fu_busy m e.fu 1
+  | None -> ());
   (match e.dest with
   | Some d -> st.reg_ready.(Reg.index d) <- completion
   | None -> ());
@@ -138,7 +145,8 @@ let do_issue st (e : Trace.entry) ~pos ~bus ~t =
   end
 
 (* In-order issue pass for cycle [t]: issue from the first unissued entry
-   while each can issue; stop at the first blocked instruction. *)
+   while each can issue; stop at the first blocked instruction. Returns the
+   number of instructions issued this cycle. *)
 let issue_in_order st ~t =
   let continue_ = ref true in
   let issued_now = ref 0 in
@@ -158,13 +166,16 @@ let issue_in_order st ~t =
           do_issue st e ~pos ~bus ~t;
           incr issued_now;
           if Trace.is_branch e then continue_ := false
-  done
+  done;
+  !issued_now
 
 (* Out-of-order issue pass for cycle [t]: scan the buffer oldest first,
    tracking the destinations, sources and memory addresses of older
-   unissued entries; issue every entry with no hazard against them. *)
+   unissued entries; issue every entry with no hazard against them.
+   Returns the number of instructions issued this cycle. *)
 let issue_out_of_order st ~t =
-  if t >= st.stall_until then begin
+  if t < st.stall_until then 0
+  else begin
     let issued_now = ref 0 in
     let older_dests = ref [] in
     let older_mem = ref [] in
@@ -224,14 +235,57 @@ let issue_out_of_order st ~t =
         end
       end;
       incr pos
-    done
+    done;
+    !issued_now
   end
+
+(* Why the issue stage made no progress at cycle [t]: the binding
+   constraint of the oldest unissued instruction, mirroring the checks of
+   [can_issue_globally] in priority order. Only called on zero-issue
+   cycles, so every same-cycle structural state is clean and the oldest
+   unissued entry has no older unissued hazards. *)
+let diagnose st ~t =
+  if t < st.stall_until then Metrics.Branch
+  else begin
+    let rec first p =
+      if p < st.hi && st.issued.(p - st.base) then first (p + 1) else p
+    in
+    let pos = first st.base in
+    if pos >= st.hi then Metrics.Buffer_refill
+    else begin
+      let e = st.trace.(pos) in
+      if List.exists (fun r -> st.reg_ready.(Reg.index r) > t) e.srcs then
+        Metrics.Raw
+      else
+        match e.dest with
+        | Some d when st.reg_ready.(Reg.index d) > t -> Metrics.Waw
+        | _ ->
+            if
+              Fu.is_shared_unit e.fu
+              && st.fu_last_used.(Fu.index e.fu) = t
+            then Metrics.Fu_busy
+            else if
+              Trace.produces_result e
+              && pick_bus st ~slot:(station_of st pos)
+                   ~cycle:(t + latency_of st e)
+                 = None
+            then Metrics.Result_bus
+            else Metrics.Buffer_refill
+    end
+  end
+
+let unissued_in_window st =
+  let n = ref 0 in
+  for p = st.base to st.hi - 1 do
+    if not st.issued.(p - st.base) then incr n
+  done;
+  !n
 
 let all_issued st =
   let rec go p = p >= st.hi || (st.issued.(p - st.base) && go (p + 1)) in
   go st.base
 
-let simulate ?(alignment = Dynamic) ~config ~policy ~stations ~bus
+let simulate ?metrics ?(alignment = Dynamic) ~config ~policy ~stations ~bus
     (trace : Trace.t) =
   if stations < 1 then invalid_arg "Buffer_issue.simulate: stations < 1";
   let n = Array.length trace in
@@ -241,6 +295,7 @@ let simulate ?(alignment = Dynamic) ~config ~policy ~stations ~bus
       trace;
       stations;
       alignment;
+      metrics;
       bus;
       reg_ready = Array.make Reg.count 0;
       fu_last_used = Array.make Fu.count (-1);
@@ -262,11 +317,25 @@ let simulate ?(alignment = Dynamic) ~config ~policy ~stations ~bus
       st.hi <- window_end st st.base;
       Array.fill st.issued 0 stations false
     end;
-    (match policy with
-    | In_order -> issue_in_order st ~t:!t
-    | Out_of_order -> issue_out_of_order st ~t:!t);
+    (match metrics with
+    | Some m -> Metrics.record_occupancy m (unissued_in_window st)
+    | None -> ());
+    let issued =
+      match policy with
+      | In_order -> issue_in_order st ~t:!t
+      | Out_of_order -> issue_out_of_order st ~t:!t
+    in
+    (match metrics with
+    | Some m ->
+        if issued > 0 then Metrics.record_issue ~width:issued m 1
+        else Metrics.record_stall m (diagnose st ~t:!t) 1
+    | None -> ());
     incr t;
     decr guard;
     if !guard <= 0 then failwith "Buffer_issue.simulate: no progress"
   done;
-  { Sim_types.cycles = max st.finish !t; instructions = n }
+  let cycles = max st.finish !t in
+  (match metrics with
+  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !t)
+  | None -> ());
+  { Sim_types.cycles; instructions = n }

@@ -42,6 +42,7 @@ type alignment = Dynamic | Static
 val alignment_to_string : alignment -> string
 
 val simulate :
+  ?metrics:Sim_types.Metrics.t ->
   ?alignment:alignment ->
   config:Mfu_isa.Config.t ->
   policy:policy ->
@@ -50,4 +51,13 @@ val simulate :
   Mfu_exec.Trace.t ->
   Sim_types.result
 (** Replay a trace. [alignment] defaults to [Dynamic]; [stations] must be
-    >= 1. @raise Invalid_argument otherwise. *)
+    >= 1. @raise Invalid_argument otherwise.
+
+    When [metrics] is given, each simulated cycle that issues [k >= 1]
+    instructions books one issue cycle of width [k]; a zero-issue cycle is
+    attributed to the binding constraint of the oldest unissued buffer
+    entry ([Branch] while the issue stage is blocked by a branch, then
+    [Raw]/[Waw]/[Fu_busy]/[Result_bus] in the priority order of the issue
+    checks), and the completion tail after the last issue is [Drain]. The
+    occupancy histogram records the number of unissued buffer entries at
+    the start of every cycle. The result is unchanged. *)

@@ -2,6 +2,7 @@ module Config = Mfu_isa.Config
 module Fu = Mfu_isa.Fu
 module Reg = Mfu_isa.Reg
 module Trace = Mfu_exec.Trace
+module Metrics = Sim_types.Metrics
 
 type scheme = Scoreboard | Tomasulo
 
@@ -12,6 +13,7 @@ let scheme_to_string = function
 type state = {
   config : Config.t;
   scheme : scheme;
+  metrics : Metrics.t option;
   ready : int array; (* per register: completion of the latest writer *)
   fu_used : (int, unit) Hashtbl.t; (* (fu, cycle) acceptance slots *)
   cdb_used : (int, unit) Hashtbl.t; (* Tomasulo common data bus slots *)
@@ -54,6 +56,15 @@ let step st (e : Trace.entry) =
     (* wait for A0 at the issue stage, then block for the branch time *)
     let t = max st.issue_free (srcs_ready st e.srcs) in
     let resolution = t + branch_time in
+    (match st.metrics with
+    | Some m ->
+        (* the wait for the condition register is a RAW stall; the blocked
+           cycles after the branch issues are Branch stalls *)
+        Metrics.record_stall m Metrics.Raw (t - st.issue_free);
+        Metrics.record_issue m 1;
+        Metrics.record_stall m Metrics.Branch (branch_time - 1);
+        Metrics.record_instructions m 1
+    | None -> ());
     st.issue_free <- resolution;
     st.finish <- max st.finish resolution
   end
@@ -67,6 +78,15 @@ let step st (e : Trace.entry) =
           | Some d -> max st.issue_free st.ready.(Reg.index d)
           | None -> st.issue_free)
     in
+    (match st.metrics with
+    | Some m ->
+        (* only a reserved destination blocks the issue stage here: RAW
+           hazards wait at the functional unit, not at issue *)
+        Metrics.record_stall m Metrics.Waw (t - st.issue_free);
+        Metrics.record_issue m e.parcels;
+        Metrics.record_instructions m 1;
+        if Fu.is_shared_unit e.fu then Metrics.record_fu_busy m e.fu 1
+    | None -> ());
     let operands = srcs_ready st e.srcs in
     let mem_dep =
       match e.kind with
@@ -92,11 +112,12 @@ let step st (e : Trace.entry) =
     st.finish <- max st.finish completion
   end
 
-let simulate ~config scheme (trace : Trace.t) =
+let simulate ?metrics ~config scheme (trace : Trace.t) =
   let st =
     {
       config;
       scheme;
+      metrics;
       ready = Array.make Reg.count 0;
       fu_used = Hashtbl.create 1024;
       cdb_used = Hashtbl.create 1024;
@@ -106,7 +127,8 @@ let simulate ~config scheme (trace : Trace.t) =
     }
   in
   Array.iter (step st) trace;
-  {
-    Sim_types.cycles = max st.finish st.issue_free;
-    instructions = Array.length trace;
-  }
+  let cycles = max st.finish st.issue_free in
+  (match metrics with
+  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - st.issue_free)
+  | None -> ());
+  { Sim_types.cycles; instructions = Array.length trace }

@@ -27,4 +27,15 @@ type scheme = Scoreboard | Tomasulo
 val scheme_to_string : scheme -> string
 
 val simulate :
-  config:Mfu_isa.Config.t -> scheme -> Mfu_exec.Trace.t -> Sim_types.result
+  ?metrics:Sim_types.Metrics.t ->
+  config:Mfu_isa.Config.t ->
+  scheme ->
+  Mfu_exec.Trace.t ->
+  Sim_types.result
+(** Replay a trace. When [metrics] is given, issue-stage cycles are
+    attributed: a branch waiting for its condition register books [Raw]
+    stalls and its blockage [Branch] stalls; a [Scoreboard] destination
+    reservation books [Waw] stalls ([Tomasulo] never stalls at issue except
+    for branches); the completion tail is [Drain]. Operand and common-data-
+    bus waits happen downstream of the issue stage in these schemes and do
+    not appear as issue stalls. The result is unchanged. *)

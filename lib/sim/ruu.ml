@@ -2,6 +2,7 @@ module Config = Mfu_isa.Config
 module Fu = Mfu_isa.Fu
 module Reg = Mfu_isa.Reg
 module Trace = Mfu_exec.Trace
+module Metrics = Sim_types.Metrics
 
 type branch_handling = Stall | Oracle | Static_taken | Bimodal of int
 
@@ -26,6 +27,7 @@ type state = {
   config : Config.t;
   issue_units : int;
   ruu_size : int;
+  metrics : Metrics.t option;
   bus : Sim_types.bus_model;
   entries : entry option array; (* ring buffer, indexed by slot *)
   mutable head : int;
@@ -171,7 +173,22 @@ let issue_pass st ~t (trace : Trace.t) =
       st.next <- st.next + 1;
       incr issued
     end
-  done
+  done;
+  !issued
+
+(* Why the issue stage made no progress at cycle [t]: with the trace
+   exhausted the machine is draining the RUU; otherwise a branch either
+   blocks the stage or waits for its condition register, or the RUU is
+   full. Only called on zero-issue cycles. *)
+let diagnose st ~t (trace : Trace.t) =
+  if st.next >= Array.length trace then Metrics.Drain
+  else if t < st.stall_until then Metrics.Branch
+  else begin
+    let e = trace.(st.next) in
+    if Trace.is_branch e then Metrics.Raw
+      (* the branch's condition register is not produced yet *)
+    else Metrics.Buffer_refill (* RUU full: the only non-branch blocker *)
+  end
 
 (* -- dispatch stage -------------------------------------------------------- *)
 
@@ -207,6 +224,10 @@ let dispatch_pass st ~t =
           if fu_ok && bus_ok then begin
             entry.dispatched <- true;
             entry.completion <- completion;
+            (match st.metrics with
+            | Some m when Fu.is_shared_unit entry.fu ->
+                Metrics.record_fu_busy m entry.fu 1
+            | _ -> ());
             st.fu_last_used.(Fu.index entry.fu) <- t;
             if entry.needs_result_bus then
               reserve_result_bus st ~cycle:completion ~bank:b;
@@ -244,7 +265,7 @@ let commit_pass st ~t =
     | _ -> continue_ := false
   done
 
-let simulate ?(branches = Stall) ~config ~issue_units ~ruu_size ~bus
+let simulate ?metrics ?(branches = Stall) ~config ~issue_units ~ruu_size ~bus
     (trace : Trace.t) =
   if issue_units < 1 then invalid_arg "Ruu.simulate: issue_units < 1";
   if ruu_size < issue_units then invalid_arg "Ruu.simulate: ruu_size too small";
@@ -256,6 +277,7 @@ let simulate ?(branches = Stall) ~config ~issue_units ~ruu_size ~bus
       config;
       issue_units;
       ruu_size;
+      metrics;
       bus;
       entries = Array.make ruu_size None;
       head = 0;
@@ -275,11 +297,26 @@ let simulate ?(branches = Stall) ~config ~issue_units ~ruu_size ~bus
   let t = ref 0 in
   let guard = ref (400 * (n + 100)) in
   while not (st.next >= n && st.count = 0) do
+    (match metrics with
+    | Some m -> Metrics.record_occupancy m st.count
+    | None -> ());
     commit_pass st ~t:!t;
     dispatch_pass st ~t:!t;
-    issue_pass st ~t:!t trace;
+    let issued = issue_pass st ~t:!t trace in
+    (match metrics with
+    | Some m ->
+        if issued > 0 then begin
+          Metrics.record_issue ~width:issued m 1;
+          Metrics.record_instructions m issued
+        end
+        else Metrics.record_stall m (diagnose st ~t:!t trace) 1
+    | None -> ());
     incr t;
     decr guard;
     if !guard <= 0 then failwith "Ruu.simulate: no progress"
   done;
-  { Sim_types.cycles = max st.finish !t; instructions = n }
+  let cycles = max st.finish !t in
+  (match metrics with
+  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !t)
+  | None -> ());
+  { Sim_types.cycles; instructions = n }

@@ -40,6 +40,7 @@ type branch_handling = Stall | Oracle | Static_taken | Bimodal of int
 val branch_handling_to_string : branch_handling -> string
 
 val simulate :
+  ?metrics:Sim_types.Metrics.t ->
   ?branches:branch_handling ->
   config:Mfu_isa.Config.t ->
   issue_units:int ->
@@ -49,4 +50,13 @@ val simulate :
   Sim_types.result
 (** Replay a trace. [branches] defaults to [Stall] (the paper's machine).
     @raise Invalid_argument if [issue_units < 1], [ruu_size < issue_units],
-    or a [Bimodal] table size is < 1. *)
+    or a [Bimodal] table size is < 1.
+
+    When [metrics] is given, each cycle that issues [k >= 1] instructions
+    into the RUU books one issue cycle of width [k]; a zero-issue cycle is
+    [Branch] while the issue stage is blocked by a branch, [Raw] when the
+    head branch waits for its condition register, [Buffer_refill] when the
+    RUU is full, and [Drain] once the trace is exhausted (including the
+    completion tail). Functional-unit utilization counts dispatches; the
+    occupancy histogram records the RUU fill at the start of every cycle.
+    The result is unchanged. *)

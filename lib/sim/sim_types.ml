@@ -1,3 +1,5 @@
+module Fu = Mfu_isa.Fu
+
 type bus_model = N_bus | One_bus | X_bar
 
 let bus_model_to_string = function
@@ -13,3 +15,119 @@ let issue_rate r =
 let pp_result fmt r =
   Format.fprintf fmt "%d instructions in %d cycles (%.3f/cycle)"
     r.instructions r.cycles (issue_rate r)
+
+module Metrics = struct
+  type stall_cause =
+    | Raw
+    | Waw
+    | Fu_busy
+    | Result_bus
+    | Branch
+    | Memory_conflict
+    | Buffer_refill
+    | Drain
+
+  let all_causes =
+    [ Raw; Waw; Fu_busy; Result_bus; Branch; Memory_conflict; Buffer_refill; Drain ]
+
+  let cause_count = List.length all_causes
+
+  let cause_index = function
+    | Raw -> 0
+    | Waw -> 1
+    | Fu_busy -> 2
+    | Result_bus -> 3
+    | Branch -> 4
+    | Memory_conflict -> 5
+    | Buffer_refill -> 6
+    | Drain -> 7
+
+  let cause_to_string = function
+    | Raw -> "raw"
+    | Waw -> "waw"
+    | Fu_busy -> "fu-busy"
+    | Result_bus -> "result-bus"
+    | Branch -> "branch"
+    | Memory_conflict -> "memory-conflict"
+    | Buffer_refill -> "buffer-refill"
+    | Drain -> "drain"
+
+  type t = {
+    mutable total_cycles : int;
+    mutable issue_cycles : int;
+    mutable instructions : int;
+    stalls : int array;
+    fu_busy : int array;
+    mutable issued_per_cycle : int array;
+    mutable occupancy : int array;
+  }
+
+  let create () =
+    {
+      total_cycles = 0;
+      issue_cycles = 0;
+      instructions = 0;
+      stalls = Array.make cause_count 0;
+      fu_busy = Array.make Fu.count 0;
+      issued_per_cycle = Array.make 8 0;
+      occupancy = Array.make 8 0;
+    }
+
+  (* Histograms grow on demand: simulators record widths/depths bounded by
+     their station or RUU capacity, which varies per call. *)
+  let grown a i =
+    if i < Array.length a then a
+    else begin
+      let b = Array.make (max (i + 1) (2 * Array.length a)) 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    end
+
+  let record_stall m cause n =
+    if n < 0 then invalid_arg "Metrics.record_stall: negative cycle count";
+    if n > 0 then begin
+      m.stalls.(cause_index cause) <- m.stalls.(cause_index cause) + n;
+      m.total_cycles <- m.total_cycles + n;
+      m.issued_per_cycle <- grown m.issued_per_cycle 0;
+      m.issued_per_cycle.(0) <- m.issued_per_cycle.(0) + n
+    end
+
+  let record_issue ?(width = 1) m n =
+    if n < 0 || width < 1 then invalid_arg "Metrics.record_issue";
+    if n > 0 then begin
+      m.issue_cycles <- m.issue_cycles + n;
+      m.total_cycles <- m.total_cycles + n;
+      m.issued_per_cycle <- grown m.issued_per_cycle width;
+      m.issued_per_cycle.(width) <- m.issued_per_cycle.(width) + n
+    end
+
+  let record_instructions m n = m.instructions <- m.instructions + n
+
+  let record_fu_busy m fu n =
+    m.fu_busy.(Fu.index fu) <- m.fu_busy.(Fu.index fu) + n
+
+  let record_occupancy m depth =
+    if depth < 0 then invalid_arg "Metrics.record_occupancy";
+    m.occupancy <- grown m.occupancy depth;
+    m.occupancy.(depth) <- m.occupancy.(depth) + 1
+
+  let stall_cycles m cause = m.stalls.(cause_index cause)
+  let total_stall_cycles m = Array.fold_left ( + ) 0 m.stalls
+  let conserved m = m.issue_cycles + total_stall_cycles m = m.total_cycles
+
+  let fu_utilization m fu =
+    if m.total_cycles = 0 then 0.0
+    else float_of_int m.fu_busy.(Fu.index fu) /. float_of_int m.total_cycles
+
+  let pp fmt m =
+    Format.fprintf fmt
+      "@[<v>%d cycles: %d issuing, %d stalled (%s)@]" m.total_cycles
+      m.issue_cycles (total_stall_cycles m)
+      (String.concat ", "
+         (List.filter_map
+            (fun c ->
+              let n = stall_cycles m c in
+              if n = 0 then None
+              else Some (Printf.sprintf "%s %d" (cause_to_string c) n))
+            all_causes))
+end

@@ -1,5 +1,5 @@
-(** Common result type and interconnect models shared by all timing
-    simulators. *)
+(** Common result type, interconnect models, and the stall-cause metrics
+    collector shared by all timing simulators. *)
 
 (** Result-bus interconnect between the functional-unit outputs and the
     register file (Section 5.1 of the paper). *)
@@ -19,3 +19,88 @@ val issue_rate : result -> float
 (** Instructions issued per clock cycle — the paper's figure of merit. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** Per-cycle stall-cause accounting.
+
+    Every simulator accepts an optional collector and, when given one,
+    classifies each simulated cycle as either an {e issue} cycle (the issue
+    stage did useful work: at least one instruction issued, or a multi-parcel
+    instruction occupied the stage) or a {e stall} cycle attributed to
+    exactly one {!Metrics.stall_cause} — the binding constraint, in a fixed
+    priority order. This makes the conservation invariant
+
+    {[ issue_cycles + sum over causes of stall cycles = total_cycles ]}
+
+    hold exactly (it is enforced by [test_metrics]), so a stall breakdown
+    always accounts for every cycle of the run. A collector may be shared
+    across several [simulate] calls; counters accumulate, and the invariant
+    is preserved under accumulation. With no collector the simulators take
+    their original paths and produce byte-identical results. *)
+module Metrics : sig
+  (** Why the issue stage did not do useful work in a cycle. *)
+  type stall_cause =
+    | Raw              (** waiting for a source operand (true dependence) *)
+    | Waw              (** destination register still reserved by an older writer *)
+    | Fu_busy          (** functional unit (or serial execution stage) occupied *)
+    | Result_bus       (** no result-bus slot at the completion cycle *)
+    | Branch           (** issue stage blocked by an in-flight branch *)
+    | Memory_conflict  (** memory bank or same-address ordering conflict *)
+    | Buffer_refill    (** instruction buffer / RUU full or awaiting refill *)
+    | Drain
+        (** trace exhausted; in-flight instructions draining the pipeline *)
+
+  val all_causes : stall_cause list
+  (** In a fixed display order. *)
+
+  val cause_count : int
+
+  val cause_index : stall_cause -> int
+  (** Dense index in [0, cause_count). *)
+
+  val cause_to_string : stall_cause -> string
+  (** Stable kebab-case label, used by the CSV/JSON schemas. *)
+
+  type t = {
+    mutable total_cycles : int;   (** every classified cycle *)
+    mutable issue_cycles : int;   (** cycles with useful issue-stage work *)
+    mutable instructions : int;   (** dynamic instructions issued *)
+    stalls : int array;           (** per {!cause_index}, cycles lost *)
+    fu_busy : int array;
+        (** per {!Mfu_isa.Fu.index}, cycles the unit accepted work *)
+    mutable issued_per_cycle : int array;
+        (** histogram: [issued_per_cycle.(k)] cycles issued [k] instructions *)
+    mutable occupancy : int array;
+        (** histogram of buffer / RUU / in-flight-window fill per cycle *)
+  }
+
+  val create : unit -> t
+  (** A fresh all-zero collector. *)
+
+  val record_stall : t -> stall_cause -> int -> unit
+  (** [record_stall m cause n] books [n] zero-issue cycles on [cause].
+      @raise Invalid_argument when [n < 0]. *)
+
+  val record_issue : ?width:int -> t -> int -> unit
+  (** [record_issue ~width m n] books [n] issue cycles, each issuing
+      [width] (default 1) instructions.
+      @raise Invalid_argument when [n < 0] or [width < 1]. *)
+
+  val record_instructions : t -> int -> unit
+  val record_fu_busy : t -> Mfu_isa.Fu.kind -> int -> unit
+
+  val record_occupancy : t -> int -> unit
+  (** Book one cycle at the given fill depth.
+      @raise Invalid_argument on a negative depth. *)
+
+  val stall_cycles : t -> stall_cause -> int
+  val total_stall_cycles : t -> int
+
+  val conserved : t -> bool
+  (** The conservation invariant:
+      [issue_cycles + total_stall_cycles = total_cycles]. *)
+
+  val fu_utilization : t -> Mfu_isa.Fu.kind -> float
+  (** Busy cycles of the unit as a fraction of total cycles. *)
+
+  val pp : Format.formatter -> t -> unit
+end

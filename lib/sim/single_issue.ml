@@ -2,6 +2,7 @@ module Config = Mfu_isa.Config
 module Fu = Mfu_isa.Fu
 module Reg = Mfu_isa.Reg
 module Trace = Mfu_exec.Trace
+module Metrics = Sim_types.Metrics
 
 type organization = Simple | Serial_memory | Non_segmented | Cray_like
 
@@ -27,7 +28,8 @@ let unit_is_serial org (fu : Fu.kind) =
 let mem_addr (e : Trace.entry) =
   match e.kind with Trace.Load a | Trace.Store a -> Some a | _ -> None
 
-let simulate ?(memory = Memory_system.ideal) ~config org (trace : Trace.t) =
+let simulate ?metrics ?(memory = Memory_system.ideal) ~config org
+    (trace : Trace.t) =
   let mem_state = Memory_system.create memory in
   let reg_ready = Array.make Reg.count 0 in
   let fu_free = Array.make Fu.count 0 in
@@ -41,21 +43,35 @@ let simulate ?(memory = Memory_system.ideal) ~config org (trace : Trace.t) =
         if Trace.is_branch e then branch_time else Config.latency config e.fu
       in
       let t = ref !issue_free in
+      (* Binding stall cause: the constraint that last *raised* the issue
+         time. Ties keep the earlier (higher-priority) cause, matching the
+         original [max] exactly. *)
+      let why = ref Metrics.Drain in
+      let raise_to cause v =
+        if v > !t then begin
+          t := v;
+          why := cause
+        end
+      in
       (match org with
       | Simple ->
           (* Execution stage must be empty; no other checks needed. *)
-          t := max !t !prev_completion
+          raise_to Metrics.Fu_busy !prev_completion
       | Serial_memory | Non_segmented | Cray_like ->
-          List.iter (fun r -> t := max !t reg_ready.(Reg.index r)) e.srcs;
+          List.iter
+            (fun r -> raise_to Metrics.Raw reg_ready.(Reg.index r))
+            e.srcs;
           (match e.dest with
-          | Some d -> t := max !t reg_ready.(Reg.index d)
+          | Some d -> raise_to Metrics.Waw reg_ready.(Reg.index d)
           | None -> ());
-          if Fu.is_shared_unit e.fu then t := max !t fu_free.(Fu.index e.fu));
+          if Fu.is_shared_unit e.fu then
+            raise_to Metrics.Fu_busy fu_free.(Fu.index e.fu));
       (* interleaved-memory bank conflicts (pipelined memory orgs only) *)
       (match (org, mem_addr e) with
       | (Non_segmented | Cray_like), Some addr
         when not (unit_is_serial org e.fu) ->
-          t := Memory_system.accept mem_state ~addr ~from_:!t
+          raise_to Metrics.Memory_conflict
+            (Memory_system.accept mem_state ~addr ~from_:!t)
       | _ -> ());
       let t = !t in
       (* a vector instruction delivers its last element vl-1 cycles after
@@ -64,6 +80,17 @@ let simulate ?(memory = Memory_system.ideal) ~config org (trace : Trace.t) =
       let occupancy =
         if unit_is_serial org e.fu then latency + e.vl - 1 else max 1 e.vl
       in
+      (match metrics with
+      | Some m ->
+          Metrics.record_stall m !why (t - !issue_free);
+          if Trace.is_branch e then begin
+            Metrics.record_issue m 1;
+            Metrics.record_stall m Metrics.Branch (branch_time - 1)
+          end
+          else Metrics.record_issue m e.parcels;
+          Metrics.record_instructions m 1;
+          if Fu.is_shared_unit e.fu then Metrics.record_fu_busy m e.fu occupancy
+      | None -> ());
       (match e.dest with
       | Some d -> reg_ready.(Reg.index d) <- completion
       | None -> ());
@@ -73,4 +100,8 @@ let simulate ?(memory = Memory_system.ideal) ~config org (trace : Trace.t) =
       finish := max !finish completion;
       issue_free := t + (if Trace.is_branch e then branch_time else e.parcels))
     trace;
-  { Sim_types.cycles = max !finish !issue_free; instructions = Array.length trace }
+  let cycles = max !finish !issue_free in
+  (match metrics with
+  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !issue_free)
+  | None -> ());
+  { Sim_types.cycles; instructions = Array.length trace }

@@ -25,6 +25,7 @@ val all_organizations : organization list
 val organization_to_string : organization -> string
 
 val simulate :
+  ?metrics:Sim_types.Metrics.t ->
   ?memory:Memory_system.t ->
   config:Mfu_isa.Config.t ->
   organization ->
@@ -37,4 +38,11 @@ val simulate :
     [memory] (default {!Memory_system.ideal}) refines the interleaved
     memory of the [Non_segmented] and [Cray_like] organizations with bank
     conflicts; it has no effect on [Simple] and [Serial_memory], whose
-    memory serves one request at a time anyway. *)
+    memory serves one request at a time anyway.
+
+    When [metrics] is given, every cycle is attributed: issue-stage waits
+    become [Raw]/[Waw]/[Fu_busy]/[Memory_conflict] stalls (the binding
+    constraint, in that priority order; under [Simple] the busy execution
+    stage counts as [Fu_busy]), the blocked cycles after a branch issues
+    are [Branch], and the completion tail after the last issue is [Drain].
+    The result is unchanged. *)

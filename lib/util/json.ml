@@ -1,0 +1,88 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null" (* JSON has no NaN/inf *)
+  | _ ->
+      let s = Printf.sprintf "%.12g" f in
+      (* keep the token a JSON number even when %g drops the point *)
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
+      else s ^ ".0"
+
+let rec write buf ~indent ~level json =
+  let pad n = if indent > 0 then Buffer.add_string buf (String.make (n * indent) ' ') in
+  let newline () = if indent > 0 then Buffer.add_char buf '\n' in
+  match json with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_to buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List xs ->
+      Buffer.add_char buf '[';
+      newline ();
+      List.iteri
+        (fun i x ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          pad (level + 1);
+          write buf ~indent ~level:(level + 1) x)
+        xs;
+      newline ();
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      newline ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          pad (level + 1);
+          escape_to buf k;
+          Buffer.add_string buf (if indent > 0 then ": " else ":");
+          write buf ~indent ~level:(level + 1) v)
+        fields;
+      newline ();
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?(indent = 2) json =
+  let buf = Buffer.create 1024 in
+  write buf ~indent ~level:0 json;
+  Buffer.contents buf
+
+let to_channel ?indent oc json =
+  output_string oc (to_string ?indent json);
+  output_char oc '\n'
+
+let of_int_array a = List (Array.to_list (Array.map (fun i -> Int i) a))

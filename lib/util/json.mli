@@ -1,0 +1,27 @@
+(** Minimal JSON construction and serialization.
+
+    Just enough of an emitter for the metrics and benchmark reports: build
+    a {!t} and render it. No parser — the repository only ever writes
+    JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render. [indent] (default 2) is the number of spaces per nesting
+    level; [~indent:0] emits the compact single-line form. Strings are
+    escaped per RFC 8259; non-finite floats render as [null] (JSON has no
+    NaN or infinity). *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** [to_string] followed by a newline, written to the channel. *)
+
+val of_int_array : int array -> t
+(** An [int array] as a JSON list — the histogram shape used by the
+    metrics schema. *)

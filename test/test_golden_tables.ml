@@ -77,6 +77,34 @@ let test_parallel_is_bit_identical () =
         Alcotest.failf "cell %d differs: %.17g (seq) vs %.17g (par)" i a b)
     (List.combine seq_cells par_cells)
 
+(* The metrics layer must be invisible to the default tables: rendering
+   them, then running the full stall-attribution study (collectors active
+   in every simulator family), then rendering them again, must produce the
+   same bytes — at both worker counts. A collector that leaked into
+   simulator state or perturbed the engine would show up here. *)
+let test_metrics_leave_tables_identical () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let before, cells_before = snapshot () in
+          let rows = E.stall_attribution ~config:Config.m11br5 () in
+          Alcotest.(check int)
+            "attribution rows: 2 classes x all models"
+            (2 * List.length E.attribution_model_names)
+            (List.length rows);
+          let after, cells_after = snapshot () in
+          Alcotest.(check string)
+            (Printf.sprintf "tables byte-identical around --metrics (jobs=%d)"
+               jobs)
+            before after;
+          List.iteri
+            (fun i (a, b) ->
+              if Int64.bits_of_float a <> Int64.bits_of_float b then
+                Alcotest.failf "cell %d differs after metrics run: %.17g vs %.17g"
+                  i a b)
+            (List.combine cells_before cells_after)))
+    [ 1; 4 ]
+
 (* -- shape snapshots against the published tables -------------------------- *)
 
 let test_table1_shape () =
@@ -119,6 +147,8 @@ let () =
         [
           Alcotest.test_case "MFU_JOBS=4 output == MFU_JOBS=1 output" `Slow
             test_parallel_is_bit_identical;
+          Alcotest.test_case "--metrics leaves tables byte-identical" `Slow
+            test_metrics_leave_tables_identical;
         ] );
       ( "shape",
         [
