@@ -1,0 +1,156 @@
+(* Design-space exploration driver: enumerate an axes spec, bring the
+   content-addressed result store up to date (resumably), and analyse the
+   stored results — Pareto frontiers per loop class, or the paper's RUU
+   tables reconstructed byte-identically from the store.
+
+   Progress and statistics go to stderr; stdout carries only the
+   requested reports, so outputs stay diffable across worker counts and
+   resume states. *)
+
+module Axes = Mfu_explore.Axes
+module Store = Mfu_explore.Store
+module Sweep = Mfu_explore.Sweep
+module Analyze = Mfu_explore.Analyze
+module Livermore = Mfu_loops.Livermore
+module Config = Mfu_isa.Config
+
+let progress ~done_ ~total =
+  (* Reprint at most ~20 times per sweep to keep stderr readable. *)
+  let step = max 1 (total / 20) in
+  if done_ mod step = 0 || done_ = total then
+    Printf.eprintf "[sweep] %d/%d point(s) computed\n%!" done_ total
+
+let classes_covered points =
+  let loops =
+    List.sort_uniq compare (List.map (fun (p : Axes.point) -> p.Axes.loop) points)
+  in
+  List.filter
+    (fun cls ->
+      let wanted =
+        List.map
+          (fun (l : Livermore.loop) -> l.Livermore.number)
+          (Livermore.of_class cls)
+      in
+      List.for_all (fun n -> List.mem n loops) wanted)
+    [ Livermore.Scalar; Livermore.Vectorizable ]
+
+let print_pareto results points =
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun config ->
+          let cands = Analyze.candidates ~cls ~config results in
+          if cands <> [] then begin
+            let frontier = Analyze.pareto cands in
+            let knee = Analyze.knee frontier in
+            let title =
+              Printf.sprintf
+                "Pareto frontier: issue rate vs hardware cost, %s code, %s \
+                 (%d machines, %d on frontier)"
+                (Livermore.classification_to_string cls)
+                (Config.name config) (List.length cands)
+                (List.length frontier)
+            in
+            Mfu_util.Table.print (Analyze.render_pareto ~title ?knee frontier);
+            match knee with
+            | Some k ->
+                Printf.printf "Knee (%s, %s): %s at cost %.0f, rate %s\n\n"
+                  (Livermore.classification_to_string cls)
+                  (Config.name config) k.Analyze.label k.Analyze.cost
+                  (Mfu_util.Table.cell_f2 k.Analyze.rate)
+            | None -> ()
+          end)
+        (List.sort_uniq compare
+           (List.map (fun (p : Axes.point) -> p.Axes.config) points)))
+    (classes_covered points)
+
+let print_table n results =
+  let cls, title =
+    match n with
+    | 7 -> (Livermore.Scalar, "Table 7. RUU dependency resolution, scalar code")
+    | 8 ->
+        ( Livermore.Vectorizable,
+          "Table 8. RUU dependency resolution, vectorizable code" )
+    | _ -> invalid_arg "only tables 7 and 8 are RUU sweeps"
+  in
+  let t =
+    Analyze.ruu_table ~cls ~sizes:Axes.paper_ruu_sizes
+      ~units:Axes.paper_ruu_units results
+  in
+  Mfu_util.Table.print (Mfu.Reporting.render_ruu_table ~title t)
+
+let run axes_spec store_dir resume pareto table jobs =
+  match Axes.of_string axes_spec with
+  | Error e -> `Error (false, "bad --axes spec: " ^ e)
+  | Ok axes ->
+      Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
+      let points = Axes.enumerate axes in
+      if points = [] then `Error (false, "the axes spec names no machines")
+      else begin
+        let store = Store.open_ store_dir in
+        Printf.eprintf "[sweep] %d point(s) over %s\n%!" (List.length points)
+          (Axes.to_string axes);
+        let t0 = Unix.gettimeofday () in
+        let results, stats = Sweep.run ~resume ~progress ~store points in
+        Printf.eprintf
+          "[sweep] done in %.2fs: %d computed, %d reused, %d quarantined \
+           (store %s)\n\
+           %!"
+          (Unix.gettimeofday () -. t0)
+          stats.Sweep.computed stats.Sweep.reused stats.Sweep.quarantined
+          (Store.root store);
+        (match table with Some n -> print_table n results | None -> ());
+        if pareto then print_pareto results points;
+        `Ok ()
+      end
+
+open Cmdliner
+
+let axes_spec =
+  let doc =
+    "Design-space axes: a preset ($(b,table7), $(b,table8), \
+     $(b,paper-ruu)) or a spec like \
+     $(b,units=1-4;size=10,50;bus=nbus,1bus;config=all;loops=scalar)."
+  in
+  Arg.(value & opt string "table7" & info [ "axes" ] ~docv:"SPEC" ~doc)
+
+let store_dir =
+  let doc = "Result-store directory (created if missing)." in
+  Arg.(value & opt string "_mfu_store" & info [ "store" ] ~docv:"DIR" ~doc)
+
+let resume =
+  let doc =
+    "Reuse valid stored results and compute only missing points. Without \
+     this flag every point is recomputed and rewritten."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let pareto =
+  let doc =
+    "Print the Pareto frontier (issue rate vs hardware cost) and its knee \
+     for every fully covered loop class and machine variant."
+  in
+  Arg.(value & flag & info [ "pareto" ] ~doc)
+
+let table =
+  let doc =
+    "Render paper table $(docv) (7 or 8) from the store, byte-identical to \
+     $(b,tables.exe). The axes must cover the table's grid."
+  in
+  Arg.(value & opt (some int) None & info [ "t"; "table" ] ~docv:"N" ~doc)
+
+let jobs =
+  let doc =
+    "Worker domains for the sweep (overrides MFU_JOBS; 1 runs \
+     sequentially)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "sweep the multiple-functional-unit design space" in
+  let info = Cmd.info "mfu-sweep" ~doc in
+  Cmd.v info
+    Term.(
+      ret (const run $ axes_spec $ store_dir $ resume $ pareto $ table $ jobs))
+
+let () = exit (Cmd.eval cmd)

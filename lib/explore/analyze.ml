@@ -1,0 +1,187 @@
+module Livermore = Mfu_loops.Livermore
+module Config = Mfu_isa.Config
+module Stats = Mfu_util.Stats
+module Table = Mfu_util.Table
+module Sim_types = Mfu_sim.Sim_types
+
+type results = (Axes.point * Sim_types.result) list
+
+let index results =
+  let tbl = Hashtbl.create (List.length results) in
+  List.iter
+    (fun ((p : Axes.point), r) ->
+      Hashtbl.replace tbl (p.Axes.machine, p.Axes.config, p.Axes.loop) r)
+    results;
+  tbl
+
+(* Identical arithmetic to Experiments.class_rate: harmonic mean over the
+   per-loop issue rates, folded in Livermore.of_class order. The rates
+   are exact quotients of stored integers, so reconstruction from the
+   store is bit-identical to the direct engine. *)
+let class_rate_of tbl ~machine ~config ~cls =
+  let rates =
+    List.map
+      (fun (l : Livermore.loop) ->
+        match Hashtbl.find_opt tbl (machine, config, l.Livermore.number) with
+        | Some r -> Some (Sim_types.issue_rate r)
+        | None -> None)
+      (Livermore.of_class cls)
+  in
+  if List.for_all Option.is_some rates then
+    Some (Stats.harmonic_mean (List.map Option.get rates))
+  else None
+
+let require_rate tbl ~machine ~config ~cls =
+  match class_rate_of tbl ~machine ~config ~cls with
+  | Some rate -> rate
+  | None ->
+      failwith
+        (Printf.sprintf "Analyze: missing swept results for %s on %s (%s code)"
+           (Axes.machine_to_string machine)
+           (Config.name config)
+           (Livermore.classification_to_string cls))
+
+let ruu_table ~cls ~sizes ~units results =
+  let tbl = index results in
+  let cell config ruu_size issue_units =
+    let rate bus =
+      require_rate tbl
+        ~machine:
+          (Axes.Ruu { issue_units; ruu_size; bus; branches = Mfu_sim.Ruu.Stall })
+        ~config ~cls
+    in
+    {
+      Mfu.Experiments.n_bus = rate Sim_types.N_bus;
+      one_bus = rate Sim_types.One_bus;
+    }
+  in
+  {
+    Mfu.Experiments.ruu_class = cls;
+    ruu_sizes = sizes;
+    ruu_units = units;
+    ruu_cells =
+      Array.of_list
+        (List.map
+           (fun config ->
+             Array.of_list
+               (List.map
+                  (fun size ->
+                    Array.of_list (List.map (cell config size) units))
+                  sizes))
+           Mfu.Experiments.configs);
+  }
+
+type candidate = {
+  machine : Axes.machine;
+  label : string;
+  cost : float;
+  rate : float;
+}
+
+let candidates ~cls ~config results =
+  let tbl = index results in
+  let machines =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun ((p : Axes.point), _) ->
+           if p.Axes.config = config then Some p.Axes.machine else None)
+         results)
+  in
+  let cands =
+    List.filter_map
+      (fun machine ->
+        match class_rate_of tbl ~machine ~config ~cls with
+        | Some rate ->
+            Some
+              {
+                machine;
+                label = Axes.machine_to_string machine;
+                cost = Axes.cost machine;
+                rate;
+              }
+        | None -> None)
+      machines
+  in
+  List.sort
+    (fun a b ->
+      match compare a.cost b.cost with
+      | 0 -> String.compare a.label b.label
+      | c -> c)
+    cands
+
+let pareto cands =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.cost b.cost with
+        | 0 -> (
+            match compare b.rate a.rate with
+            | 0 -> String.compare a.label b.label
+            | c -> c)
+        | c -> c)
+      cands
+  in
+  let _, frontier =
+    List.fold_left
+      (fun (best, acc) c ->
+        if c.rate > best then (c.rate, c :: acc) else (best, acc))
+      (neg_infinity, []) sorted
+  in
+  List.rev frontier
+
+let knee frontier =
+  match frontier with
+  | [] -> None
+  | [ c ] | [ _; c ] -> Some c
+  | first :: _ ->
+      let last = List.nth frontier (List.length frontier - 1) in
+      let dx = last.cost -. first.cost in
+      let dy = last.rate -. first.rate in
+      (* normalize both axes to the frontier's extent; the chord becomes
+         y = x, and the knee is the point furthest above it *)
+      let above c =
+        let nx = if dx = 0. then 0. else (c.cost -. first.cost) /. dx in
+        let ny = if dy = 0. then 0. else (c.rate -. first.rate) /. dy in
+        ny -. nx
+      in
+      Some
+        (List.fold_left
+           (fun best c -> if above c > above best then c else best)
+           first frontier)
+
+let render_pareto ~title ?knee frontier =
+  let t =
+    Table.create ~title
+      ~columns:
+        [
+          ("Machine", Table.Left);
+          ("Cost", Table.Right);
+          ("Rate", Table.Right);
+          ("dRate/dCost", Table.Right);
+          ("Knee", Table.Left);
+        ]
+      ()
+  in
+  let prev = ref None in
+  List.iter
+    (fun c ->
+      let marginal =
+        match !prev with
+        | Some p when c.cost > p.cost ->
+            Printf.sprintf "%.4f" ((c.rate -. p.rate) /. (c.cost -. p.cost))
+        | _ -> "-"
+      in
+      let marker =
+        match knee with Some k when k.label = c.label -> "<- knee" | _ -> ""
+      in
+      Table.add_row t
+        [
+          c.label;
+          Printf.sprintf "%.0f" c.cost;
+          Table.cell_f2 c.rate;
+          marginal;
+          marker;
+        ];
+      prev := Some c)
+    frontier;
+  t

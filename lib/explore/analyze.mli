@@ -1,0 +1,65 @@
+(** Analysis over swept results: Pareto frontiers, knee summaries, and
+    store-backed reconstruction of the paper's tables.
+
+    All aggregation follows the paper's conventions: a machine's figure
+    of merit for a loop class is the harmonic mean of its per-loop issue
+    rates ({!Mfu_util.Stats.harmonic_mean} over
+    {!Mfu_loops.Livermore.of_class} order — the same fold the direct
+    engine uses, so numbers reconstructed from the store are
+    bit-identical to {!Mfu.Experiments}). *)
+
+module Livermore = Mfu_loops.Livermore
+
+type results = (Axes.point * Mfu_sim.Sim_types.result) list
+
+(** {1 Paper tables as degenerate sweeps} *)
+
+val ruu_table :
+  cls:Livermore.classification ->
+  sizes:int list ->
+  units:int list ->
+  results ->
+  Mfu.Experiments.ruu_table
+(** Reassemble the Table 7/8 structure from swept RUU points (branch
+    stalling assumed, N-bus and 1-bus cells). Rendered through
+    {!Mfu.Reporting.render_ruu_table} the output is byte-identical to
+    the direct engine's.
+    @raise Failure naming the missing point if the results do not cover
+    the full grid for every loop of the class. *)
+
+(** {1 Pareto analysis} *)
+
+type candidate = {
+  machine : Axes.machine;
+  label : string;  (** {!Axes.machine_to_string} *)
+  cost : float;  (** {!Axes.cost} *)
+  rate : float;  (** class harmonic-mean issue rate *)
+}
+
+val candidates :
+  cls:Livermore.classification ->
+  config:Mfu_isa.Config.t ->
+  results ->
+  candidate list
+(** One candidate per machine that has a result for {e every} loop of
+    the class under [config] (machines with partial coverage are
+    skipped — a frontier over incomparable coverage would be
+    meaningless). Sorted by cost, then label. *)
+
+val pareto : candidate list -> candidate list
+(** The non-dominated subset: no other candidate is at most as costly
+    {e and} at least as fast (with one of the two strict). Of candidates
+    with equal cost and rate, the first by label survives. Sorted by
+    cost. *)
+
+val knee : candidate list -> candidate option
+(** The frontier's knee: the point of diminishing returns, computed as
+    the frontier point furthest above the chord from the cheapest to
+    the fastest frontier point (in cost/rate space normalized to the
+    frontier's extent). [None] on an empty frontier; on a frontier of
+    fewer than 3 points, its last point. *)
+
+val render_pareto :
+  title:string -> ?knee:candidate -> candidate list -> Mfu_util.Table.t
+(** Frontier table: machine, cost, issue rate, marginal rate per unit
+    cost over the previous frontier point, and a knee marker. *)

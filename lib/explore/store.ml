@@ -1,0 +1,165 @@
+module Json = Mfu_util.Json
+module Sim_types = Mfu_sim.Sim_types
+
+let schema = "mfu-result/v1"
+let manifest_schema = "mfu-store/v1"
+
+type t = { root : string }
+
+let root t = t.root
+
+let mkdir_p path =
+  let rec go path =
+    if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+    then begin
+      go (Filename.dirname path);
+      try Sys.mkdir path 0o755
+      with Sys_error _ when Sys.is_directory path -> ()
+    end
+  in
+  go path
+
+let objects_dir t = Filename.concat t.root "objects"
+let tmp_dir t = Filename.concat t.root "tmp"
+let quarantine_dir t = Filename.concat t.root "quarantine"
+let manifest_path t = Filename.concat t.root "MANIFEST.json"
+let digest_of_key key = Digest.to_hex (Digest.string key)
+
+let shard_dir t digest = Filename.concat (objects_dir t) (String.sub digest 0 2)
+
+let entry_path t ~key =
+  let digest = digest_of_key key in
+  Filename.concat (shard_dir t digest) (digest ^ ".json")
+
+(* Atomic publication: write the full payload to a private file in tmp/
+   and rename it into place. rename(2) within one filesystem is atomic,
+   so readers (and a rerun after a kill) see either the whole entry or
+   nothing. The temp name includes the digest, and a single sweep never
+   runs one key twice, so concurrent workers cannot collide on it. *)
+let write_atomically t ~temp_name ~dest text =
+  mkdir_p (Filename.dirname dest);
+  let temp = Filename.concat (tmp_dir t) temp_name in
+  let oc = open_out temp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text);
+  Sys.rename temp dest
+
+let entry_count t =
+  let dir = objects_dir t in
+  if not (Sys.file_exists dir) then 0
+  else
+    Array.fold_left
+      (fun acc shard ->
+        let sub = Filename.concat dir shard in
+        if Sys.is_directory sub then
+          acc
+          + List.length
+              (List.filter
+                 (fun f -> Filename.check_suffix f ".json")
+                 (Array.to_list (Sys.readdir sub)))
+        else acc)
+      0 (Sys.readdir dir)
+
+let quarantined t =
+  let dir = quarantine_dir t in
+  if not (Sys.file_exists dir) then []
+  else List.sort String.compare (Array.to_list (Sys.readdir dir))
+
+let manifest_json t =
+  Json.Obj
+    [
+      ("schema", Json.String manifest_schema);
+      ("result_schema", Json.String schema);
+      ("sim_version", Json.String Axes.sim_version);
+      ("entries", Json.Int (entry_count t));
+    ]
+
+let refresh_manifest t =
+  write_atomically t ~temp_name:"MANIFEST.json.tmp" ~dest:(manifest_path t)
+    (Json.to_string (manifest_json t) ^ "\n")
+
+let open_ root_path =
+  let t = { root = root_path } in
+  mkdir_p (objects_dir t);
+  mkdir_p (tmp_dir t);
+  mkdir_p (quarantine_dir t);
+  if not (Sys.file_exists (manifest_path t)) then refresh_manifest t;
+  t
+
+let put ?(meta = []) t ~key result =
+  let digest = digest_of_key key in
+  let json =
+    Json.Obj
+      ([
+         ("schema", Json.String schema);
+         ("key", Json.String key);
+         ("digest", Json.String digest);
+         ( "result",
+           Json.Obj
+             [
+               ("cycles", Json.Int result.Sim_types.cycles);
+               ("instructions", Json.Int result.Sim_types.instructions);
+             ] );
+       ]
+      @ if meta = [] then [] else [ ("meta", Json.Obj meta) ])
+  in
+  write_atomically t
+    ~temp_name:(digest ^ ".json.tmp")
+    ~dest:(entry_path t ~key)
+    (Json.to_string json ^ "\n")
+
+(* Move a failed entry aside rather than deleting it: the quarantine
+   preserves the corrupt bytes for diagnosis while making the key look
+   absent, so the sweep recomputes it. *)
+let quarantine t path =
+  mkdir_p (quarantine_dir t);
+  let dest = Filename.concat (quarantine_dir t) (Filename.basename path) in
+  try Sys.rename path dest with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ())
+
+let validate ~digest text =
+  match Json.of_string text with
+  | Error e -> Error ("unparseable JSON: " ^ e)
+  | Ok json -> (
+      let field name = Json.member name json in
+      match
+        ( Option.bind (field "schema") Json.to_str,
+          Option.bind (field "key") Json.to_str,
+          Option.bind (field "digest") Json.to_str,
+          field "result" )
+      with
+      | Some s, _, _, _ when s <> schema -> Error ("wrong schema " ^ s)
+      | Some _, Some key, Some stored_digest, Some result -> (
+          if stored_digest <> digest then Error "digest field mismatch"
+          else if digest_of_key key <> digest then
+            Error "key does not hash to file digest"
+          else
+            match
+              ( Option.bind (Json.member "cycles" result) Json.to_int,
+                Option.bind (Json.member "instructions" result) Json.to_int )
+            with
+            | Some cycles, Some instructions
+              when cycles >= 0 && instructions >= 0 ->
+                Ok { Sim_types.cycles; instructions }
+            | _ -> Error "bad result payload")
+      | _ -> Error "missing required field")
+
+let lookup t ~key =
+  let path = entry_path t ~key in
+  match open_in path with
+  | exception Sys_error _ -> `Miss
+  | ic -> (
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            try Ok (really_input_string ic (in_channel_length ic))
+            with End_of_file | Sys_error _ -> Error "short read")
+      in
+      match Result.bind text (validate ~digest:(digest_of_key key)) with
+      | Ok result -> `Hit result
+      | Error _ ->
+          quarantine t path;
+          `Corrupt)
+
+let find t ~key = match lookup t ~key with `Hit r -> Some r | `Miss | `Corrupt -> None

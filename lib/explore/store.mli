@@ -1,0 +1,80 @@
+(** Crash-safe, content-addressed result store.
+
+    Layout under the store root:
+
+    {v
+    MANIFEST.json            mfu-store/v1: schemas, sim version, entry count
+    objects/<p>/<digest>.json  one mfu-result/v1 entry; <p> = first 2 hex chars
+    tmp/                     staging area for atomic writes
+    quarantine/              entries that failed validation, kept for autopsy
+    v}
+
+    An entry is keyed by the MD5 digest of its canonical {!Axes.key}
+    string (configuration + trace identity + simulator version), so a
+    result can never be confused across configurations, workloads, or
+    simulator revisions. Every write goes through a temp file in [tmp/]
+    followed by an atomic [rename], so a killed process leaves either a
+    complete entry or none — never a torn one (a stale temp file is
+    harmless and ignored).
+
+    Reads re-validate everything: JSON well-formedness, the
+    [mfu-result/v1] schema tag, agreement between the stored key, the
+    stored digest, and the file name, and sane result fields. An entry
+    failing any check is {e quarantined} — moved aside into
+    [quarantine/], preserving the evidence — and reported as absent, so
+    a corrupt store heals by recomputation instead of crashing the
+    sweep. *)
+
+val schema : string
+(** ["mfu-result/v1"] — the per-entry schema tag. *)
+
+val manifest_schema : string
+(** ["mfu-store/v1"]. *)
+
+type t
+(** An open store rooted at a directory. *)
+
+val open_ : string -> t
+(** Open (creating directories and an initial manifest as needed). The
+    root directory is created with its parents. *)
+
+val root : t -> string
+
+val digest_of_key : string -> string
+(** Hex MD5 of a canonical key — the entry's content address. *)
+
+val entry_path : t -> key:string -> string
+(** Absolute path the entry for [key] occupies (whether or not it
+    exists). *)
+
+val put :
+  ?meta:(string * Mfu_util.Json.t) list ->
+  t ->
+  key:string ->
+  Mfu_sim.Sim_types.result ->
+  unit
+(** Write (or atomically replace) the entry for [key]. [meta] is
+    attached under a ["meta"] field for human consumption; it is not
+    validated on read. Safe to call concurrently from pool worker
+    domains as long as no two writers share a key. *)
+
+val lookup :
+  t -> key:string -> [ `Hit of Mfu_sim.Sim_types.result | `Miss | `Corrupt ]
+(** Validated read. [`Corrupt] means an entry existed but failed
+    validation and has been quarantined (the caller should recompute,
+    exactly as for [`Miss]). *)
+
+val find : t -> key:string -> Mfu_sim.Sim_types.result option
+(** [lookup] with [`Corrupt] collapsed to [None]. *)
+
+val entry_count : t -> int
+(** Number of entry files currently in [objects/]. *)
+
+val quarantined : t -> string list
+(** File names currently in [quarantine/], sorted. *)
+
+val refresh_manifest : t -> unit
+(** Rewrite [MANIFEST.json] (atomically) to reflect the current entry
+    count. The manifest is advisory — resume decisions always come from
+    the entries themselves — so a manifest left stale by a crash is
+    repaired here, never trusted. *)

@@ -1,0 +1,78 @@
+module Pool = Mfu_util.Pool
+module Json = Mfu_util.Json
+module Sim_types = Mfu_sim.Sim_types
+module Config = Mfu_isa.Config
+
+type stats = { total : int; computed : int; reused : int; quarantined : int }
+
+let meta_of_point (p : Axes.point) =
+  [
+    ("machine", Json.String (Axes.machine_to_string p.Axes.machine));
+    ("config", Json.String (Config.name p.Axes.config));
+    ("loop", Json.Int p.Axes.loop);
+    ("sim_version", Json.String Axes.sim_version);
+  ]
+
+let run ?jobs ?(resume = true) ?progress ~store points =
+  (* Keying generates and digests traces; do it once, on this domain, so
+     workers only simulate and write. *)
+  let keyed = List.map (fun p -> (p, Axes.key p)) points in
+  let seen = Hashtbl.create (List.length keyed) in
+  List.iter
+    (fun (_, k) ->
+      if Hashtbl.mem seen k then
+        invalid_arg ("Sweep.run: duplicate point key " ^ k);
+      Hashtbl.add seen k ())
+    keyed;
+  let quarantined = ref 0 in
+  let classified =
+    List.map
+      (fun (p, k) ->
+        if not resume then `Compute (p, k)
+        else
+          match Store.lookup store ~key:k with
+          | `Hit _ -> `Reuse (p, k)
+          | `Miss -> `Compute (p, k)
+          | `Corrupt ->
+              incr quarantined;
+              `Compute (p, k))
+      keyed
+  in
+  let misses =
+    List.filter_map
+      (function `Compute pk -> Some pk | `Reuse _ -> None)
+      classified
+  in
+  let total = List.length keyed in
+  let computed = List.length misses in
+  let done_ = Atomic.make 0 in
+  (* Publish each result the moment it exists: this is what makes a
+     killed sweep resumable with no duplicated work. *)
+  ignore
+    (Pool.map ?jobs
+       (fun (p, k) ->
+         let result = Axes.run p in
+         Store.put ~meta:(meta_of_point p) store ~key:k result;
+         (match progress with
+         | Some f -> f ~done_:(Atomic.fetch_and_add done_ 1 + 1) ~total:computed
+         | None -> ());
+         ())
+       misses);
+  Store.refresh_manifest store;
+  let results =
+    List.map
+      (fun (p, k) ->
+        match Store.find store ~key:k with
+        | Some r -> (p, r)
+        | None ->
+            (* can only happen if the store is being destroyed under us *)
+            failwith ("Sweep.run: entry vanished for " ^ k))
+      keyed
+  in
+  ( results,
+    {
+      total;
+      computed;
+      reused = total - computed;
+      quarantined = !quarantined;
+    } )

@@ -1,0 +1,40 @@
+(** Resumable sweep driver over the domain pool.
+
+    [run] takes a job list from {!Axes.enumerate} and brings the store
+    to a state where every point has an entry, computing only what is
+    missing: points whose key already has a valid entry are skipped
+    (when resuming), corrupt entries are quarantined by the store and
+    recomputed, and each freshly computed result is published atomically
+    {e as soon as it finishes} — so a sweep killed at any moment loses
+    at most the points that were mid-flight, and a rerun with resume
+    recomputes only those. The returned results are re-read from disk,
+    not taken from memory: what the caller analyses is exactly what the
+    store persisted. *)
+
+type stats = {
+  total : int;  (** points requested *)
+  computed : int;  (** simulator invocations actually performed *)
+  reused : int;  (** points served from the store without simulating *)
+  quarantined : int;  (** corrupt entries found (then recomputed) *)
+}
+
+val run :
+  ?jobs:int ->
+  ?resume:bool ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  store:Store.t ->
+  Axes.point list ->
+  (Axes.point * Mfu_sim.Sim_types.result) list * stats
+(** [resume] defaults to [true]; with [resume:false] every point is
+    recomputed and its entry rewritten (the store stays consistent
+    either way). [progress] is called after each computed point with
+    the number of points computed so far and the number this run has to
+    compute (reused points are not reported) — from worker domains when
+    the pool is parallel, so it must be thread-safe (an atomic counter
+    plus [eprintf] is fine). Keys (and hence traces) are prepared on
+    the calling domain before fanning out. Refreshes the store manifest
+    on completion.
+
+    @raise Invalid_argument if the same key appears twice in the job
+    list (the deduplication contract of {!Axes.enumerate} protects
+    concurrent writers). *)

@@ -86,3 +86,204 @@ let to_channel ?indent oc json =
   output_char oc '\n'
 
 let of_int_array a = List (Array.to_list (Array.map (fun i -> Int i) a))
+
+(* -- parsing ---------------------------------------------------------------- *)
+
+exception Parse_error of int * string
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> fail (Printf.sprintf "expected %C, found %C" c d)
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> true
+      | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let utf8 buf cp =
+    (* encode one Unicode scalar value; enough for re-reading our output *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'u' ->
+                  if !pos + 4 > n then fail "truncated \\u escape";
+                  let hex = String.sub text !pos 4 in
+                  let cp =
+                    match int_of_string_opt ("0x" ^ hex) with
+                    | Some cp -> cp
+                    | None -> fail "bad \\u escape"
+                  in
+                  pos := !pos + 4;
+                  utf8 buf cp
+              | _ -> fail (Printf.sprintf "bad escape \\%C" c));
+              loop ())
+      | Some c when Char.code c < 0x20 -> fail "raw control character"
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let fractional = ref false in
+    if peek () = Some '-' then advance ();
+    let digit () =
+      match peek () with Some '0' .. '9' -> true | _ -> false
+    in
+    while digit () do
+      advance ()
+    done;
+    if peek () = Some '.' then begin
+      fractional := true;
+      advance ();
+      while digit () do
+        advance ()
+      done
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        fractional := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        while digit () do
+          advance ()
+        done
+    | _ -> ());
+    let token = String.sub text start (!pos - start) in
+    if !fractional then
+      match float_of_string_opt token with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" token)
+    else
+      match int_of_string_opt token with
+      | Some i -> Int i
+      | None -> (
+          (* out of int range: fall back to float *)
+          match float_of_string_opt token with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" token))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "byte %d: %s" at msg)
+
+let member k = function
+  | Obj fields -> Stdlib.List.assoc_opt k fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function String s -> Some s | _ -> None

@@ -1,8 +1,16 @@
-(** Minimal JSON construction and serialization.
+(** Minimal JSON construction, serialization, and parsing.
 
-    Just enough of an emitter for the metrics and benchmark reports: build
-    a {!t} and render it. No parser — the repository only ever writes
-    JSON. *)
+    Just enough of an emitter for the metrics, benchmark, and result-store
+    schemas — build a {!t} and render it — plus a parser able to re-read
+    anything {!to_string} writes (the content-addressed result store reads
+    its entries back for validation and resume).
+
+    Non-finite float policy: JSON has no NaN or infinity, so {!to_string}
+    renders them as [null]; parsing therefore never produces a non-finite
+    {!Float}, and a value containing one does not round-trip (it comes
+    back as {!Null}). Writers that must preserve non-finite values are
+    expected to encode them explicitly (e.g. as strings) before
+    serializing. *)
 
 type t =
   | Null
@@ -25,3 +33,19 @@ val to_channel : ?indent:int -> out_channel -> t -> unit
 val of_int_array : int array -> t
 (** An [int array] as a JSON list — the histogram shape used by the
     metrics schema. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (any amount of surrounding whitespace is
+    allowed; trailing non-whitespace is an error). Numbers parse as
+    {!Int} unless they contain a fraction or exponent part (or overflow
+    [int]), in which case they parse as {!Float} — matching what
+    {!to_string} emits. String escapes cover the RFC 8259 set; [\uXXXX]
+    code points are decoded to UTF-8. [Error] carries a byte offset and
+    reason. *)
+
+val member : string -> t -> t option
+(** [member k j] is the value of field [k] when [j] is an object that has
+    one, else [None]. *)
+
+val to_int : t -> int option
+val to_str : t -> string option

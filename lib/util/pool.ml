@@ -1,12 +1,31 @@
 let clamp n = if n < 1 then 1 else if n > 64 then 64 else n
 
+let parse_jobs s =
+  let t = String.trim s in
+  if t = "" then Error "is empty"
+  else
+    match int_of_string_opt t with
+    | None -> Error "is not a number"
+    | Some n when n < 1 -> Error "must be at least 1"
+    | Some n -> Ok (clamp n)
+
+(* Warn at most once per process: MFU_JOBS is consulted on every [map]
+   without an explicit worker count, and a warning per call would swamp
+   stderr. *)
+let warned = Atomic.make false
+
 let env_jobs () =
   match Sys.getenv_opt "MFU_JOBS" with
   | None -> None
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n -> Some (clamp n)
-      | None -> Some 1)
+  | Some raw -> (
+      match parse_jobs raw with
+      | Ok n -> Some n
+      | Error reason ->
+          if not (Atomic.exchange warned true) then
+            Printf.eprintf
+              "[pool] warning: MFU_JOBS=%S %s; running sequentially\n%!" raw
+              reason;
+          Some 1)
 
 let override : int option Atomic.t = Atomic.make None
 

@@ -11,15 +11,24 @@
     The worker count comes from, in decreasing priority: the [?jobs]
     argument, the process-wide {!set_jobs} override, the [MFU_JOBS]
     environment variable, and finally {!Domain.recommended_domain_count}.
-    A count of 1 (or an unparseable [MFU_JOBS]) runs purely sequentially on
+    A count of 1 (or an invalid [MFU_JOBS]) runs purely sequentially on
     the calling domain — no domain is spawned. If spawning a domain fails
     mid-way, the pool degrades gracefully: the domains that did spawn plus
     the calling domain drain the queue, so [map] still returns complete
     results. *)
 
+val parse_jobs : string -> (int, string) result
+(** Validate a worker-count string as [MFU_JOBS] does: trimmed, it must be
+    an integer of at least 1; counts above 64 clamp to 64. [Error] carries
+    a human-readable reason ("is empty", "is not a number", "must be at
+    least 1"). *)
+
 val default_jobs : unit -> int
-(** Worker count implied by the environment: [MFU_JOBS] when set and
-    parseable (clamped to 1..64; unparseable values mean 1), otherwise
+(** Worker count implied by the environment: [MFU_JOBS] when set and valid
+    per {!parse_jobs} (clamped to 1..64). An invalid value — non-numeric,
+    zero, negative, or empty — emits a one-time warning on stderr and
+    falls back to sequential execution (a count of 1) rather than failing
+    or silently picking a parallel default. With [MFU_JOBS] unset,
     [Domain.recommended_domain_count ()]. *)
 
 val set_jobs : int option -> unit

@@ -1,0 +1,342 @@
+(* The design-space exploration subsystem: enumerator, content-addressed
+   store, resumable sweep driver, and analysis layer.
+
+   The two load-bearing guarantees exercised here:
+   - crash safety: a store with a torn/corrupt entry heals on the next
+     resumed sweep, which recomputes exactly the missing work (counted
+     via simulator invocations in Sweep.stats);
+   - fidelity: Table 7 reconstructed from stored results renders
+     byte-identically to the direct engine. *)
+
+module Axes = Mfu_explore.Axes
+module Store = Mfu_explore.Store
+module Sweep = Mfu_explore.Sweep
+module Analyze = Mfu_explore.Analyze
+module Sim_types = Mfu_sim.Sim_types
+module Config = Mfu_isa.Config
+module Livermore = Mfu_loops.Livermore
+
+let temp_store_dir () =
+  let path = Filename.temp_file "mfu_store" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_store f =
+  let dir = temp_store_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f (Store.open_ dir))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let small_axes =
+  { Axes.empty with units = [ 1; 2 ]; sizes = [ 10 ]; configs = [ Config.m11br5 ]; loops = [ 5 ] }
+
+(* -- enumerator -------------------------------------------------------------- *)
+
+let test_table7_grid () =
+  let points = Axes.enumerate Axes.table7 in
+  (* 4 units x 6 sizes x 2 buses x 4 configs x 5 scalar loops *)
+  Alcotest.(check int) "table7 point count" (4 * 6 * 2 * 4 * 5)
+    (List.length points);
+  let points8 = Axes.enumerate Axes.table8 in
+  Alcotest.(check int) "table8 point count" (4 * 6 * 2 * 4 * 9)
+    (List.length points8)
+
+let test_enumerate_dedups () =
+  let doubled =
+    {
+      small_axes with
+      Axes.units = [ 1; 2; 2; 1 ];
+      sizes = [ 10; 10 ];
+      loops = [ 5; 5 ];
+    }
+  in
+  Alcotest.(check int) "duplicate axis values collapse"
+    (List.length (Axes.enumerate small_axes))
+    (List.length (Axes.enumerate doubled))
+
+let test_enumerate_drops_invalid_ruu () =
+  let axes = { small_axes with Axes.units = [ 4 ]; sizes = [ 2 ] } in
+  Alcotest.(check int) "ruu smaller than issue width dropped" 0
+    (List.length (Axes.enumerate axes))
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun axes ->
+      match Axes.of_string (Axes.to_string axes) with
+      | Ok axes' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip %S" (Axes.to_string axes))
+            true
+            (Axes.enumerate axes = Axes.enumerate axes')
+      | Error e -> Alcotest.fail e)
+    [ Axes.table7; Axes.table8; small_axes ]
+
+let test_spec_parsing () =
+  (match Axes.of_string "table7" with
+  | Ok axes ->
+      Alcotest.(check bool) "preset" true
+        (Axes.enumerate axes = Axes.enumerate Axes.table7)
+  | Error e -> Alcotest.fail e);
+  (match Axes.of_string "org=cray,simple; policy=ooo; stations=1-3; loops=scalar" with
+  | Ok axes ->
+      (* 2 single orgs + 1 policy x 3 stations x 1 bus, x 4 configs x 5 loops *)
+      Alcotest.(check int) "mixed families" ((2 + 3) * 4 * 5)
+        (List.length (Axes.enumerate axes))
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Axes.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" bad))
+    [
+      "nope=1"; "units=x"; "stations=5-1"; "loops=0"; "loops=15"; "bus=2bus";
+      "branch=bimodal:0"; "units";
+    ]
+
+(* -- keys -------------------------------------------------------------------- *)
+
+let test_keys_distinguish () =
+  let base =
+    {
+      Axes.machine =
+        Axes.Ruu
+          {
+            issue_units = 2;
+            ruu_size = 10;
+            bus = Sim_types.N_bus;
+            branches = Mfu_sim.Ruu.Stall;
+          };
+      config = Config.m11br5;
+      loop = 5;
+    }
+  in
+  Alcotest.(check string) "key is stable" (Axes.key base) (Axes.key base);
+  let variants =
+    [
+      { base with Axes.loop = 6 };
+      { base with Axes.config = Config.m5br2 };
+      (* same config name, different latency accounting *)
+      {
+        base with
+        Axes.config = Config.make ~paper_scalar_add:true Config.M11 Config.BR5;
+      };
+      { base with Axes.machine = Axes.Single Mfu_sim.Single_issue.Cray_like };
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "distinct keys" false (Axes.key p = Axes.key base))
+    variants
+
+(* -- store ------------------------------------------------------------------- *)
+
+let test_store_roundtrip () =
+  with_store (fun store ->
+      let key = "mfu-point/v1 test-key" in
+      let result = { Sim_types.cycles = 123; instructions = 45 } in
+      Alcotest.(check bool) "miss before put" true (Store.find store ~key = None);
+      Store.put store ~key result;
+      Alcotest.(check bool) "hit after put" true
+        (Store.find store ~key = Some result);
+      Alcotest.(check int) "entry count" 1 (Store.entry_count store);
+      (* writes are temp+rename: no residue in tmp/ *)
+      Alcotest.(check int) "tmp is empty" 0
+        (Array.length (Sys.readdir (Filename.concat (Store.root store) "tmp"))))
+
+let test_store_quarantines_corruption () =
+  with_store (fun store ->
+      let key = "some key" in
+      Store.put store ~key { Sim_types.cycles = 1; instructions = 1 };
+      let path = Store.entry_path store ~key in
+      (* torn write: truncate the entry mid-JSON *)
+      let oc = open_out path in
+      output_string oc "{ \"schema\": \"mfu-result/v1\",";
+      close_out oc;
+      (match Store.lookup store ~key with
+      | `Corrupt -> ()
+      | `Hit _ | `Miss -> Alcotest.fail "expected `Corrupt");
+      Alcotest.(check bool) "entry quarantined, gone from objects/" false
+        (Sys.file_exists path);
+      Alcotest.(check int) "quarantine holds the bad file" 1
+        (List.length (Store.quarantined store));
+      Alcotest.(check bool) "subsequent lookups miss" true
+        (Store.lookup store ~key = `Miss))
+
+let test_store_rejects_key_swap () =
+  with_store (fun store ->
+      (* an entry copied under the wrong name must not be served *)
+      let key_a = "key a" and key_b = "key b" in
+      Store.put store ~key:key_a { Sim_types.cycles = 7; instructions = 7 };
+      let path_b = Store.entry_path store ~key:key_b in
+      let dir = Filename.dirname path_b in
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let text = read_file (Store.entry_path store ~key:key_a) in
+      let oc = open_out path_b in
+      output_string oc text;
+      close_out oc;
+      Alcotest.(check bool) "wrong-name entry rejected" true
+        (Store.lookup store ~key:key_b = `Corrupt))
+
+(* -- sweep ------------------------------------------------------------------- *)
+
+let test_sweep_resume_counts () =
+  with_store (fun store ->
+      let points = Axes.enumerate small_axes in
+      let n = List.length points in
+      Alcotest.(check int) "two points" 2 n;
+      let results, stats = Sweep.run ~jobs:1 ~store points in
+      Alcotest.(check int) "first run computes all" n stats.Sweep.computed;
+      Alcotest.(check int) "first run reuses none" 0 stats.Sweep.reused;
+      (* every result equals a direct simulation *)
+      List.iter
+        (fun (p, r) ->
+          Alcotest.(check bool) "store returns the engine's numbers" true
+            (r = Axes.run p))
+        results;
+      let results', stats' = Sweep.run ~jobs:1 ~store points in
+      Alcotest.(check int) "resume computes nothing" 0 stats'.Sweep.computed;
+      Alcotest.(check int) "resume reuses all" n stats'.Sweep.reused;
+      Alcotest.(check bool) "identical results" true (results = results');
+      let _, stats'' = Sweep.run ~jobs:1 ~resume:false ~store points in
+      Alcotest.(check int) "resume:false recomputes all" n
+        stats''.Sweep.computed)
+
+let test_sweep_heals_truncated_entry () =
+  with_store (fun store ->
+      let points = Axes.enumerate small_axes in
+      let _, _ = Sweep.run ~jobs:1 ~store points in
+      let victim = List.hd points in
+      let path = Store.entry_path store ~key:(Axes.key victim) in
+      let before = read_file path in
+      (* kill mid-write: truncate the entry file *)
+      let oc = open_out path in
+      output_string oc (String.sub before 0 20);
+      close_out oc;
+      let results, stats = Sweep.run ~jobs:1 ~store points in
+      Alcotest.(check int) "exactly one invocation to heal" 1
+        stats.Sweep.computed;
+      Alcotest.(check int) "one corrupt entry detected" 1
+        stats.Sweep.quarantined;
+      Alcotest.(check int) "others reused"
+        (List.length points - 1)
+        stats.Sweep.reused;
+      Alcotest.(check string) "healed entry is byte-identical" before
+        (read_file path);
+      List.iter
+        (fun (p, r) ->
+          Alcotest.(check bool) "healed results correct" true (r = Axes.run p))
+        results)
+
+let test_sweep_rejects_duplicate_keys () =
+  with_store (fun store ->
+      let p = List.hd (Axes.enumerate small_axes) in
+      match Sweep.run ~jobs:1 ~store [ p; p ] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "duplicate keys must be rejected")
+
+(* -- analysis ---------------------------------------------------------------- *)
+
+let cand label cost rate =
+  {
+    Analyze.machine = Axes.Single Mfu_sim.Single_issue.Simple;
+    label;
+    cost;
+    rate;
+  }
+
+let labels cs = List.map (fun c -> c.Analyze.label) cs
+
+let test_pareto () =
+  let cands =
+    [
+      cand "cheap-slow" 1. 0.2;
+      cand "dominated" 2. 0.1;
+      cand "mid" 3. 0.6;
+      cand "tie-a" 3. 0.6;
+      cand "rich-fast" 10. 0.9;
+      cand "rich-slower" 11. 0.8;
+    ]
+  in
+  Alcotest.(check (list string)) "frontier"
+    [ "cheap-slow"; "mid"; "rich-fast" ]
+    (labels (Analyze.pareto cands));
+  Alcotest.(check (list string)) "empty" [] (labels (Analyze.pareto []))
+
+let test_knee () =
+  (match Analyze.knee [] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "knee of empty frontier");
+  let frontier =
+    [ cand "a" 0. 0.; cand "b" 1. 0.9; cand "c" 2. 0.95; cand "d" 10. 1.0 ]
+  in
+  match Analyze.knee frontier with
+  | Some k -> Alcotest.(check string) "diminishing returns at b" "b" k.Analyze.label
+  | None -> Alcotest.fail "expected a knee"
+
+let test_table7_byte_identical_via_store () =
+  with_store (fun store ->
+      let points = Axes.enumerate Axes.table7 in
+      let results, _ = Sweep.run ~store points in
+      let from_store =
+        Analyze.ruu_table ~cls:Livermore.Scalar ~sizes:Axes.paper_ruu_sizes
+          ~units:Axes.paper_ruu_units results
+      in
+      let direct = Mfu.Experiments.table7 () in
+      let render t =
+        Mfu_util.Table.render
+          (Mfu.Reporting.render_ruu_table
+             ~title:"Table 7. RUU dependency resolution, scalar code" t)
+      in
+      Alcotest.(check string) "store reproduces Table 7 byte-identically"
+        (render direct) (render from_store))
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "axes",
+        [
+          Alcotest.test_case "table7/8 grids" `Quick test_table7_grid;
+          Alcotest.test_case "dedup" `Quick test_enumerate_dedups;
+          Alcotest.test_case "invalid ruu dropped" `Quick
+            test_enumerate_drops_invalid_ruu;
+          Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "keys distinguish" `Quick test_keys_distinguish;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "quarantines corruption" `Quick
+            test_store_quarantines_corruption;
+          Alcotest.test_case "rejects key swap" `Quick
+            test_store_rejects_key_swap;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "resume counts invocations" `Quick
+            test_sweep_resume_counts;
+          Alcotest.test_case "heals truncated entry" `Quick
+            test_sweep_heals_truncated_entry;
+          Alcotest.test_case "rejects duplicate keys" `Quick
+            test_sweep_rejects_duplicate_keys;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "pareto" `Quick test_pareto;
+          Alcotest.test_case "knee" `Quick test_knee;
+          Alcotest.test_case "table 7 via store is byte-identical" `Slow
+            test_table7_byte_identical_via_store;
+        ] );
+    ]

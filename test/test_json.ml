@@ -1,0 +1,130 @@
+(* Escaping and edge cases of the JSON emitter, and emit/parse round
+   trips: the result store depends on [of_string] re-reading anything
+   [to_string] writes. *)
+
+module Json = Mfu_util.Json
+
+let compact j = Json.to_string ~indent:0 j
+
+let test_string_escaping () =
+  Alcotest.(check string)
+    "quotes and backslashes" {|"a\"b\\c"|}
+    (compact (Json.String "a\"b\\c"));
+  Alcotest.(check string)
+    "named control escapes" {|"\n\r\t"|}
+    (compact (Json.String "\n\r\t"));
+  Alcotest.(check string)
+    "other control characters as \\u" {|"\u0001\u0000\u001f"|}
+    (compact (Json.String "\x01\x00\x1f"));
+  Alcotest.(check string)
+    "escaping applies to object keys" {|{"a\"b":1}|}
+    (compact (Json.Obj [ ("a\"b", Json.Int 1) ]));
+  (* high bytes (UTF-8 payloads) pass through untouched *)
+  Alcotest.(check string) "utf-8 passthrough" "\"\xc3\xa9\""
+    (compact (Json.String "\xc3\xa9"))
+
+let test_nonfinite_policy () =
+  (* JSON has no NaN or infinity: all three render as null and hence do
+     not round-trip (they come back as Null). *)
+  List.iter
+    (fun f -> Alcotest.(check string) "null" "null" (compact (Json.Float f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  match Json.of_string (compact (Json.Float Float.nan)) with
+  | Ok Json.Null -> ()
+  | _ -> Alcotest.fail "nan should round-trip to Null"
+
+let test_float_token_stays_numeric () =
+  Alcotest.(check string) "integral float keeps a point" "1.0"
+    (compact (Json.Float 1.));
+  Alcotest.(check string) "negative" "-2.5" (compact (Json.Float (-2.5)))
+
+let check_parse name expected text =
+  match Json.of_string text with
+  | Ok v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: parsed value of %S" name text)
+        true (v = expected)
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %S: %s" name text e)
+
+let test_parser_values () =
+  check_parse "null" Json.Null " null ";
+  check_parse "true" (Json.Bool true) "true";
+  check_parse "int" (Json.Int (-42)) "-42";
+  check_parse "int/float distinction" (Json.Float 1.) "1.0";
+  check_parse "exponent is a float" (Json.Float 1000.) "1e3";
+  check_parse "escapes" (Json.String "a\"b\\c\nd") {|"a\"b\\c\nd"|};
+  check_parse "\\u ascii" (Json.String "A") {|"\u0041"|};
+  check_parse "\\u utf-8" (Json.String "\xc3\xa9") {|"\u00e9"|};
+  check_parse "nested"
+    (Json.Obj
+       [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]); ("e", Json.Obj []) ])
+    {|{"xs":[1,2],"e":{}}|}
+
+let test_parser_errors () =
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" text))
+    [
+      ""; "nul"; "1 2"; "[1,]"; "{\"a\":}"; "\"unterminated"; "\"bad \\q\"";
+      "\"\x01\""; "{1:2}"; "[1 2]";
+    ]
+
+(* Round-trip generator: floats are dyadic rationals (k/16), which both
+   the binary doubles and the %.12g rendering represent exactly. *)
+let gen_json =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) small_signed_int;
+        map (fun k -> Json.Float (float_of_int k /. 16.)) small_signed_int;
+        map (fun s -> Json.String s) (string_size ~gen:printable (0 -- 12));
+      ]
+  in
+  let key = string_size ~gen:printable (0 -- 8) in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map (fun xs -> Json.List xs) (list_size (0 -- 4) (self (depth - 1))));
+            ( 1,
+              map
+                (fun fields -> Json.Obj fields)
+                (list_size (0 -- 4) (pair key (self (depth - 1)))) );
+          ])
+    3
+
+let arb_json = QCheck.make ~print:(Json.to_string ~indent:2) gen_json
+
+let prop_roundtrip indent =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "of_string (to_string ~indent:%d j) = Ok j" indent)
+    ~count:300 arb_json (fun j ->
+      Json.of_string (Json.to_string ~indent j) = Ok j)
+
+let () =
+  Alcotest.run "json"
+    [
+      ( "emitter",
+        [
+          Alcotest.test_case "string escaping" `Quick test_string_escaping;
+          Alcotest.test_case "non-finite floats" `Quick test_nonfinite_policy;
+          Alcotest.test_case "float tokens" `Quick
+            test_float_token_stays_numeric;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "values" `Quick test_parser_values;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "round trip",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip 0; prop_roundtrip 2 ] );
+    ]

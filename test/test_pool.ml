@@ -57,6 +57,34 @@ let test_env_parsing () =
   Unix.putenv "MFU_JOBS" "1";
   Alcotest.(check int) "MFU_JOBS=1" 1 (Pool.default_jobs ())
 
+(* Invalid MFU_JOBS values must degrade to sequential execution (after a
+   stderr warning), never crash or silently go parallel. *)
+let test_env_invalid_values_fall_back () =
+  Pool.set_jobs None;
+  List.iter
+    (fun bad ->
+      Unix.putenv "MFU_JOBS" bad;
+      Alcotest.(check int)
+        (Printf.sprintf "MFU_JOBS=%S is sequential" bad)
+        1 (Pool.default_jobs ()))
+    [ "0"; "-3"; ""; "  "; "4x"; "3.5"; "NaN" ];
+  Unix.putenv "MFU_JOBS" " 7 ";
+  Alcotest.(check int) "whitespace around a valid count" 7 (Pool.default_jobs ());
+  Unix.putenv "MFU_JOBS" "1"
+
+let test_parse_jobs () =
+  let ok = Alcotest.(result int string) in
+  Alcotest.check ok "plain" (Ok 4) (Pool.parse_jobs "4");
+  Alcotest.check ok "trimmed" (Ok 12) (Pool.parse_jobs " 12\t");
+  Alcotest.check ok "clamped high" (Ok 64) (Pool.parse_jobs "1000");
+  List.iter
+    (fun bad ->
+      match Pool.parse_jobs bad with
+      | Error _ -> ()
+      | Ok n ->
+          Alcotest.failf "parse_jobs %S should be an error, got Ok %d" bad n)
+    [ ""; " "; "zero"; "0"; "-1"; "2.5"; "3j" ]
+
 let test_oversubscribed () =
   (* More workers than elements and than cores: still complete and ordered. *)
   let xs = List.init 5 (fun i -> i) in
@@ -71,6 +99,9 @@ let () =
           Alcotest.test_case "empty and singleton" `Quick test_empty;
           Alcotest.test_case "set_jobs override" `Quick test_jobs_override;
           Alcotest.test_case "MFU_JOBS parsing" `Quick test_env_parsing;
+          Alcotest.test_case "MFU_JOBS invalid values" `Quick
+            test_env_invalid_values_fall_back;
+          Alcotest.test_case "parse_jobs" `Quick test_parse_jobs;
           Alcotest.test_case "oversubscription" `Quick test_oversubscribed;
         ] );
       ( "properties",

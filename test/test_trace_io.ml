@@ -31,7 +31,52 @@ let test_roundtrip_all_loops () =
           Alcotest.(check bool)
             (Printf.sprintf "LL%d roundtrip" l.number)
             true (t = trace))
-    [ Livermore.loop 1; Livermore.loop 13; Livermore.loop 14 ]
+    (Livermore.all ())
+
+(* Random traces: write -> read -> structurally equal, over the whole
+   entry space the format can represent. *)
+let gen_reg =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun i -> Mfu_isa.Reg.A i) (int_range 0 7);
+      map (fun i -> Mfu_isa.Reg.S i) (int_range 0 7);
+      map (fun i -> Mfu_isa.Reg.B i) (int_range 0 63);
+      map (fun i -> Mfu_isa.Reg.T i) (int_range 0 63);
+      map (fun i -> Mfu_isa.Reg.V i) (int_range 0 7);
+      return Mfu_isa.Reg.VL;
+    ]
+
+let gen_kind =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Trace.Plain;
+      map (fun a -> Trace.Load a) (int_range 0 100_000);
+      map (fun a -> Trace.Store a) (int_range 0 100_000);
+      return Trace.Taken_branch;
+      return Trace.Untaken_branch;
+    ]
+
+let gen_entry =
+  let open QCheck.Gen in
+  map
+    (fun (static_index, fu, dest, (srcs, parcels, kind, vl)) ->
+      { Trace.static_index; fu; dest; srcs; parcels; kind; vl })
+    (quad (int_range 0 2000)
+       (oneofl Mfu_isa.Fu.all)
+       (option gen_reg)
+       (quad
+          (list_size (0 -- 3) gen_reg)
+          (int_range 1 2) gen_kind (int_range 1 64)))
+
+let arb_trace =
+  QCheck.make ~print:Trace_io.to_string
+    QCheck.Gen.(map Array.of_list (list_size (0 -- 60) gen_entry))
+
+let prop_random_roundtrip =
+  QCheck.Test.make ~name:"of_string (to_string t) = Ok t" ~count:300 arb_trace
+    (fun t -> Trace_io.of_string (Trace_io.to_string t) = Ok t)
 
 let test_header_checked () =
   match Trace_io.of_string "not a trace\n" with
@@ -95,4 +140,6 @@ let () =
           Alcotest.test_case "reloaded trace simulates identically" `Quick
             test_simulators_agree_on_reloaded_trace;
         ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_roundtrip ] );
     ]
