@@ -1,0 +1,133 @@
+module Fu = Mfu_isa.Fu
+module Reg = Mfu_isa.Reg
+module Config = Mfu_isa.Config
+
+let kind_plain = 0
+let kind_load = 1
+let kind_store = 2
+let kind_taken = 3
+let kind_untaken = 4
+
+type t = {
+  n : int;
+  fu : int array;
+  dest : int array;
+  src_off : int array;
+  src_idx : int array;
+  kind : Bytes.t;
+  addr : int array;
+  parcels : int array;
+  vl : int array;
+  static_index : int array;
+  max_srcs : int;
+}
+
+let length t = t.n
+let kind t i = Char.code (Bytes.unsafe_get t.kind i)
+let is_branch t i = kind t i >= kind_taken
+let is_load t i = kind t i = kind_load
+let is_store t i = kind t i = kind_store
+let is_mem t i = let k = kind t i in k = kind_load || k = kind_store
+let produces_result t i = t.dest.(i) >= 0
+
+let of_trace (tr : Trace.t) =
+  let n = Array.length tr in
+  let total_srcs = ref 0 in
+  let max_srcs = ref 0 in
+  Array.iter
+    (fun (e : Trace.entry) ->
+      let k = List.length e.srcs in
+      total_srcs := !total_srcs + k;
+      if k > !max_srcs then max_srcs := k)
+    tr;
+  let p =
+    {
+      n;
+      fu = Array.make n 0;
+      dest = Array.make n (-1);
+      src_off = Array.make (n + 1) 0;
+      src_idx = Array.make !total_srcs 0;
+      kind = Bytes.make n '\000';
+      addr = Array.make n (-1);
+      parcels = Array.make n 0;
+      vl = Array.make n 1;
+      static_index = Array.make n 0;
+      max_srcs = !max_srcs;
+    }
+  in
+  let off = ref 0 in
+  Array.iteri
+    (fun i (e : Trace.entry) ->
+      p.fu.(i) <- Fu.index e.fu;
+      (match e.dest with Some d -> p.dest.(i) <- Reg.index d | None -> ());
+      p.src_off.(i) <- !off;
+      List.iter
+        (fun r ->
+          p.src_idx.(!off) <- Reg.index r;
+          incr off)
+        e.srcs;
+      let k, a =
+        match e.kind with
+        | Trace.Plain -> (kind_plain, -1)
+        | Trace.Load a -> (kind_load, a)
+        | Trace.Store a -> (kind_store, a)
+        | Trace.Taken_branch -> (kind_taken, -1)
+        | Trace.Untaken_branch -> (kind_untaken, -1)
+      in
+      Bytes.set p.kind i (Char.chr k);
+      p.addr.(i) <- a;
+      p.parcels.(i) <- e.parcels;
+      p.vl.(i) <- e.vl;
+      p.static_index.(i) <- e.static_index)
+    tr;
+  p.src_off.(n) <- !off;
+  p
+
+(* -- per-configuration lookup tables ---------------------------------------- *)
+
+let latency_table config =
+  Array.init Fu.count (fun i -> Config.latency config (Fu.of_index i))
+
+let max_latency config =
+  let m = ref (Config.branch_time config) in
+  for i = 0 to Fu.count - 1 do
+    let l = Config.latency config (Fu.of_index i) in
+    if l > !m then m := l
+  done;
+  !m
+
+let shared_unit = Array.init Fu.count (fun i -> Fu.is_shared_unit (Fu.of_index i))
+
+(* -- the process-wide pack cache -------------------------------------------- *)
+
+(* Keyed by the physical identity of the trace array: {!Mfu_loops.Trace_cache}
+   hands out one shared array per (loop, sizes, kind), so the experiment
+   engine and the sweep driver pack each workload exactly once per process.
+   A bounded scan list keeps unknown (e.g. property-test) traces from
+   growing the cache without bound; eviction drops the oldest entry. *)
+
+let cache_capacity = 64
+let cache_lock = Mutex.create ()
+let cache : (Trace.t * t) list ref = ref []
+
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
+
+let cached (tr : Trace.t) =
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () ->
+      match List.find_opt (fun (key, _) -> key == tr) !cache with
+      | Some (_, p) -> p
+      | None ->
+          let p = of_trace tr in
+          cache := take cache_capacity ((tr, p) :: !cache);
+          p)
+
+let cache_clear () =
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () -> cache := [])

@@ -1,0 +1,67 @@
+(** A struct-of-arrays compiled form of {!Trace.t} for the simulator hot
+    paths.
+
+    The boxed {!Trace.entry} records (variant register names, source
+    lists, option destinations) are flattened once per trace into parallel
+    [int array]s and a [Bytes] kind tag, so the per-entry work of a
+    simulator inner loop is a handful of unboxed array reads with no
+    pattern matching, no list traversal and no allocation. Sources use a
+    CSR layout: entry [i]'s source register indices are
+    [src_idx.(src_off.(i)) .. src_idx.(src_off.(i+1) - 1)].
+
+    Kinds are small integers ({!kind_plain} .. {!kind_untaken}); registers
+    and functional units appear as their {!Mfu_isa.Reg.index} /
+    {!Mfu_isa.Fu.index}. A destination of [-1] means the instruction
+    writes no register; [addr] is [-1] for non-memory instructions. *)
+
+type t = private {
+  n : int;  (** instruction count *)
+  fu : int array;  (** {!Mfu_isa.Fu.index} per entry *)
+  dest : int array;  (** destination {!Mfu_isa.Reg.index}, or -1 *)
+  src_off : int array;  (** length [n+1]: CSR offsets into [src_idx] *)
+  src_idx : int array;  (** source register indices, all entries *)
+  kind : Bytes.t;  (** kind tag per entry, one of the [kind_*] codes *)
+  addr : int array;  (** effective address for loads/stores, else -1 *)
+  parcels : int array;
+  vl : int array;
+  static_index : int array;
+  max_srcs : int;  (** largest per-entry source count in this trace *)
+}
+
+val kind_plain : int
+val kind_load : int
+val kind_store : int
+val kind_taken : int
+val kind_untaken : int
+
+val of_trace : Trace.t -> t
+(** Flatten a trace. O(n); performed once per trace by {!cached}. *)
+
+val cached : Trace.t -> t
+(** Memoized {!of_trace}, keyed by the {e physical identity} of the trace
+    array — the contract {!Mfu_loops.Trace_cache} provides (one shared
+    array per workload). Domain-safe; bounded (oldest entries are evicted
+    beyond 64 distinct traces), so unknown traces stay correct and merely
+    repack. *)
+
+val cache_clear : unit -> unit
+(** Drop all cached packs (for tests). *)
+
+val length : t -> int
+val kind : t -> int -> int
+val is_branch : t -> int -> bool
+val is_load : t -> int -> bool
+val is_store : t -> int -> bool
+val is_mem : t -> int -> bool
+val produces_result : t -> int -> bool
+
+val latency_table : Mfu_isa.Config.t -> int array
+(** Per-{!Mfu_isa.Fu.index} latency of a configuration, for O(1) lookup in
+    the inner loops. *)
+
+val max_latency : Mfu_isa.Config.t -> int
+(** The largest functional-unit or branch latency of a configuration —
+    the horizon that sizes the ring-buffer result buses. *)
+
+val shared_unit : bool array
+(** Per-{!Mfu_isa.Fu.index} [Fu.is_shared_unit], precomputed. *)

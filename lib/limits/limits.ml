@@ -2,7 +2,9 @@ module Config = Mfu_isa.Config
 module Fu = Mfu_isa.Fu
 module Reg = Mfu_isa.Reg
 module Trace = Mfu_exec.Trace
+module Packed = Mfu_exec.Packed
 module Metrics = Mfu_sim.Sim_types.Metrics
+module Int_table = Mfu_util.Int_table
 
 type t = {
   instructions : int;
@@ -121,6 +123,104 @@ let dataflow_path ?metrics ~config ~serial_waw (trace : Trace.t) =
   | _ -> ());
   finish
 
+(* Packed twin of [dataflow_path]: the same walk over the struct-of-arrays
+   form, with the store->load token map as an open-addressing table (tokens
+   are always >= 1, so 0 doubles as "no in-flight producer") and the
+   per-instruction event log in flat arrays instead of a prepended list.
+   The metrics post-pass scans the arrays in reverse trace order, which is
+   exactly the order [List.iter] visits the reference's reversed list. *)
+let dataflow_path_packed ?metrics ~config ~serial_waw (trace : Trace.t) =
+  let p = Packed.cached trace in
+  let n = p.Packed.n in
+  let lat = Packed.latency_table config in
+  let branch_time = Config.branch_time config in
+  let reg_avail = Array.make Reg.count 0 in
+  let store_token = Int_table.create 256 in
+  let branch_resolved = ref 0 in
+  let finish = ref 0 in
+  let with_events = metrics <> None in
+  let ev_start = if with_events then Array.make n 0 else [||] in
+  let ev_comp = if with_events then Array.make n 0 else [||] in
+  let ev_why =
+    if with_events then Array.make n (None : Metrics.stall_cause option)
+    else [||]
+  in
+  for i = 0 to n - 1 do
+    let fu = Array.unsafe_get p.Packed.fu i in
+    let kind = Char.code (Bytes.unsafe_get p.Packed.kind i) in
+    let is_branch = kind >= Packed.kind_taken in
+    let start = ref 0 in
+    let why = ref None in
+    let raise_to cause v =
+      if v > !start then begin
+        start := v;
+        why := Some cause
+      end
+    in
+    raise_to Metrics.Branch !branch_resolved;
+    for s = p.Packed.src_off.(i) to p.Packed.src_off.(i + 1) - 1 do
+      raise_to Metrics.Raw reg_avail.(Array.unsafe_get p.Packed.src_idx s)
+    done;
+    let forwarded =
+      if kind = Packed.kind_load then
+        Int_table.find store_token ~default:0 (Array.unsafe_get p.Packed.addr i)
+      else 0
+    in
+    if forwarded <> 0 then raise_to Metrics.Memory_conflict forwarded;
+    let latency =
+      if forwarded <> 0 then 1
+      else if is_branch then branch_time
+      else Array.unsafe_get lat fu
+    in
+    let completion = ref (!start + latency) in
+    let d = Array.unsafe_get p.Packed.dest i in
+    if d >= 0 then begin
+      if serial_waw then completion := max !completion (reg_avail.(d) + 1);
+      reg_avail.(d) <- !completion
+    end;
+    if kind = Packed.kind_store then
+      Int_table.set store_token (Array.unsafe_get p.Packed.addr i) (!start + 1)
+    else if is_branch then branch_resolved := !completion;
+    (match metrics with
+    | Some m ->
+        ev_start.(i) <- !start;
+        ev_comp.(i) <- !completion;
+        ev_why.(i) <- !why;
+        if Packed.shared_unit.(fu) then
+          Metrics.record_fu_busy m (Fu.of_index fu) 1
+    | None -> ());
+    if !completion > !finish then finish := !completion
+  done;
+  let finish = !finish in
+  (match metrics with
+  | Some m when finish > 0 ->
+      Metrics.record_instructions m n;
+      let counts = Array.make finish 0 in
+      let cause_at = Array.make finish None in
+      let inflight_diff = Array.make (finish + 1) 0 in
+      for i = n - 1 downto 0 do
+        let s = ev_start.(i) in
+        counts.(s) <- counts.(s) + 1;
+        cause_at.(s) <- ev_why.(i);
+        inflight_diff.(s) <- inflight_diff.(s) + 1;
+        inflight_diff.(ev_comp.(i)) <- inflight_diff.(ev_comp.(i)) - 1
+      done;
+      let carry = ref Metrics.Drain in
+      for c = finish - 1 downto 0 do
+        if counts.(c) > 0 then begin
+          Metrics.record_issue ~width:counts.(c) m 1;
+          match cause_at.(c) with Some k -> carry := k | None -> ()
+        end
+        else Metrics.record_stall m !carry 1
+      done;
+      let inflight = ref 0 in
+      for c = 0 to finish - 1 do
+        inflight := !inflight + inflight_diff.(c);
+        Metrics.record_occupancy m !inflight
+      done
+  | _ -> ());
+  finish
+
 let resource_time ~config (trace : Trace.t) =
   let counts = Array.make Fu.count 0 in
   Array.iter
@@ -147,19 +247,21 @@ let resource_time ~config (trace : Trace.t) =
     Fu.all;
   !worst
 
-let critical_path ?metrics ~config trace =
-  dataflow_path ?metrics ~config ~serial_waw:false trace
+let critical_path ?metrics ?(reference = false) ~config trace =
+  if reference then dataflow_path ?metrics ~config ~serial_waw:false trace
+  else dataflow_path_packed ?metrics ~config ~serial_waw:false trace
 
-let analyze ?metrics ~config (trace : Trace.t) =
+let analyze ?metrics ?(reference = false) ~config (trace : Trace.t) =
   let n = Array.length trace in
   if n = 0 then
     { instructions = 0; pseudo_dataflow = 0.; serial_dataflow = 0.; resource = 0. }
   else
+    let path = if reference then dataflow_path else dataflow_path_packed in
     let rate time = float_of_int n /. float_of_int (max 1 time) in
     {
       instructions = n;
-      pseudo_dataflow = rate (dataflow_path ?metrics ~config ~serial_waw:false trace);
-      serial_dataflow = rate (dataflow_path ~config ~serial_waw:true trace);
+      pseudo_dataflow = rate (path ?metrics ~config ~serial_waw:false trace);
+      serial_dataflow = rate (path ?metrics:None ~config ~serial_waw:true trace);
       resource = rate (resource_time ~config trace);
     }
 

@@ -29,6 +29,7 @@ type t = {
 
 val analyze :
   ?metrics:Mfu_sim.Sim_types.Metrics.t ->
+  ?reference:bool ->
   config:Mfu_isa.Config.t ->
   Mfu_exec.Trace.t ->
   t
@@ -45,7 +46,12 @@ val analyze :
     acceptance cycle per operation through a shared (pipelined) unit; the
     occupancy histogram records in-flight instructions per cycle (the
     dataflow analogue of a buffer fill). The returned limits are
-    unchanged. *)
+    unchanged.
+
+    [reference] (default [false]) selects the original entry-record walk
+    instead of the {!Mfu_exec.Packed} fast path; both produce
+    byte-identical limits and metrics — the flag exists for the
+    differential test suite and as the benchmark baseline. *)
 
 val actual : t -> float
 (** [min pseudo_dataflow resource] — the paper's "Pure" actual limit. *)
@@ -55,6 +61,7 @@ val actual_serial : t -> float
 
 val critical_path :
   ?metrics:Mfu_sim.Sim_types.Metrics.t ->
+  ?reference:bool ->
   config:Mfu_isa.Config.t ->
   Mfu_exec.Trace.t ->
   int

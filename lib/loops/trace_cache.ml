@@ -28,6 +28,11 @@ let find_or_generate ~number ~sizes ~kind gen =
           incr miss_count;
           let t = gen () in
           Hashtbl.add table key t;
+          (* Pre-pack while we already hold the generation path: every
+             simulator fast path starts from the packed form, and packing
+             here (under this cache's once-per-process guarantee) keeps the
+             work out of the first simulation of each workload. *)
+          ignore (Mfu_exec.Packed.cached t : Mfu_exec.Packed.t);
           t)
 
 let stats () =

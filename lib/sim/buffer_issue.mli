@@ -44,6 +44,7 @@ val alignment_to_string : alignment -> string
 val simulate :
   ?metrics:Sim_types.Metrics.t ->
   ?alignment:alignment ->
+  ?reference:bool ->
   config:Mfu_isa.Config.t ->
   policy:policy ->
   stations:int ->
@@ -60,4 +61,10 @@ val simulate :
     [Raw]/[Waw]/[Fu_busy]/[Result_bus] in the priority order of the issue
     checks), and the completion tail after the last issue is [Drain]. The
     occupancy histogram records the number of unissued buffer entries at
-    the start of every cycle. The result is unchanged. *)
+    the start of every cycle. The result is unchanged.
+
+    [reference] (default [false]) selects the original
+    Hashtbl-and-hazard-list implementation instead of the
+    {!Mfu_exec.Packed} fast path; both produce byte-identical results and
+    metrics — the flag exists for the differential test suite and as the
+    benchmark baseline. *)

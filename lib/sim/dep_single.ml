@@ -2,13 +2,20 @@ module Config = Mfu_isa.Config
 module Fu = Mfu_isa.Fu
 module Reg = Mfu_isa.Reg
 module Trace = Mfu_exec.Trace
+module Packed = Mfu_exec.Packed
 module Metrics = Sim_types.Metrics
+module Bitset = Mfu_util.Bitset
+module Int_table = Mfu_util.Int_table
 
 type scheme = Scoreboard | Tomasulo
 
 let scheme_to_string = function
   | Scoreboard -> "scoreboard"
   | Tomasulo -> "Tomasulo"
+
+(* -- reference path ---------------------------------------------------------
+   The original Hashtbl implementation, kept verbatim as the differential
+   oracle for the packed fast path below. *)
 
 type state = {
   config : Config.t;
@@ -112,7 +119,7 @@ let step st (e : Trace.entry) =
     st.finish <- max st.finish completion
   end
 
-let simulate ?metrics ~config scheme (trace : Trace.t) =
+let simulate_reference ?metrics ~config scheme (trace : Trace.t) =
   let st =
     {
       config;
@@ -132,3 +139,107 @@ let simulate ?metrics ~config scheme (trace : Trace.t) =
   | Some m -> Metrics.record_stall m Metrics.Drain (cycles - st.issue_free)
   | None -> ());
   { Sim_types.cycles; instructions = Array.length trace }
+
+(* -- packed fast path --------------------------------------------------------
+   Identical probe-and-claim semantics over allocation-free structures:
+   the (fu, cycle) and common-data-bus acceptance sets become growable
+   bitsets (probed with the same keys, in the same order), the per-address
+   store-completion map becomes an open-addressing table, and operands are
+   read from the packed source arrays. *)
+
+let simulate_packed ?metrics ~config scheme (trace : Trace.t) =
+  let p = Packed.cached trace in
+  let lat = Packed.latency_table config in
+  let branch_time = Config.branch_time config in
+  let shared = Packed.shared_unit in
+  let ready = Array.make Reg.count 0 in
+  let fu_used = Bitset.create 4096 in
+  let cdb_used = Bitset.create 4096 in
+  let mem_ready = Int_table.create 256 in
+  let issue_free = ref 0 in
+  let finish = ref 0 in
+  let tomasulo = scheme = Tomasulo in
+  let srcs_ready i =
+    let acc = ref 0 in
+    for s = p.Packed.src_off.(i) to p.Packed.src_off.(i + 1) - 1 do
+      let r = ready.(Array.unsafe_get p.Packed.src_idx s) in
+      if r > !acc then acc := r
+    done;
+    !acc
+  in
+  for i = 0 to p.Packed.n - 1 do
+    let fu = Array.unsafe_get p.Packed.fu i in
+    let kind = Char.code (Bytes.unsafe_get p.Packed.kind i) in
+    let parcels = Array.unsafe_get p.Packed.parcels i in
+    let dest = Array.unsafe_get p.Packed.dest i in
+    if kind >= Packed.kind_taken then begin
+      let t = max !issue_free (srcs_ready i) in
+      let resolution = t + branch_time in
+      (match metrics with
+      | Some m ->
+          Metrics.record_stall m Metrics.Raw (t - !issue_free);
+          Metrics.record_issue m 1;
+          Metrics.record_stall m Metrics.Branch (branch_time - 1);
+          Metrics.record_instructions m 1
+      | None -> ());
+      issue_free := resolution;
+      if resolution > !finish then finish := resolution
+    end
+    else begin
+      let t =
+        if tomasulo then !issue_free
+        else if dest >= 0 then max !issue_free ready.(dest)
+        else !issue_free
+      in
+      (match metrics with
+      | Some m ->
+          Metrics.record_stall m Metrics.Waw (t - !issue_free);
+          Metrics.record_issue m parcels;
+          Metrics.record_instructions m 1;
+          if shared.(fu) then Metrics.record_fu_busy m (Fu.of_index fu) 1
+      | None -> ());
+      let operands = srcs_ready i in
+      let mem_dep =
+        if kind = Packed.kind_load || kind = Packed.kind_store then
+          Int_table.find mem_ready ~default:0 (Array.unsafe_get p.Packed.addr i)
+        else 0
+      in
+      let start = max t (max operands mem_dep) in
+      let start =
+        if not shared.(fu) then start
+        else begin
+          let c = ref start in
+          while Bitset.mem fu_used ((!c * 16) + fu) do
+            incr c
+          done;
+          Bitset.set fu_used ((!c * 16) + fu);
+          !c
+        end
+      in
+      let completion =
+        if tomasulo && dest >= 0 then begin
+          let c = ref (start + Array.unsafe_get lat fu) in
+          while Bitset.mem cdb_used !c do
+            incr c
+          done;
+          Bitset.set cdb_used !c;
+          !c
+        end
+        else start + Array.unsafe_get lat fu
+      in
+      if dest >= 0 then ready.(dest) <- completion;
+      if kind = Packed.kind_store then
+        Int_table.set mem_ready (Array.unsafe_get p.Packed.addr i) completion;
+      issue_free := t + parcels;
+      if completion > !finish then finish := completion
+    end
+  done;
+  let cycles = max !finish !issue_free in
+  (match metrics with
+  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !issue_free)
+  | None -> ());
+  { Sim_types.cycles; instructions = p.Packed.n }
+
+let simulate ?metrics ?(reference = false) ~config scheme (trace : Trace.t) =
+  if reference then simulate_reference ?metrics ~config scheme trace
+  else simulate_packed ?metrics ~config scheme trace

@@ -28,6 +28,7 @@ val scheme_to_string : scheme -> string
 
 val simulate :
   ?metrics:Sim_types.Metrics.t ->
+  ?reference:bool ->
   config:Mfu_isa.Config.t ->
   scheme ->
   Mfu_exec.Trace.t ->
@@ -38,4 +39,9 @@ val simulate :
     reservation books [Waw] stalls ([Tomasulo] never stalls at issue except
     for branches); the completion tail is [Drain]. Operand and common-data-
     bus waits happen downstream of the issue stage in these schemes and do
-    not appear as issue stalls. The result is unchanged. *)
+    not appear as issue stalls. The result is unchanged.
+
+    [reference] (default [false]) selects the original Hashtbl
+    implementation instead of the {!Mfu_exec.Packed} fast path; both
+    produce byte-identical results and metrics — the flag exists for the
+    differential test suite and as the benchmark baseline. *)

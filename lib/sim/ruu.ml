@@ -2,7 +2,9 @@ module Config = Mfu_isa.Config
 module Fu = Mfu_isa.Fu
 module Reg = Mfu_isa.Reg
 module Trace = Mfu_exec.Trace
+module Packed = Mfu_exec.Packed
 module Metrics = Sim_types.Metrics
+module Int_table = Mfu_util.Int_table
 
 type branch_handling = Stall | Oracle | Static_taken | Bimodal of int
 
@@ -11,6 +13,10 @@ let branch_handling_to_string = function
   | Oracle -> "oracle"
   | Static_taken -> "static-taken"
   | Bimodal n -> Printf.sprintf "bimodal(%d)" n
+
+(* -- reference path ---------------------------------------------------------
+   The original entry-record implementation, kept verbatim as the
+   differential oracle for the packed fast path below. *)
 
 type entry = {
   slot : int;
@@ -265,13 +271,8 @@ let commit_pass st ~t =
     | _ -> continue_ := false
   done
 
-let simulate ?metrics ?(branches = Stall) ~config ~issue_units ~ruu_size ~bus
+let simulate_reference ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
     (trace : Trace.t) =
-  if issue_units < 1 then invalid_arg "Ruu.simulate: issue_units < 1";
-  if ruu_size < issue_units then invalid_arg "Ruu.simulate: ruu_size too small";
-  (match branches with
-  | Bimodal n when n < 1 -> invalid_arg "Ruu.simulate: bimodal table size < 1"
-  | _ -> ());
   let st =
     {
       config;
@@ -320,3 +321,572 @@ let simulate ?metrics ?(branches = Stall) ~config ~issue_units ~ruu_size ~bus
   | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !t)
   | None -> ());
   { Sim_types.cycles; instructions = n }
+
+(* -- packed fast path --------------------------------------------------------
+   The same machine over the struct-of-arrays {!Mfu_exec.Packed} form, with
+   the boxed RUU entry records flattened into per-slot arrays.
+
+   Producer references survive slot recycling through generations: slot
+   allocation number [uid] is stored per slot, and a producer reference is
+   encoded as [uid * ruu_size + slot]. A reference whose generation no
+   longer matches denotes a committed producer; treating its completion as
+   0 is exact, because commit requires [completion <= commit cycle <=
+   consumer issue cycle < t] for every later readiness test, which compares
+   [<= t]. A still-matching generation reads the live (or
+   committed-in-place) completion directly — also what the reference's
+   retained record pointer sees. [latest_writer] needs no generations: it
+   always points at a live entry (issue sets it, commit clears it), so a
+   plain slot number is the identity.
+
+   The per-cycle result-bus Hashtbl becomes a [max_latency + 2] ring of
+   (cycle tag, bitmap/count) pairs: a reservation for completion cycle [c]
+   is only probed while [t < c] (probes happen at [t + latency], latencies
+   >= 1), so live cycles span less than the ring and never collide; a slot
+   whose tag mismatches is simply an expired cycle and reads as empty. The
+   in-flight store map becomes an open-addressing table from address to
+   encoded producer reference.
+
+   When [metrics] is [None], a cycle with no commit, no dispatch and no
+   issue fast-forwards to the earliest next event: the head completion (if
+   dispatched), the operand-ready cycles of undispatched entries, a
+   waiting branch's condition-register completion, and the branch-stall
+   expiry. In such a cycle every [fu_last_used] is in the past and no
+   dispatch bank is taken, so the only same-cycle blocker is a result-bus
+   slot — which shifts with [t] and therefore pins the wake to [t + 1]
+   whenever it was the binding constraint. Cycles strictly before the
+   minimum candidate provably repeat the zero-activity cycle. Metrics runs
+   keep the per-cycle walk, making stall attribution trivially
+   identical. *)
+
+module Fast = struct
+  type state = {
+    p : Packed.t;
+    lat : int array;
+    branch_time : int;
+    issue_units : int;
+    ruu_size : int;
+    metrics : Metrics.t option;
+    bus : Sim_types.bus_model;
+    (* per-slot entry fields; a slot is live iff it lies in
+       [head, head + count) of the ring *)
+    s_uid : int array;
+    s_issue_cycle : int array;
+    s_fu : int array;
+    s_dest : int array;
+    s_needs_bus : bool array;
+    s_dispatched : bool array;
+    s_completion : int array;
+    (* memoized operand-ready cycle, [max_int] until knowable: a value
+       below [max_int] is final, because the maximal contributor — some
+       producer's completion [c] — cannot be committed (and its slot
+       recycled) before cycle [c] itself, so the max never moves *)
+    s_ready : int array;
+    (* partial operand-ready: the running max over the producers resolved
+       so far; [s_ready] becomes this value once the last producer
+       resolves *)
+    s_rpart : int array;
+    s_bank : int array; (* [bank st slot], fixed per slot and bus model *)
+    (* count of still-unresolved producers; resolved ones are swap-removed
+       from the slot's segment of the producer arrays and folded into
+       [s_rpart], so repeat scans only probe the stragglers *)
+    s_nprod : int array;
+    (* producer references, ruu_size * maxprod each; slot and uid are kept
+       in separate arrays so the per-cycle operand scans never pay the
+       division a single [uid * ruu_size + slot] encoding would need *)
+    s_prod_slot : int array;
+    s_prod_uid : int array;
+    maxprod : int;
+    mutable head : int;
+    mutable count : int;
+    mutable uid_next : int;
+    (* the undispatched entries as a doubly-linked list threaded through
+       the slots in window (= issue) order: the dispatch scan walks only
+       these, never the dispatched entries parked in the window awaiting
+       in-order commit (commits never touch the list — only dispatched
+       entries commit) *)
+    mutable ud_head : int; (* first undispatched slot, or -1 *)
+    mutable ud_tail : int;
+    ud_next : int array;
+    ud_prev : int array;
+    (* summary of the last completed dispatch scan: the earliest cycle any
+       undispatched entry could dispatch, valid while the undispatched set
+       is unchanged (readies are final, commits only remove dispatched
+       entries). 0 = unknown, the scan must run; [max_int] = nothing
+       undispatched. While [scan_min > t] the whole scan is provably a
+       no-op and is skipped. Invalidated by any issue. Entries still
+       waiting on undispatched producers contribute nothing: a producer
+       cannot dispatch before [scan_min] (induction over window order),
+       so the dependent cannot be ready before [scan_min] + 1. *)
+    mutable scan_min : int;
+    latest_writer : int array; (* per register: live slot or -1 *)
+    mem_writer : Int_table.t; (* address -> encoded producer reference *)
+    rb_tag : int array; (* result-bus ring: cycle tag per slot *)
+    rb_val : int array; (* bitmap (banked) or use count (crossbar) *)
+    fu_last_used : int array;
+    branches : branch_handling;
+    counters : int array;
+    mutable stall_until : int;
+    mutable next : int;
+    mutable finish : int;
+    mutable wake : int; (* earliest next interesting cycle, or max_int *)
+  }
+
+  let lower_wake st v = if v < st.wake then st.wake <- v
+
+  let bank st slot =
+    match st.bus with
+    | Sim_types.One_bus -> 0
+    | Sim_types.N_bus -> slot mod st.issue_units
+    | Sim_types.X_bar -> 0
+
+  (* the ring length is a power of two, so indexing is a mask *)
+  let rb_get st cycle =
+    let i = cycle land (Array.length st.rb_tag - 1) in
+    if st.rb_tag.(i) = cycle then st.rb_val.(i) else 0
+
+  let result_bus_free st ~cycle ~bank:b =
+    let cur = rb_get st cycle in
+    match st.bus with
+    | Sim_types.One_bus | Sim_types.N_bus -> cur land (1 lsl b) = 0
+    | Sim_types.X_bar -> cur < st.issue_units
+
+  let reserve_result_bus st ~cycle ~bank:b =
+    let cur = rb_get st cycle in
+    let v =
+      match st.bus with
+      | Sim_types.One_bus | Sim_types.N_bus -> cur lor (1 lsl b)
+      | Sim_types.X_bar -> cur + 1
+    in
+    let i = cycle land (Array.length st.rb_tag - 1) in
+    st.rb_tag.(i) <- cycle;
+    st.rb_val.(i) <- v
+
+  let producer_completion st ~slot ~uid =
+    if st.s_uid.(slot) = uid then st.s_completion.(slot) else 0
+
+  (* The scan loops of this module are module-level recursive functions
+     rather than local [ref]-and-[while] loops or local closures: both of
+     those heap-allocate per call, and the no-metrics simulation loop must
+     not allocate per cycle. *)
+
+  (* Probe the slot's unresolved producers: each one now dispatched (or
+     already committed) is folded into the partial max and swap-removed.
+     Returns the final ready cycle once every producer has resolved,
+     [max_int] while some are still undispatched. A producer's completion
+     is final once set, so the fold computes exactly the reference's
+     max-over-producers. *)
+  let rec resolve_prods st ~islot ~base ~k ~np acc =
+    if k >= np then begin
+      st.s_nprod.(islot) <- np;
+      st.s_rpart.(islot) <- acc;
+      if np = 0 then begin
+        st.s_ready.(islot) <- acc;
+        acc
+      end
+      else max_int
+    end
+    else
+      let c =
+        producer_completion st
+          ~slot:st.s_prod_slot.(base + k)
+          ~uid:st.s_prod_uid.(base + k)
+      in
+      if c = max_int then resolve_prods st ~islot ~base ~k:(k + 1) ~np acc
+      else begin
+        let np = np - 1 in
+        st.s_prod_slot.(base + k) <- st.s_prod_slot.(base + np);
+        st.s_prod_uid.(base + k) <- st.s_prod_uid.(base + np);
+        resolve_prods st ~islot ~base ~k ~np (if c > acc then c else acc)
+      end
+
+  let operand_ready_cycle st slot =
+    let r = st.s_ready.(slot) in
+    if r < max_int then r
+    else
+      resolve_prods st ~islot:slot ~base:(slot * st.maxprod) ~k:0
+        ~np:st.s_nprod.(slot) st.s_rpart.(slot)
+
+  (* -- issue stage -------------------------------------------------------- *)
+
+  (* Scans every source (no short circuit): each blocked producer is a wake
+     candidate. *)
+  let rec branch_ready_from st ~t ~s ~stop acc =
+    if s >= stop then acc
+    else begin
+      let w = st.latest_writer.(st.p.Packed.src_idx.(s)) in
+      let acc =
+        if w >= 0 && st.s_completion.(w) > t then begin
+          (* wake candidate: the condition register's production cycle *)
+          if st.s_completion.(w) < max_int then
+            lower_wake st st.s_completion.(w);
+          false
+        end
+        else acc
+      in
+      branch_ready_from st ~t ~s:(s + 1) ~stop acc
+    end
+
+  let branch_operands_ready st i ~t =
+    branch_ready_from st ~t ~s:st.p.Packed.src_off.(i)
+      ~stop:st.p.Packed.src_off.(i + 1) true
+
+  let predict st i =
+    let taken = Packed.kind st.p i = Packed.kind_taken in
+    match st.branches with
+    | Stall -> false
+    | Oracle -> true
+    | Static_taken -> taken
+    | Bimodal n ->
+        let slot = st.p.Packed.static_index.(i) mod n in
+        let counter = st.counters.(slot) in
+        let predicted_taken = counter >= 2 in
+        st.counters.(slot) <-
+          (if taken then min 3 (counter + 1) else max 0 (counter - 1));
+        predicted_taken = taken
+
+  let rec fill_prods st ~base ~s ~stop np =
+    if s >= stop then np
+    else begin
+      let w = st.latest_writer.(st.p.Packed.src_idx.(s)) in
+      if w >= 0 then begin
+        st.s_prod_slot.(base + np) <- w;
+        st.s_prod_uid.(base + np) <- st.s_uid.(w);
+        fill_prods st ~base ~s:(s + 1) ~stop (np + 1)
+      end
+      else fill_prods st ~base ~s:(s + 1) ~stop np
+    end
+
+  let rec issue_loop st ~t issued =
+    if issued >= st.issue_units || st.next >= st.p.Packed.n then issued
+    else
+      let i = st.next in
+      if Packed.is_branch st.p i then begin
+        let correctly_predicted = st.branches <> Stall && predict st i in
+        if correctly_predicted then begin
+          st.stall_until <- t + 1;
+          if t + st.branch_time > st.finish then
+            st.finish <- t + st.branch_time;
+          st.next <- st.next + 1;
+          issued + 1
+        end
+        else if branch_operands_ready st i ~t then begin
+          st.stall_until <- t + st.branch_time;
+          if t + st.branch_time > st.finish then
+            st.finish <- t + st.branch_time;
+          st.next <- st.next + 1;
+          issued + 1
+        end
+        else issued
+      end
+      else if st.count >= st.ruu_size then issued
+      else begin
+        let slot = st.head + st.count in
+        let slot = if slot >= st.ruu_size then slot - st.ruu_size else slot in
+        st.count <- st.count + 1;
+        let uid = st.uid_next in
+        st.uid_next <- uid + 1;
+        st.s_uid.(slot) <- uid;
+        st.s_issue_cycle.(slot) <- t;
+        st.s_fu.(slot) <- st.p.Packed.fu.(i);
+        st.s_dispatched.(slot) <- false;
+        st.s_completion.(slot) <- max_int;
+        st.s_bank.(slot) <- bank st slot;
+        let d = st.p.Packed.dest.(i) in
+        st.s_dest.(slot) <- d;
+        st.s_needs_bus.(slot) <- d >= 0;
+        let base = slot * st.maxprod in
+        let np =
+          fill_prods st ~base ~s:st.p.Packed.src_off.(i)
+            ~stop:st.p.Packed.src_off.(i + 1) 0
+        in
+        let np =
+          if Packed.is_mem st.p i then begin
+            let r =
+              Int_table.find st.mem_writer ~default:(-1) st.p.Packed.addr.(i)
+            in
+            if r >= 0 then begin
+              st.s_prod_slot.(base + np) <- r mod st.ruu_size;
+              st.s_prod_uid.(base + np) <- r / st.ruu_size;
+              np + 1
+            end
+            else np
+          end
+          else np
+        in
+        st.s_nprod.(slot) <- np;
+        st.s_rpart.(slot) <- 0;
+        st.s_ready.(slot) <- (if np = 0 then 0 else max_int);
+        if d >= 0 then st.latest_writer.(d) <- slot;
+        if Packed.kind st.p i = Packed.kind_store then
+          Int_table.set st.mem_writer st.p.Packed.addr.(i)
+            ((uid * st.ruu_size) + slot);
+        st.next <- st.next + 1;
+        (* append to the undispatched list: issue order is window order *)
+        st.ud_prev.(slot) <- st.ud_tail;
+        st.ud_next.(slot) <- -1;
+        if st.ud_tail >= 0 then st.ud_next.(st.ud_tail) <- slot
+        else st.ud_head <- slot;
+        st.ud_tail <- slot;
+        st.scan_min <- 0;
+        issue_loop st ~t (issued + 1)
+      end
+
+  let issue_pass st ~t =
+    if t < st.stall_until then begin
+      lower_wake st st.stall_until;
+      0
+    end
+    else issue_loop st ~t 0
+
+  let diagnose st ~t =
+    if st.next >= st.p.Packed.n then Metrics.Drain
+    else if t < st.stall_until then Metrics.Branch
+    else if Packed.is_branch st.p st.next then Metrics.Raw
+    else Metrics.Buffer_refill
+
+  (* -- dispatch stage ------------------------------------------------------ *)
+
+  let unlink st slot =
+    let p = st.ud_prev.(slot) and n = st.ud_next.(slot) in
+    if p >= 0 then st.ud_next.(p) <- n else st.ud_head <- n;
+    if n >= 0 then st.ud_prev.(n) <- p else st.ud_tail <- p
+
+  (* Walks the undispatched list — exactly the entries the reference scan
+     can act on, in the same window order, so the bank/bus arbitration is
+     unchanged. [min_blocked] accumulates the scan summary: the earliest
+     cycle any visited entry could dispatch. Entries still waiting on
+     undispatched producers contribute nothing — every producer sits
+     earlier in this same list (issue order is program order), so the
+     dependent cannot become ready until after some listed producer
+     dispatches, which cannot happen before [min_blocked]; and the
+     head-most entry always has every producer resolved, so the summary
+     is never vacuous while the list is non-empty. A budget-limited scan
+     leaves [scan_min = 0] (no conclusion), a natural end [min_blocked]. *)
+  let rec dispatch_loop st ~t ~total_budget ~bank_used ~slot ~min_blocked
+      dispatched =
+    if dispatched >= total_budget then begin
+      st.scan_min <- 0;
+      dispatched
+    end
+    else if slot < 0 then begin
+      st.scan_min <- min_blocked;
+      dispatched
+    end
+    else begin
+      let nxt = st.ud_next.(slot) in
+      if st.s_issue_cycle.(slot) < t then begin
+        let b = st.s_bank.(slot) in
+        let bank_ok =
+          match st.bus with
+          | Sim_types.One_bus | Sim_types.N_bus -> bank_used land (1 lsl b) = 0
+          | Sim_types.X_bar -> true
+        in
+        if bank_ok then begin
+          let ready = operand_ready_cycle st slot in
+          if ready <= t then begin
+            let fu = st.s_fu.(slot) in
+            let fu_ok =
+              (not Packed.shared_unit.(fu)) || st.fu_last_used.(fu) <> t
+            in
+            let completion = t + st.lat.(fu) in
+            let bus_ok =
+              (not st.s_needs_bus.(slot))
+              || result_bus_free st ~cycle:completion ~bank:b
+            in
+            if fu_ok && bus_ok then begin
+              st.s_dispatched.(slot) <- true;
+              st.s_completion.(slot) <- completion;
+              unlink st slot;
+              (match st.metrics with
+              | Some m when Packed.shared_unit.(fu) ->
+                  Metrics.record_fu_busy m (Fu.of_index fu) 1
+              | _ -> ());
+              st.fu_last_used.(fu) <- t;
+              if st.s_needs_bus.(slot) then
+                reserve_result_bus st ~cycle:completion ~bank:b;
+              if completion > st.finish then st.finish <- completion;
+              dispatch_loop st ~t ~total_budget
+                ~bank_used:(bank_used lor (1 lsl b))
+                ~slot:nxt ~min_blocked (dispatched + 1)
+            end
+            else begin
+              (* operand-ready but blocked: on a zero-dispatch cycle the
+                 unit and bank are provably free, so the binding constraint
+                 is the result bus, which shifts with [t] *)
+              lower_wake st (t + 1);
+              dispatch_loop st ~t ~total_budget ~bank_used ~slot:nxt
+                ~min_blocked:(min min_blocked (t + 1))
+                dispatched
+            end
+          end
+          else if ready < max_int then begin
+            lower_wake st ready;
+            dispatch_loop st ~t ~total_budget ~bank_used ~slot:nxt
+              ~min_blocked:(min min_blocked ready)
+              dispatched
+          end
+          else
+            dispatch_loop st ~t ~total_budget ~bank_used ~slot:nxt ~min_blocked
+              dispatched
+        end
+        else
+          dispatch_loop st ~t ~total_budget ~bank_used ~slot:nxt
+            ~min_blocked:(min min_blocked (t + 1))
+            dispatched
+      end
+      else
+        (* issued this very cycle: undispatched but not yet eligible *)
+        dispatch_loop st ~t ~total_budget ~bank_used ~slot:nxt
+          ~min_blocked:(min min_blocked (t + 1))
+          dispatched
+    end
+
+  let dispatch_pass st ~t =
+    if st.scan_min > t then begin
+      (* exact skip: the undispatched set is unchanged since the scan that
+         computed [scan_min] (skipped scans dispatch nothing, commits only
+         remove dispatched entries, any issue resets it), and no member
+         can dispatch before [scan_min] > t, so the reference scan would
+         dispatch nothing; its earliest wake candidate is [scan_min] *)
+      if st.scan_min < max_int then lower_wake st st.scan_min;
+      0
+    end
+    else begin
+      let total_budget =
+        match st.bus with Sim_types.One_bus -> 1 | _ -> st.issue_units
+      in
+      dispatch_loop st ~t ~total_budget ~bank_used:0 ~slot:st.ud_head
+        ~min_blocked:max_int 0
+    end
+
+  (* -- commit stage --------------------------------------------------------- *)
+
+  let rec commit_loop st ~t ~budget committed =
+    if committed >= budget || st.count = 0 then committed
+    else
+      let slot = st.head in
+      if st.s_dispatched.(slot) && st.s_completion.(slot) <= t then begin
+        let d = st.s_dest.(slot) in
+        if d >= 0 && st.latest_writer.(d) = slot then st.latest_writer.(d) <- -1;
+        st.head <- (if st.head + 1 >= st.ruu_size then 0 else st.head + 1);
+        st.count <- st.count - 1;
+        commit_loop st ~t ~budget (committed + 1)
+      end
+      else begin
+        if st.s_dispatched.(slot) then lower_wake st st.s_completion.(slot);
+        committed
+      end
+
+  let commit_pass st ~t =
+    let budget =
+      match st.bus with Sim_types.One_bus -> 1 | _ -> st.issue_units
+    in
+    commit_loop st ~t ~budget 0
+end
+
+let rec pow2_at_least n = if n <= 1 then 1 else 2 * pow2_at_least ((n + 1) / 2)
+
+let simulate_packed ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
+    (trace : Trace.t) =
+  let p = Packed.cached trace in
+  let maxprod = p.Packed.max_srcs + 1 in
+  let st =
+    {
+      Fast.p;
+      lat = Packed.latency_table config;
+      branch_time = Config.branch_time config;
+      issue_units;
+      ruu_size;
+      metrics;
+      bus;
+      s_uid = Array.make ruu_size (-1);
+      s_issue_cycle = Array.make ruu_size 0;
+      s_fu = Array.make ruu_size 0;
+      s_dest = Array.make ruu_size (-1);
+      s_needs_bus = Array.make ruu_size false;
+      s_dispatched = Array.make ruu_size false;
+      s_completion = Array.make ruu_size 0;
+      s_ready = Array.make ruu_size max_int;
+      s_rpart = Array.make ruu_size 0;
+      s_bank = Array.make ruu_size 0;
+      s_nprod = Array.make ruu_size 0;
+      s_prod_slot = Array.make (ruu_size * maxprod) 0;
+      s_prod_uid = Array.make (ruu_size * maxprod) 0;
+      maxprod;
+      head = 0;
+      count = 0;
+      uid_next = 0;
+      ud_head = -1;
+      ud_tail = -1;
+      ud_next = Array.make ruu_size (-1);
+      ud_prev = Array.make ruu_size (-1);
+      scan_min = 0;
+      latest_writer = Array.make Reg.count (-1);
+      mem_writer = Int_table.create 256;
+      (* power of two >= the live-key span (max latency + 2), so ring
+         indexing is a mask *)
+      rb_tag = Array.make (pow2_at_least (Packed.max_latency config + 2)) (-1);
+      rb_val = Array.make (pow2_at_least (Packed.max_latency config + 2)) 0;
+      fu_last_used = Array.make Fu.count (-1);
+      branches;
+      counters = (match branches with Bimodal n -> Array.make n 0 | _ -> [||]);
+      stall_until = 0;
+      next = 0;
+      finish = 0;
+      wake = max_int;
+    }
+  in
+  let n = p.Packed.n in
+  (* The event skip must replay every cycle under [Bimodal]: a blocked
+     branch re-predicts (and trains its 2-bit counter) each retried cycle,
+     and can even flip to a correct prediction — and issue — mid-wait, so
+     zero-activity cycles carry predictor state. The other policies are
+     stateless per cycle. *)
+  let can_skip = match branches with Bimodal _ -> false | _ -> true in
+  let t = ref 0 in
+  let guard = ref (400 * (n + 100)) in
+  while not (st.Fast.next >= n && st.Fast.count = 0) do
+    (match metrics with
+    | Some m -> Metrics.record_occupancy m st.Fast.count
+    | None -> ());
+    st.Fast.wake <- max_int;
+    let committed = Fast.commit_pass st ~t:!t in
+    let dispatched = Fast.dispatch_pass st ~t:!t in
+    let issued = Fast.issue_pass st ~t:!t in
+    (match metrics with
+    | Some m ->
+        if issued > 0 then begin
+          Metrics.record_issue ~width:issued m 1;
+          Metrics.record_instructions m issued
+        end
+        else Metrics.record_stall m (Fast.diagnose st ~t:!t) 1;
+        incr t
+    | None ->
+        if
+          can_skip && committed = 0 && dispatched = 0 && issued = 0
+          && st.Fast.wake > !t + 1
+          && st.Fast.wake < max_int
+        then t := st.Fast.wake
+        else incr t);
+    decr guard;
+    if !guard <= 0 then failwith "Ruu.simulate: no progress"
+  done;
+  let cycles = max st.Fast.finish !t in
+  (match metrics with
+  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !t)
+  | None -> ());
+  { Sim_types.cycles; instructions = n }
+
+let simulate ?metrics ?(branches = Stall) ?(reference = false) ~config
+    ~issue_units ~ruu_size ~bus (trace : Trace.t) =
+  if issue_units < 1 then invalid_arg "Ruu.simulate: issue_units < 1";
+  if ruu_size < issue_units then invalid_arg "Ruu.simulate: ruu_size too small";
+  (match branches with
+  | Bimodal n when n < 1 -> invalid_arg "Ruu.simulate: bimodal table size < 1"
+  | _ -> ());
+  if reference then
+    simulate_reference ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
+      trace
+  else
+    simulate_packed ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
+      trace

@@ -42,6 +42,7 @@ val branch_handling_to_string : branch_handling -> string
 val simulate :
   ?metrics:Sim_types.Metrics.t ->
   ?branches:branch_handling ->
+  ?reference:bool ->
   config:Mfu_isa.Config.t ->
   issue_units:int ->
   ruu_size:int ->
@@ -59,4 +60,9 @@ val simulate :
     RUU is full, and [Drain] once the trace is exhausted (including the
     completion tail). Functional-unit utilization counts dispatches; the
     occupancy histogram records the RUU fill at the start of every cycle.
-    The result is unchanged. *)
+    The result is unchanged.
+
+    [reference] (default [false]) selects the original entry-record
+    implementation instead of the {!Mfu_exec.Packed} fast path; both
+    produce byte-identical results and metrics — the flag exists for the
+    differential test suite and as the benchmark baseline. *)

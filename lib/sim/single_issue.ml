@@ -28,8 +28,11 @@ let unit_is_serial org (fu : Fu.kind) =
 let mem_addr (e : Trace.entry) =
   match e.kind with Trace.Load a | Trace.Store a -> Some a | _ -> None
 
-let simulate ?metrics ?(memory = Memory_system.ideal) ~config org
-    (trace : Trace.t) =
+(* -- reference path ---------------------------------------------------------
+   The original entry-record implementation, kept verbatim as the
+   differential oracle for the packed fast path below. *)
+
+let simulate_reference ?metrics ~memory ~config org (trace : Trace.t) =
   let mem_state = Memory_system.create memory in
   let reg_ready = Array.make Reg.count 0 in
   let fu_free = Array.make Fu.count 0 in
@@ -105,3 +108,86 @@ let simulate ?metrics ?(memory = Memory_system.ideal) ~config org
   | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !issue_free)
   | None -> ());
   { Sim_types.cycles; instructions = Array.length trace }
+
+(* -- packed fast path --------------------------------------------------------
+   Same cycle-by-cycle semantics as [simulate_reference], computed over the
+   struct-of-arrays {!Mfu_exec.Packed} form: register names, source lists
+   and kinds are unboxed array reads, and the per-organization serial-unit
+   predicate is a precomputed table. Output (result and metrics) is
+   byte-identical to the reference path. *)
+
+module Packed = Mfu_exec.Packed
+
+let simulate_packed ?metrics ~memory ~config org (trace : Trace.t) =
+  let p = Packed.cached trace in
+  let mem_state = Memory_system.create memory in
+  let reg_ready = Array.make Reg.count 0 in
+  let fu_free = Array.make Fu.count 0 in
+  let lat = Packed.latency_table config in
+  let serial = Array.init Fu.count (fun i -> unit_is_serial org (Fu.of_index i)) in
+  let shared = Packed.shared_unit in
+  let simple = org = Simple in
+  let conflict_org = match org with Non_segmented | Cray_like -> true | _ -> false in
+  let issue_free = ref 0 in
+  let prev_completion = ref 0 in
+  let finish = ref 0 in
+  let branch_time = Config.branch_time config in
+  for i = 0 to p.Packed.n - 1 do
+    let fu = Array.unsafe_get p.Packed.fu i in
+    let kind = Char.code (Bytes.unsafe_get p.Packed.kind i) in
+    let is_branch = kind >= Packed.kind_taken in
+    let latency = if is_branch then branch_time else Array.unsafe_get lat fu in
+    let t = ref !issue_free in
+    let why = ref Metrics.Drain in
+    let raise_to cause v =
+      if v > !t then begin
+        t := v;
+        why := cause
+      end
+    in
+    if simple then raise_to Metrics.Fu_busy !prev_completion
+    else begin
+      for s = p.Packed.src_off.(i) to p.Packed.src_off.(i + 1) - 1 do
+        raise_to Metrics.Raw reg_ready.(Array.unsafe_get p.Packed.src_idx s)
+      done;
+      let d = Array.unsafe_get p.Packed.dest i in
+      if d >= 0 then raise_to Metrics.Waw reg_ready.(d);
+      if shared.(fu) then raise_to Metrics.Fu_busy fu_free.(fu)
+    end;
+    let addr = Array.unsafe_get p.Packed.addr i in
+    if conflict_org && addr >= 0 && not serial.(fu) then
+      raise_to Metrics.Memory_conflict
+        (Memory_system.accept mem_state ~addr ~from_:!t);
+    let t = !t in
+    let vl = Array.unsafe_get p.Packed.vl i in
+    let parcels = Array.unsafe_get p.Packed.parcels i in
+    let completion = t + latency + vl - 1 in
+    let occupancy = if serial.(fu) then latency + vl - 1 else max 1 vl in
+    (match metrics with
+    | Some m ->
+        Metrics.record_stall m !why (t - !issue_free);
+        if is_branch then begin
+          Metrics.record_issue m 1;
+          Metrics.record_stall m Metrics.Branch (branch_time - 1)
+        end
+        else Metrics.record_issue m parcels;
+        Metrics.record_instructions m 1;
+        if shared.(fu) then Metrics.record_fu_busy m (Fu.of_index fu) occupancy
+    | None -> ());
+    let d = Array.unsafe_get p.Packed.dest i in
+    if d >= 0 then reg_ready.(d) <- completion;
+    if shared.(fu) then fu_free.(fu) <- t + occupancy;
+    prev_completion := completion;
+    if completion > !finish then finish := completion;
+    issue_free := t + (if is_branch then branch_time else parcels)
+  done;
+  let cycles = max !finish !issue_free in
+  (match metrics with
+  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !issue_free)
+  | None -> ());
+  { Sim_types.cycles; instructions = p.Packed.n }
+
+let simulate ?metrics ?(memory = Memory_system.ideal) ?(reference = false)
+    ~config org (trace : Trace.t) =
+  if reference then simulate_reference ?metrics ~memory ~config org trace
+  else simulate_packed ?metrics ~memory ~config org trace

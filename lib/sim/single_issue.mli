@@ -27,6 +27,7 @@ val organization_to_string : organization -> string
 val simulate :
   ?metrics:Sim_types.Metrics.t ->
   ?memory:Memory_system.t ->
+  ?reference:bool ->
   config:Mfu_isa.Config.t ->
   organization ->
   Mfu_exec.Trace.t ->
@@ -45,4 +46,9 @@ val simulate :
     constraint, in that priority order; under [Simple] the busy execution
     stage counts as [Fu_busy]), the blocked cycles after a branch issues
     are [Branch], and the completion tail after the last issue is [Drain].
-    The result is unchanged. *)
+    The result is unchanged.
+
+    [reference] (default [false]) selects the original entry-record
+    implementation instead of the {!Mfu_exec.Packed} fast path; both
+    produce byte-identical results and metrics — the flag exists for the
+    differential test suite and as the benchmark baseline. *)

@@ -1,0 +1,30 @@
+type t = { mutable bits : Bytes.t }
+
+let create n =
+  let n = max 1 n in
+  { bits = Bytes.make ((n + 7) / 8) '\000' }
+
+let capacity t = 8 * Bytes.length t.bits
+
+let mem t i =
+  if i < 0 then invalid_arg "Bitset.mem: negative index";
+  if i >= capacity t then false
+  else Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let grow t i =
+  let cur = Bytes.length t.bits in
+  let need = (i lsr 3) + 1 in
+  if need > cur then begin
+    let b = Bytes.make (max need (2 * cur)) '\000' in
+    Bytes.blit t.bits 0 b 0 cur;
+    t.bits <- b
+  end
+
+let set t i =
+  if i < 0 then invalid_arg "Bitset.set: negative index";
+  grow t i;
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7))))
+
+let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'

@@ -1,0 +1,27 @@
+(** A growable bitset over non-negative integers.
+
+    Backs the claim-slot scans of the simulator fast paths: membership
+    tests beyond the current capacity are simply [false], and [set] grows
+    the backing buffer geometrically, so the hot probe loops never
+    allocate. Indices are absolute (e.g. cycle numbers); memory is one bit
+    per index up to the highest bit ever set. *)
+
+type t
+
+val create : int -> t
+(** [create n] allocates capacity for indices [0..n-1] (rounded up to a
+    whole byte; at least one byte). *)
+
+val mem : t -> int -> bool
+(** [mem t i] — [false] for any index never set, including indices beyond
+    the current capacity. @raise Invalid_argument on a negative index. *)
+
+val set : t -> int -> unit
+(** Mark index [i], growing the backing buffer if needed.
+    @raise Invalid_argument on a negative index. *)
+
+val capacity : t -> int
+(** Current capacity in bits (grows over time). *)
+
+val clear : t -> unit
+(** Unset every bit, keeping the capacity. *)

@@ -1,0 +1,84 @@
+(* Linear probing over a power-of-two array; [empty_key] marks free cells.
+   The table only grows (no deletion), so probe chains never contain
+   tombstones and the load factor stays below 1/2. *)
+
+let empty_key = min_int
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable size : int;
+  mutable mask : int;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (2 * k)
+
+let create n =
+  let cap = pow2 (max 8 (2 * n)) 8 in
+  {
+    keys = Array.make cap empty_key;
+    vals = Array.make cap 0;
+    size = 0;
+    mask = cap - 1;
+  }
+
+let length t = t.size
+
+(* Fibonacci hashing on the 63-bit int, folded into the table mask. *)
+let slot t k = (k * 0x2545F4914F6CDD1D lsr 3) land t.mask
+
+let find t ~default k =
+  if k = empty_key then invalid_arg "Int_table.find: reserved key";
+  let keys = t.keys in
+  let i = ref (slot t k) in
+  let r = ref default in
+  let continue_ = ref true in
+  while !continue_ do
+    let k' = Array.unsafe_get keys !i in
+    if k' = k then begin
+      r := Array.unsafe_get t.vals !i;
+      continue_ := false
+    end
+    else if k' = empty_key then continue_ := false
+    else i := (!i + 1) land t.mask
+  done;
+  !r
+
+let rec set t k v =
+  if k = empty_key then invalid_arg "Int_table.set: reserved key";
+  let keys = t.keys in
+  let i = ref (slot t k) in
+  let continue_ = ref true in
+  while !continue_ do
+    let k' = Array.unsafe_get keys !i in
+    if k' = k then begin
+      Array.unsafe_set t.vals !i v;
+      continue_ := false
+    end
+    else if k' = empty_key then
+      if 2 * (t.size + 1) > t.mask + 1 then begin
+        (* rehash into a table twice the size, then insert *)
+        let old_keys = t.keys and old_vals = t.vals in
+        let cap = 2 * (t.mask + 1) in
+        t.keys <- Array.make cap empty_key;
+        t.vals <- Array.make cap 0;
+        t.mask <- cap - 1;
+        t.size <- 0;
+        Array.iteri
+          (fun j k' -> if k' <> empty_key then set t k' old_vals.(j))
+          old_keys;
+        set t k v;
+        continue_ := false
+      end
+      else begin
+        Array.unsafe_set keys !i k;
+        Array.unsafe_set t.vals !i v;
+        t.size <- t.size + 1;
+        continue_ := false
+      end
+    else i := (!i + 1) land t.mask
+  done
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_key;
+  t.size <- 0

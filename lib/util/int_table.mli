@@ -1,0 +1,27 @@
+(** An open-addressing int -> int hash table without deletion.
+
+    Replaces the per-address [Hashtbl]s of the simulator hot paths
+    (store-to-load forwarding tokens, in-flight memory writers): probes
+    never allocate, capacity is a power of two grown geometrically, and the
+    memory footprint is O(distinct keys) — not O(simulated cycles) like the
+    cycle-keyed tables it subsumes. [min_int] is reserved as the
+    empty-cell marker and cannot be used as a key. *)
+
+type t
+
+val create : int -> t
+(** [create n] sizes the table for about [n] keys without rehashing. *)
+
+val find : t -> default:int -> int -> int
+(** [find t ~default k] is the value bound to [k], or [default].
+    @raise Invalid_argument if [k = min_int]. *)
+
+val set : t -> int -> int -> unit
+(** [set t k v] binds [k] to [v], replacing any previous binding.
+    @raise Invalid_argument if [k = min_int]. *)
+
+val length : t -> int
+(** Number of distinct keys. *)
+
+val clear : t -> unit
+(** Drop every binding, keeping the capacity. *)

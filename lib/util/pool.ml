@@ -42,16 +42,26 @@ let current_jobs () =
 let sequential f arr =
   Array.map (fun x -> try Ok (f x) with e -> Error e) arr
 
-let parallel ~jobs f arr =
+(* Elements claimed per counter bump. Small jobs dominate the sweep
+   workloads, so the default aims at enough chunks for stealing to balance
+   (8 per worker) while amortizing the contended fetch-and-add on large
+   inputs. Results are always written by input index, so chunking cannot
+   affect ordering. *)
+let auto_chunk ~jobs n = max 1 (n / (jobs * 8))
+
+let parallel ~jobs ~chunk f arr =
   let n = Array.length arr in
   let results = Array.make n None in
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
+      let i = Atomic.fetch_and_add next chunk in
       if i < n then (
-        let r = try Ok (f arr.(i)) with e -> Error e in
-        results.(i) <- Some r;
+        let stop = min n (i + chunk) in
+        for k = i to stop - 1 do
+          let r = try Ok (f arr.(k)) with e -> Error e in
+          results.(k) <- Some r
+        done;
         loop ())
     in
     loop ()
@@ -71,14 +81,24 @@ let parallel ~jobs f arr =
     (function Some r -> r | None -> Error (Failure "Pool: missing result"))
     results
 
-let try_map ?jobs f xs =
+let try_map ?jobs ?chunk f xs =
   let arr = Array.of_list xs in
   let jobs =
     match jobs with Some j -> clamp j | None -> current_jobs ()
   in
   let jobs = min jobs (max 1 (Array.length arr)) in
-  let out = if jobs <= 1 then sequential f arr else parallel ~jobs f arr in
+  let chunk =
+    match chunk with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Pool.try_map: chunk < 1"
+    | None -> auto_chunk ~jobs (Array.length arr)
+  in
+  let out =
+    if jobs <= 1 then sequential f arr else parallel ~jobs ~chunk f arr
+  in
   Array.to_list out
 
-let map ?jobs f xs =
-  List.map (function Ok v -> v | Error e -> raise e) (try_map ?jobs f xs)
+let map ?jobs ?chunk f xs =
+  List.map
+    (function Ok v -> v | Error e -> raise e)
+    (try_map ?jobs ?chunk f xs)

@@ -40,12 +40,22 @@ val set_jobs : int option -> unit
 val current_jobs : unit -> int
 (** The worker count the next [map] without [?jobs] will use. *)
 
-val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+val try_map :
+  ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** Like {!map} but captures per-element exceptions: an exception raised by
     one job never loses the results of the others. Results are in input
-    order. *)
+    order.
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    [chunk] is the number of consecutive elements a worker claims per bump
+    of the scheduling counter. It defaults to an automatic heuristic
+    (roughly eight chunks per worker, at least 1) that amortizes counter
+    contention on large inputs while keeping enough chunks for stealing to
+    balance uneven job times. Results are written by input index, so the
+    chunk size affects scheduling only — never values or ordering.
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] with deterministic ordering. If any job raised, the
     exception of the earliest failing element (in input order, independent
-    of scheduling) is re-raised after all jobs have finished. *)
+    of scheduling) is re-raised after all jobs have finished. [chunk] as in
+    {!try_map}. *)

@@ -27,6 +27,13 @@ let prop_exceptions_do_not_lose_results =
              | Error _ -> false)
            xs rs)
 
+let prop_chunked_equals_unchunked =
+  QCheck.Test.make ~name:"chunked scheduling never changes results" ~count:200
+    QCheck.(triple (list small_signed_int) (int_range 1 6) (int_range 1 40))
+    (fun (xs, jobs, chunk) ->
+      Pool.map ~jobs ~chunk f xs = List.map f xs
+      && Pool.try_map ~jobs ~chunk f xs = Pool.try_map ~jobs:1 f xs)
+
 let prop_map_raises_earliest_failure =
   QCheck.Test.make ~name:"Pool.map re-raises deterministically" ~count:100
     arb_input (fun (xs, jobs) ->
@@ -108,6 +115,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_map_is_list_map;
+            prop_chunked_equals_unchunked;
             prop_exceptions_do_not_lose_results;
             prop_map_raises_earliest_failure;
           ] );
