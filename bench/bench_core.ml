@@ -7,15 +7,26 @@
    workloads, so a regression in the hot paths is visible directly and not
    hidden behind trace memoization or the worker pool.
 
+   Two kinds of families are measured:
+
+   - paper-sized families ("single_issue", ...): the packed fast path vs
+     the [~reference:true] original, over the default Livermore workloads;
+   - scaled families ("single_issue/scaled", ...): one ~10^6-instruction
+     scaled Livermore loop, steady-state acceleration (Mfu_sim.Steady,
+     the default) vs the same packed path with [~accel:false]. Here the
+     speedup column is the telescoping gain, expected in the hundreds.
+
    Usage:
      bench_core.exe [--json FILE] [--check BASELINE] [--tolerance PCT]
-                    [--min-time SECONDS]
+                    [--min-time SECONDS] [--only FAMILY[,FAMILY...]]
 
    --json FILE      write the results as JSON (schema mfu-bench-core/v1)
    --check FILE     compare against a previously written JSON file and exit
                     non-zero if any family's packed cycles/sec dropped by
-                    more than the tolerance (default 20%)
-   --min-time S     minimum measured wall-clock per timing (default 0.3) *)
+                    more than the tolerance (default 20%); scaled families
+                    are gated on a 50x acceleration-speedup floor instead
+   --min-time S     minimum measured wall-clock per timing (default 0.3)
+   --only F,...     measure (and check) only the named families *)
 
 module Config = Mfu_isa.Config
 module Trace = Mfu_exec.Trace
@@ -86,6 +97,66 @@ let families =
     };
   ]
 
+(* Scaled families: one large periodic workload each, chosen so that the
+   steady-state detector engages (see DESIGN.md, "Steady-state
+   fast-forward"). [reference] here selects the packed fast path with
+   acceleration off — both sides share the packed engine, so the speedup
+   column isolates the telescoping gain. *)
+let scaled_workload ~loop ~scale =
+  lazy [ Livermore.trace (Livermore.scaled ~scale loop) ]
+
+let scaled_families =
+  [
+    {
+      fname = "single_issue/scaled";
+      workload = scaled_workload ~loop:11 ~scale:250;
+      run =
+        (fun ~reference t ->
+          (Single_issue.simulate ~accel:(not reference) ~config
+             Single_issue.Cray_like t)
+            .cycles);
+    };
+    {
+      fname = "dep_single/scaled";
+      workload = scaled_workload ~loop:12 ~scale:250;
+      run =
+        (fun ~reference t ->
+          (Dep_single.simulate ~accel:(not reference) ~config
+             Dep_single.Tomasulo t)
+            .cycles);
+    };
+    {
+      fname = "buffer_issue/scaled";
+      workload = scaled_workload ~loop:11 ~scale:250;
+      run =
+        (fun ~reference t ->
+          (Buffer_issue.simulate ~accel:(not reference) ~config
+             ~policy:Buffer_issue.Out_of_order ~stations:8 ~bus:Sim_types.N_bus
+             t)
+            .cycles);
+    };
+    {
+      fname = "ruu/scaled";
+      workload = scaled_workload ~loop:11 ~scale:250;
+      run =
+        (fun ~reference t ->
+          (Ruu.simulate ~accel:(not reference) ~config ~issue_units:4
+             ~ruu_size:50 ~bus:Sim_types.N_bus t)
+            .cycles);
+    };
+    {
+      (* the limits machine's store-token table only telescopes on
+         store-light loops; LL3 (inner product) is its showcase *)
+      fname = "limits/scaled";
+      workload = scaled_workload ~loop:3 ~scale:260;
+      run =
+        (fun ~reference t ->
+          Limits.critical_path ~accel:(not reference) ~config t);
+    };
+  ]
+
+let all_families = families @ scaled_families
+
 (* One pass over the workload; returns total simulated cycles. *)
 let one_pass f ~reference traces =
   List.fold_left (fun acc t -> acc + f.run ~reference t) 0 traces
@@ -126,13 +197,13 @@ type row = {
 
 let speedup r = r.packed_cps /. r.reference_cps
 
-let measure_all ~min_time =
+let measure_all ~min_time fams =
   List.map
     (fun f ->
       let cycles, packed_cps = throughput ~min_time f ~reference:false in
       let _, reference_cps = throughput ~min_time f ~reference:true in
       { name = f.fname; cycles; packed_cps; reference_cps })
-    families
+    fams
 
 let print_rows rows =
   Printf.printf "%-14s %12s %16s %16s %9s\n" "family" "cycles/pass"
@@ -189,14 +260,39 @@ let load_baseline file =
 
 (* Exit non-zero when any family regressed past the tolerance. A family
    present in the baseline but missing from this run is also a failure —
-   removing a simulator must not silently pass the gate. *)
-let check ~tolerance ~baseline_file rows =
-  let baseline = load_baseline baseline_file in
+   removing a simulator must not silently pass the gate. Under [--only]
+   the gate narrows to the selected families, so a partial run can still
+   be checked against the full baseline.
+
+   Scaled families are gated on their speedup instead of throughput: an
+   accelerated pass takes a fraction of a millisecond, so its cycles/sec
+   swings 2-3x with allocator and GC state, while the speedup collapses
+   to ~1x the moment telescoping stops engaging — which is what the gate
+   is there to catch. *)
+let scaled_speedup_floor = 50.0
+
+let is_scaled name =
+  String.length name > 7
+  && String.sub name (String.length name - 7) 7 = "/scaled"
+
+let check ~tolerance ~baseline_file ~selected rows =
+  let baseline =
+    List.filter
+      (fun (name, _) -> List.exists (fun f -> f.fname = name) selected)
+      (load_baseline baseline_file)
+  in
   let failures =
     List.filter_map
       (fun (name, base_cps) ->
         match List.find_opt (fun r -> r.name = name) rows with
         | None -> Some (Printf.sprintf "%s: missing from this run" name)
+        | Some r when is_scaled name ->
+            if speedup r < scaled_speedup_floor then
+              Some
+                (Printf.sprintf
+                   "%s: acceleration speedup %.1fx below the %.0fx floor"
+                   name (speedup r) scaled_speedup_floor)
+            else None
         | Some r ->
             if r.packed_cps < (1.0 -. tolerance) *. base_cps then
               Some
@@ -214,11 +310,25 @@ let check ~tolerance ~baseline_file rows =
       List.iter (Printf.eprintf "check FAILED: %s\n") fs;
       exit 1
 
+let select_families spec =
+  let names = String.split_on_char ',' spec in
+  List.map
+    (fun name ->
+      match List.find_opt (fun f -> f.fname = name) all_families with
+      | Some f -> f
+      | None ->
+          failwith
+            (Printf.sprintf "--only: unknown family %s (known: %s)" name
+               (String.concat ", "
+                  (List.map (fun f -> f.fname) all_families))))
+    names
+
 let () =
   let json_file = ref None in
   let check_file = ref None in
   let tolerance = ref 0.20 in
   let min_time = ref 0.3 in
+  let selected = ref all_families in
   let rec parse = function
     | "--json" :: file :: rest ->
         json_file := Some file;
@@ -232,11 +342,14 @@ let () =
     | "--min-time" :: s :: rest ->
         min_time := float_of_string s;
         parse rest
+    | "--only" :: spec :: rest ->
+        selected := select_families spec;
+        parse rest
     | [] -> ()
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %s" arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let rows = measure_all ~min_time:!min_time in
+  let rows = measure_all ~min_time:!min_time !selected in
   print_rows rows;
   Option.iter
     (fun file ->
@@ -247,5 +360,6 @@ let () =
       Printf.eprintf "[bench] wrote %s\n%!" file)
     !json_file;
   Option.iter
-    (fun file -> check ~tolerance:!tolerance ~baseline_file:file rows)
+    (fun file ->
+      check ~tolerance:!tolerance ~baseline_file:file ~selected:!selected rows)
     !check_file

@@ -95,8 +95,9 @@ let run_metrics ~csv ~json_file =
       Printf.eprintf "[metrics] wrote %s\n%!" file)
     json_file
 
-let run table ablations compare csv metrics metrics_json jobs =
+let run table ablations compare csv metrics metrics_json jobs scale =
   Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
+  Mfu_loops.Livermore.set_scale scale;
   let one n =
     timed (Printf.sprintf "table %d" n) (fun () -> table_of_int ~compare ~csv n)
   in
@@ -150,12 +151,22 @@ let jobs =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let scale =
+  let doc =
+    "Multiply every Livermore loop's problem size by $(docv) (default 1: \
+     the paper-sized workloads). Loop 2 is rounded up to a power of two \
+     and loop 6 scales by the square root, keeping all traces roughly \
+     $(docv) times longer. Large-N runs are telescoped exactly by the \
+     steady-state fast-forward, so the tables stay fast."
+  in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "regenerate the tables of Pleszkun & Sohi 1988" in
   let info = Cmd.info "mfu-tables" ~doc in
   Cmd.v info
     Term.(
       const run $ table $ ablations $ compare $ csv $ metrics $ metrics_json
-      $ jobs)
+      $ jobs $ scale)
 
 let () = exit (Cmd.eval cmd)

@@ -83,6 +83,123 @@ let of_trace (tr : Trace.t) =
   p.src_off.(n) <- !off;
   p
 
+(* -- period detection -------------------------------------------------------- *)
+
+type period = {
+  p_start : int;
+  p_len : int;
+  p_stride : int;
+  p_periods : int;
+}
+
+(* Two entries are congruent when every field matches except the effective
+   address, which must differ by exactly [stride] (shared by every memory
+   entry of the region — a uniform stride is what makes a whole period a
+   pure address translation of the previous one, the property the
+   steady-state telescoping relies on). *)
+let entries_congruent t ~stride i j =
+  t.fu.(i) = t.fu.(j)
+  && t.dest.(i) = t.dest.(j)
+  && Bytes.get t.kind i = Bytes.get t.kind j
+  && t.parcels.(i) = t.parcels.(j)
+  && t.vl.(i) = t.vl.(j)
+  && t.static_index.(i) = t.static_index.(j)
+  && t.src_off.(i + 1) - t.src_off.(i) = t.src_off.(j + 1) - t.src_off.(j)
+  && (let oi = t.src_off.(i) and oj = t.src_off.(j) in
+      let k = t.src_off.(i + 1) - oi in
+      let rec eq s =
+        s >= k || (t.src_idx.(oi + s) = t.src_idx.(oj + s) && eq (s + 1))
+      in
+      eq 0)
+  &&
+  if is_mem t i then t.addr.(j) - t.addr.(i) = stride
+  else t.addr.(i) = t.addr.(j)
+
+(* The address stride of candidate period [p] starting at [s]: the first
+   memory entry of the body fixes it (0 when the body touches no memory);
+   every other memory pair must then agree, checked by the region scan. *)
+let region_stride t ~s ~p =
+  let rec find i =
+    if i >= s + p || i + p >= t.n then 0
+    else if is_mem t i then t.addr.(i + p) - t.addr.(i)
+    else find (i + 1)
+  in
+  find s
+
+(* Longest run of congruent periods of length [p] starting at [s]:
+   returns the number of complete periods in the maximal periodic region
+   [s, s + periods*p). *)
+let region_periods t ~s ~p ~stride =
+  let rec scan i =
+    if i + p >= t.n || not (entries_congruent t ~stride i (i + p)) then i + p
+    else scan (i + 1)
+  in
+  if s + p > t.n then 0 else (scan s - s) / p
+
+(* Detect the steady repeating body of a loop trace. Candidate period
+   lengths come from the spacing of taken branches (the backedges); the
+   first candidate whose full-field congruence scan yields at least two
+   complete periods wins, so nested always-taken control flow falls back
+   to a multiple of the inner spacing automatically. *)
+let find_period t =
+  if t.n < 8 then None
+  else begin
+    let taken = ref [] and count = ref 0 in
+    (try
+       for i = 0 to t.n - 1 do
+         if kind t i = kind_taken then begin
+           taken := i :: !taken;
+           incr count;
+           if !count > 9 then raise Exit
+         end
+       done
+     with Exit -> ());
+    match List.rev !taken with
+    | [] | [ _ ] -> None
+    | t0 :: rest ->
+        let s = t0 + 1 in
+        let rec try_candidates = function
+          | [] -> None
+          | tj :: rest ->
+              let p = tj - t0 in
+              let stride = region_stride t ~s ~p in
+              let periods = region_periods t ~s ~p ~stride in
+              if periods >= 2 then
+                Some
+                  {
+                    p_start = s;
+                    p_len = p;
+                    p_stride = stride;
+                    p_periods = periods;
+                  }
+              else try_candidates rest
+        in
+        try_candidates rest
+  end
+
+(* Period detection is an O(n) scan, so it is memoized alongside the pack
+   itself: keyed by the physical identity of the packed form, bounded the
+   same way as the pack cache below. *)
+let period_capacity = 64
+let period_lock = Mutex.create ()
+let period_cache : (t * period option) list ref = ref []
+
+let rec take_periods k = function
+  | x :: rest when k > 0 -> x :: take_periods (k - 1) rest
+  | _ -> []
+
+let period (p : t) =
+  Mutex.lock period_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock period_lock)
+    (fun () ->
+      match List.find_opt (fun (key, _) -> key == p) !period_cache with
+      | Some (_, r) -> r
+      | None ->
+          let r = find_period p in
+          period_cache := take_periods period_capacity ((p, r) :: !period_cache);
+          r)
+
 (* -- per-configuration lookup tables ---------------------------------------- *)
 
 let latency_table config =
@@ -130,4 +247,8 @@ let cache_clear () =
   Mutex.lock cache_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock cache_lock)
-    (fun () -> cache := [])
+    (fun () -> cache := []);
+  Mutex.lock period_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock period_lock)
+    (fun () -> period_cache := [])

@@ -37,6 +37,28 @@ val kind_untaken : int
 val of_trace : Trace.t -> t
 (** Flatten a trace. O(n); performed once per trace by {!cached}. *)
 
+type period = {
+  p_start : int;  (** first entry of the periodic region *)
+  p_len : int;  (** entries per period *)
+  p_stride : int;  (** uniform address stride between consecutive periods *)
+  p_periods : int;  (** complete periods in the region *)
+}
+(** A steady repeating body: entries [p_start + i] and [p_start + i + p_len]
+    are identical in every field for
+    [i] in [\[0, (p_periods-1)*p_len)], except that memory addresses
+    advance by exactly [p_stride] per period (the same stride for every
+    memory entry of the body — mixed strides end the region, because only
+    a uniform stride makes one period a pure address translation of the
+    previous, which is what exact steady-state telescoping needs). Iteration
+    boundaries are [p_start + m*p_len] for [m] in [\[0, p_periods\]]. *)
+
+val period : t -> period option
+(** Detect the repeating body of a loop trace, or [None] for traces with
+    fewer than two congruent periods (straight-line code, data-dependent
+    address streams, non-counting loops). Candidate period lengths come
+    from taken-branch (backedge) spacing; the scan is O(n) and memoized by
+    physical identity of the packed trace. *)
+
 val cached : Trace.t -> t
 (** Memoized {!of_trace}, keyed by the {e physical identity} of the trace
     array — the contract {!Mfu_loops.Trace_cache} provides (one shared

@@ -63,7 +63,7 @@ let cost m =
   in
   float_of_int ((4 * units) + window_of m + bus)
 
-type point = { machine : machine; config : Config.t; loop : int }
+type point = { machine : machine; config : Config.t; loop : int; scale : int }
 
 (* The key must change whenever any latency differs, even between
    configurations sharing a name (the paper_scalar_add variant), so it
@@ -75,28 +75,33 @@ let config_to_key (c : Config.t) =
     l.Fu.scalar_shift l.Fu.scalar_add l.Fu.float_add l.Fu.float_multiply
     l.Fu.reciprocal l.Fu.memory l.Fu.branch l.Fu.transfer
 
-(* Trace digests are memoized per loop number; computed on demand, on the
-   calling domain (the sweep driver keys every point before fanning out,
-   so worker domains never race on this table). *)
-let trace_digests : (int, string) Hashtbl.t = Hashtbl.create 16
+(* Trace digests are memoized per (loop number, scale); computed on
+   demand, on the calling domain (the sweep driver keys every point before
+   fanning out, so worker domains never race on this table). *)
+let trace_digests : (int * int, string) Hashtbl.t = Hashtbl.create 16
 
-let trace_digest loop =
-  match Hashtbl.find_opt trace_digests loop with
+let trace_digest loop scale =
+  match Hashtbl.find_opt trace_digests (loop, scale) with
   | Some d -> d
   | None ->
-      let trace = Livermore.trace (Livermore.loop loop) in
+      let trace = Livermore.trace (Livermore.scaled ~scale loop) in
       let d = Digest.to_hex (Digest.string (Mfu_exec.Trace_io.to_string trace)) in
-      Hashtbl.replace trace_digests loop d;
+      Hashtbl.replace trace_digests (loop, scale) d;
       d
 
+(* [scale] appears both as an explicit key dimension and through the trace
+   digest, so a scaled run can never alias the default-size result even if
+   two scales were ever to produce identical traces. *)
 let key p =
-  Printf.sprintf "mfu-point/v1 sim=%s machine=%s config=%s loop=LL%d trace=%s"
+  Printf.sprintf
+    "mfu-point/v1 sim=%s machine=%s config=%s loop=LL%d scale=%d trace=%s"
     sim_version (machine_to_string p.machine) (config_to_key p.config) p.loop
-    (trace_digest p.loop)
+    p.scale
+    (trace_digest p.loop p.scale)
 
 let run p =
   let config = p.config in
-  let trace = Livermore.trace (Livermore.loop p.loop) in
+  let trace = Livermore.trace (Livermore.scaled ~scale:p.scale p.loop) in
   match p.machine with
   | Single org -> Single_issue.simulate ~config org trace
   | Dep scheme -> Dep_single.simulate ~config scheme trace
@@ -118,6 +123,7 @@ type t = {
   branches : Ruu.branch_handling list;
   configs : Config.t list;
   loops : int list;
+  scales : int list;
 }
 
 let all_loops = List.init 14 (fun i -> i + 1)
@@ -134,6 +140,7 @@ let empty =
     branches = [ Ruu.Stall ];
     configs = Config.all;
     loops = all_loops;
+    scales = [ 1 ];
   }
 
 let class_loops cls =
@@ -189,7 +196,12 @@ let enumerate axes =
       (fun machine ->
         List.concat_map
           (fun config ->
-            List.map (fun loop -> { machine; config; loop }) axes.loops)
+            List.concat_map
+              (fun loop ->
+                List.map
+                  (fun scale -> { machine; config; loop; scale })
+                  axes.scales)
+              axes.loops)
           axes.configs)
       (machines axes)
   in
@@ -342,6 +354,10 @@ let apply_clause axes clause =
       | "loops" ->
           let* loops = loops_of_string "loops" values in
           Ok { axes with loops }
+      | "scale" ->
+          let* scales = int_list_of_string "scale" values in
+          if List.for_all (fun s -> s >= 1) scales then Ok { axes with scales }
+          else Error "scale: factors must be >= 1" 
       | other -> Error (Printf.sprintf "unknown axis %S" other))
 
 let of_string s =
@@ -391,6 +407,7 @@ let to_string axes =
         ("branch", branches);
         ("config", keywords config_table axes.configs);
         ("loops", ints axes.loops);
+        ("scale", if axes.scales = [ 1 ] then "" else ints axes.scales);
       ]
   in
   String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) clauses)

@@ -62,16 +62,25 @@ val cost : machine -> float
     as one unit with one bus). The scale is arbitrary; only the ordering
     and relative spacing matter. *)
 
-type point = { machine : machine; config : Config.t; loop : int }
-(** [loop] is a Livermore loop number (1..14). *)
+type point = { machine : machine; config : Config.t; loop : int; scale : int }
+(** [loop] is a Livermore loop number (1..14); [scale] multiplies the
+    loop's default problem size ({!Mfu_loops.Livermore.scaled}; 1 = the
+    paper-sized workload). *)
 
 val key : point -> string
 (** The canonical content key: simulator version, machine, full latency
-    configuration, loop number, and an MD5 digest of the loop's trace in
-    {!Mfu_exec.Trace_io} format. Two points with equal keys are the same
-    experiment on the same workload under the same simulators. Trace
-    digests are memoized per loop; the first call for a loop generates
-    its trace. *)
+    configuration, loop number, workload scale, and an MD5 digest of the
+    loop's trace in {!Mfu_exec.Trace_io} format. Two points with equal
+    keys are the same experiment on the same workload under the same
+    simulators; the scale appears both explicitly and through the trace
+    digest, so a scaled run can never alias the default-size result.
+    Trace digests are memoized per (loop, scale); the first call for a
+    pair generates its trace.
+
+    Steady-state acceleration ({!Mfu_sim.Steady}) is deliberately {e not}
+    a key dimension: accelerated and full runs are bit-identical by
+    construction (enforced by the differential test suite), so results
+    computed either way share one entry. *)
 
 val run : point -> Sim_types.result
 (** Execute the point's simulation on the loop's trace. *)
@@ -89,13 +98,14 @@ type t = {
   branches : Mfu_sim.Ruu.branch_handling list;
   configs : Config.t list;
   loops : int list;
+  scales : int list;  (** workload scale factors, crossed with [loops] *)
 }
 
 val empty : t
 (** No machines (so [enumerate empty = []]); the workload and shared
     axes carry defaults so that specs only need to name what they sweep:
     [configs] = the four paper variants, [loops] = all 14 loops,
-    [buses] = [[N_bus]], [branches] = [[Stall]]. *)
+    [scales] = [[1]], [buses] = [[N_bus]], [branches] = [[Stall]]. *)
 
 val paper_ruu_sizes : int list
 (** [10; 20; 30; 40; 50; 100] — the RUU sizes of Tables 7-8. *)
@@ -127,7 +137,7 @@ val of_string : string -> (t, string) result
     {v
     org=cray,simple; dep=all; policy=ooo; stations=1-8;
     units=1-4; size=10,50; bus=nbus,1bus; branch=stall,oracle,bimodal:256;
-    config=m11br5; loops=scalar
+    config=m11br5; loops=scalar; scale=1,100
     v}
 
     Unnamed axes take the {!empty} defaults ([config=all], [loops=all]

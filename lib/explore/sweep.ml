@@ -10,6 +10,7 @@ let meta_of_point (p : Axes.point) =
     ("machine", Json.String (Axes.machine_to_string p.Axes.machine));
     ("config", Json.String (Config.name p.Axes.config));
     ("loop", Json.Int p.Axes.loop);
+    ("scale", Json.Int p.Axes.scale);
     ("sim_version", Json.String Axes.sim_version);
   ]
 

@@ -4,6 +4,7 @@ module Reg = Mfu_isa.Reg
 module Trace = Mfu_exec.Trace
 module Packed = Mfu_exec.Packed
 module Metrics = Mfu_sim.Sim_types.Metrics
+module Steady = Mfu_sim.Steady
 module Int_table = Mfu_util.Int_table
 
 type t = {
@@ -129,8 +130,7 @@ let dataflow_path ?metrics ~config ~serial_waw (trace : Trace.t) =
    per-instruction event log in flat arrays instead of a prepended list.
    The metrics post-pass scans the arrays in reverse trace order, which is
    exactly the order [List.iter] visits the reference's reversed list. *)
-let dataflow_path_packed ?metrics ~config ~serial_waw (trace : Trace.t) =
-  let p = Packed.cached trace in
+let dataflow_path_packed ?metrics ?probe ~config ~serial_waw (p : Packed.t) =
   let n = p.Packed.n in
   let lat = Packed.latency_table config in
   let branch_time = Config.branch_time config in
@@ -145,7 +145,59 @@ let dataflow_path_packed ?metrics ~config ~serial_waw (trace : Trace.t) =
     if with_events then Array.make n (None : Metrics.stall_cause option)
     else [||]
   in
+  (* Steady-state fingerprint, normalized by [now = branch_resolved]: the
+     boundary follows a backedge branch, so every later start is raised to
+     at least [now] first, masking register availabilities at or before
+     it. Store tokens are different: a token's *presence* switches a
+     load's latency to 1 regardless of its age, so the whole table is
+     part of the machine state — only the token times clamp. The table is
+     append-only under a non-zero address stride, so its normalized
+     content reaches a fixed point (and the fingerprint can repeat) only
+     for store-free or zero-stride loops; otherwise detection simply
+     never fires and the run completes in full.
+
+     Serializing the table is O(its size), so a still-growing table makes
+     probing itself expensive on exactly the loops that can never match.
+     Growth between consecutive boundaries after the first interval
+     (which legitimately fills the table) proves the table gains fresh
+     addresses every iteration — monotone under append-only, so no two
+     boundary states can ever be equal — and cancels probing outright. *)
+  let tok_len_prev = ref (-1) in
+  let boundaries_seen = ref 0 in
+  let fingerprint_body pr i now =
+    let fp = ref [] in
+    let push v = fp := v :: !fp in
+    push (if !finish > now then !finish - now else 0);
+    Array.iter (fun v -> push (if v > now then v - now else 0)) reg_avail;
+    let toks = ref [] in
+    Int_table.iter
+      (fun addr v ->
+        toks :=
+          (addr - pr.Steady.addr_off, if v > now then v - now else 0) :: !toks)
+      store_token;
+    let toks = List.sort compare !toks in
+    push (List.length toks);
+    List.iter
+      (fun (a, v) ->
+        push a;
+        push v)
+      toks;
+    pr.Steady.fire ~pos:i ~time:now ~fp:!fp
+  in
+  let fingerprint pr i now =
+    let len = Int_table.length store_token in
+    incr boundaries_seen;
+    if !boundaries_seen > 2 && len > !tok_len_prev then
+      pr.Steady.next_pos <- max_int
+    else begin
+      tok_len_prev := len;
+      fingerprint_body pr i now
+    end
+  in
   for i = 0 to n - 1 do
+    (match probe with
+    | Some pr when i = pr.Steady.next_pos -> fingerprint pr i !branch_resolved
+    | _ -> ());
     let fu = Array.unsafe_get p.Packed.fu i in
     let kind = Char.code (Bytes.unsafe_get p.Packed.kind i) in
     let is_branch = kind >= Packed.kind_taken in
@@ -247,21 +299,40 @@ let resource_time ~config (trace : Trace.t) =
     Fu.all;
   !worst
 
-let critical_path ?metrics ?(reference = false) ~config trace =
-  if reference then dataflow_path ?metrics ~config ~serial_waw:false trace
-  else dataflow_path_packed ?metrics ~config ~serial_waw:false trace
+(* Metrics runs never accelerate: the stall attribution is a post-pass
+   over per-instruction event arrays, which has no incremental counter
+   state the steady-state driver could snapshot at boundaries. *)
+let packed_path ?metrics ~accel ~config ~serial_waw (trace : Trace.t) =
+  if accel && metrics = None then
+    (Steady.run trace (fun ~metrics ~probe p ->
+         {
+           Mfu_sim.Sim_types.cycles =
+             dataflow_path_packed ?metrics ?probe ~config ~serial_waw p;
+           instructions = p.Packed.n;
+         }))
+      .Mfu_sim.Sim_types.cycles
+  else
+    dataflow_path_packed ?metrics ~config ~serial_waw (Packed.cached trace)
 
-let analyze ?metrics ?(reference = false) ~config (trace : Trace.t) =
+let critical_path ?metrics ?(reference = false) ?(accel = true) ~config trace =
+  if reference then dataflow_path ?metrics ~config ~serial_waw:false trace
+  else packed_path ?metrics ~accel ~config ~serial_waw:false trace
+
+let analyze ?metrics ?(reference = false) ?(accel = true) ~config
+    (trace : Trace.t) =
   let n = Array.length trace in
   if n = 0 then
     { instructions = 0; pseudo_dataflow = 0.; serial_dataflow = 0.; resource = 0. }
   else
-    let path = if reference then dataflow_path else dataflow_path_packed in
+    let path ?metrics ~serial_waw trace =
+      if reference then dataflow_path ?metrics ~config ~serial_waw trace
+      else packed_path ?metrics ~accel ~config ~serial_waw trace
+    in
     let rate time = float_of_int n /. float_of_int (max 1 time) in
     {
       instructions = n;
-      pseudo_dataflow = rate (path ?metrics ~config ~serial_waw:false trace);
-      serial_dataflow = rate (path ?metrics:None ~config ~serial_waw:true trace);
+      pseudo_dataflow = rate (path ?metrics ~serial_waw:false trace);
+      serial_dataflow = rate (path ?metrics:None ~serial_waw:true trace);
       resource = rate (resource_time ~config trace);
     }
 

@@ -30,6 +30,7 @@ type t = {
 val analyze :
   ?metrics:Mfu_sim.Sim_types.Metrics.t ->
   ?reference:bool ->
+  ?accel:bool ->
   config:Mfu_isa.Config.t ->
   Mfu_exec.Trace.t ->
   t
@@ -51,7 +52,15 @@ val analyze :
     [reference] (default [false]) selects the original entry-record walk
     instead of the {!Mfu_exec.Packed} fast path; both produce
     byte-identical limits and metrics — the flag exists for the
-    differential test suite and as the benchmark baseline. *)
+    differential test suite and as the benchmark baseline.
+
+    [accel] (default [true]) enables exact steady-state fast-forward
+    ({!Mfu_sim.Steady}) on metrics-free fast-path walks (the stall
+    attribution is a post-pass with no boundary-snapshottable state, so
+    metrics runs always walk in full); results are bit-identical either
+    way. The store-token table is append-only under a non-zero address
+    stride, so telescoping engages on store-free or zero-stride loops
+    and falls back otherwise. Ignored with [reference]. *)
 
 val actual : t -> float
 (** [min pseudo_dataflow resource] — the paper's "Pure" actual limit. *)
@@ -62,6 +71,7 @@ val actual_serial : t -> float
 val critical_path :
   ?metrics:Mfu_sim.Sim_types.Metrics.t ->
   ?reference:bool ->
+  ?accel:bool ->
   config:Mfu_isa.Config.t ->
   Mfu_exec.Trace.t ->
   int

@@ -657,8 +657,44 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+let constructors =
+  [|
+    loop1; loop2; loop3; loop4; loop5; loop6; loop7; loop8; loop9; loop10;
+    loop11; loop12; loop13; loop14;
+  |]
+
+let default_sizes =
+  [| 100; 64; 256; 100; 256; 24; 100; 15; 64; 64; 256; 256; 64; 64 |]
+
+let rec pow2_at_least k = if k <= 1 then 1 else 2 * pow2_at_least ((k + 1) / 2)
+
+let scaled_n ~scale number =
+  let base = default_sizes.(number - 1) in
+  match number with
+  | 2 -> pow2_at_least (base * scale)
+  | 6 ->
+      (* the general linear recurrence's trace grows quadratically in [n];
+         scale the problem size by sqrt(scale) so its trace grows by
+         roughly [scale] like every other loop's *)
+      base * max 1 (int_of_float (sqrt (float_of_int scale)))
+  | _ -> base * scale
+
+let build ~scale number =
+  if scale = 1 then constructors.(number - 1) ()
+  else constructors.(number - 1) ~n:(scaled_n ~scale number) ()
+
 let all_lock = Mutex.create ()
 let all_memo = ref None
+let global_scale = ref 1
+
+let set_scale s =
+  if s < 1 then invalid_arg "Livermore.set_scale: scale must be >= 1";
+  with_lock all_lock (fun () ->
+      if !all_memo <> None && !global_scale <> s then
+        invalid_arg "Livermore.set_scale: loop collections already built";
+      global_scale := s)
+
+let scale () = with_lock all_lock (fun () -> !global_scale)
 
 let all () =
   with_lock all_lock (fun () ->
@@ -666,14 +702,25 @@ let all () =
       | Some loops -> loops
       | None ->
           let loops =
-            [
-              loop1 (); loop2 (); loop3 (); loop4 (); loop5 (); loop6 ();
-              loop7 (); loop8 (); loop9 (); loop10 (); loop11 (); loop12 ();
-              loop13 (); loop14 ();
-            ]
+            List.init 14 (fun i -> build ~scale:!global_scale (i + 1))
           in
           all_memo := Some loops;
           loops)
+
+let scaled_lock = Mutex.create ()
+let scaled_memo : (int * int, loop) Hashtbl.t = Hashtbl.create 16
+
+let scaled ?(scale = 1) number =
+  if number < 1 || number > 14 then
+    invalid_arg "Livermore.scaled: loop number must be in 1..14";
+  if scale < 1 then invalid_arg "Livermore.scaled: scale must be >= 1";
+  with_lock scaled_lock (fun () ->
+      match Hashtbl.find_opt scaled_memo (number, scale) with
+      | Some l -> l
+      | None ->
+          let l = build ~scale number in
+          Hashtbl.add scaled_memo (number, scale) l;
+          l)
 
 let loop n =
   if n < 1 || n > 14 then invalid_arg "Livermore.loop: n must be in 1..14";
@@ -714,10 +761,22 @@ let compiled l =
    {!Trace_cache}, so repeated lookups — including ones racing from
    {!Mfu_util.Pool} worker domains — share one physical array per key. *)
 
+(* The CPU's default 2M-step guard is sized for the default problem sizes;
+   scaled workloads need room proportional to their data. Every kernel's
+   dynamic instruction count is within a small constant of its total array
+   footprint (loop 6's quadratic trace walks its n^2 matrix), so a
+   data-proportional budget stays a real non-termination guard. *)
+let step_budget l =
+  let data =
+    List.fold_left (fun acc (_, a) -> acc + Array.length a) 0 l.inputs.float_data
+  in
+  max 2_000_000 (500 * data)
+
 let trace l =
   let number, sizes = cache_key l in
   Trace_cache.find_or_generate ~number ~sizes ~kind:Trace_cache.Raw (fun () ->
-      (Codegen.run (compiled l) l.inputs).Cpu.trace)
+      (Codegen.run ~max_instructions:(step_budget l) (compiled l) l.inputs)
+        .Cpu.trace)
 
 let scheduled_trace l =
   let number, sizes = cache_key l in

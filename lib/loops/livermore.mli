@@ -63,8 +63,31 @@ val loop14 : ?n:int -> unit -> loop
 (** 1-D particle in cell *)
 
 val all : unit -> loop list
-(** All 14 loops at default sizes, in numeric order. Memoized: repeated
-    calls return the same list. *)
+(** All 14 loops at default sizes (times the process {!scale}), in
+    numeric order. Memoized: repeated calls return the same list. *)
+
+val set_scale : int -> unit
+(** Multiply every default problem size by this factor for all
+    subsequently built collections ({!all}, {!scalar_loops}, ...). Loop
+    2's size is rounded up to the next power of two (its FFT-style
+    halving requires one); loop 6's factor is square-rooted, because its
+    trace grows quadratically in the problem size and would otherwise
+    dwarf the rest of the workload. Affects only the process-wide
+    default collections — {!scaled} builds any (loop, scale) point
+    independently.
+
+    Must be called before the first {!all}.
+    @raise Invalid_argument for a scale < 1, or when the collections have
+    already been built at a different scale. *)
+
+val scale : unit -> int
+(** The process-wide workload scale factor (default 1). *)
+
+val scaled : ?scale:int -> int -> loop
+(** [scaled ~scale number]: loop [number] with its default problem size
+    multiplied by [scale] (default 1), independent of {!set_scale}, with
+    the same loop-2 and loop-6 adjustments. Memoized per (loop, scale).
+    @raise Invalid_argument unless [1 <= number <= 14] and [scale >= 1]. *)
 
 val loop : int -> loop
 (** [loop n] from {!all}. @raise Invalid_argument unless 1 <= n <= 14. *)

@@ -658,9 +658,8 @@ module Fast = struct
   let all_issued st = all_issued_from st st.base
 end
 
-let simulate_packed ?metrics ~alignment ~config ~policy ~stations ~bus
-    (trace : Trace.t) =
-  let p = Packed.cached trace in
+let simulate_packed ?metrics ?probe ~alignment ~config ~policy ~stations ~bus
+    (p : Packed.t) =
   let n = p.Packed.n in
   let maxlat = Packed.max_latency config in
   let st =
@@ -689,14 +688,60 @@ let simulate_packed ?metrics ~alignment ~config ~policy ~stations ~bus
     }
   in
   st.Fast.hi <- Fast.window_end st 0;
+  (* the buffer reads [stations] entries past [base]: the final periods of
+     a loop see the epilogue through it and must not be telescoped *)
+  Option.iter (fun pr -> pr.Steady.lookahead <- stations) probe;
   let t = ref 0 in
   let guard = ref (200 * (n + 100)) in
+  (* Steady-state fingerprint, normalized by [now = t] at the top of a
+     cycle whose buffer starts exactly at the boundary (a taken-branch
+     squash lands [base] on it, with no entry of the new window issued
+     yet). Times at or before [now] are dead: every consultation compares
+     against a cycle >= [now] ([> t] for registers, [= t] for same-cycle
+     unit reuse, probed keys at completion cycles > [now] for the bus
+     ring). Live bus reservations sit at cycles in (now, now + span] and
+     are serialized as one 8-bit mask per cycle; stale ring tags at dead
+     cycles can never equal a probed key and carry no state. *)
+  let fp_span = max maxlat (Config.branch_time config) in
+  let fingerprint pr pos now =
+    let fp = ref [] in
+    let push v = fp := v :: !fp in
+    push (st.Fast.hi - st.Fast.base);
+    push (if st.Fast.stall_until > now then st.Fast.stall_until - now else 0);
+    push (if st.Fast.finish > now then st.Fast.finish - now else 0);
+    let mask = ref 0 in
+    Array.iteri (fun s b -> if b then mask := !mask lor (1 lsl s)) st.Fast.issued;
+    push !mask;
+    for c = now + 1 to now + fp_span do
+      let m = ref 0 in
+      for b = 0 to 7 do
+        let key = (c * 8) + b in
+        if st.Fast.ring.(key mod Array.length st.Fast.ring) = key then
+          m := !m lor (1 lsl b)
+      done;
+      push !m
+    done;
+    Array.iter
+      (fun v -> push (if v > now then v - now else 0))
+      st.Fast.reg_ready;
+    Array.iter
+      (fun v -> push (if v >= now then v - now + 1 else 0))
+      st.Fast.fu_last_used;
+    pr.Steady.fire ~pos ~time:now ~fp:!fp
+  in
   while not (st.Fast.hi >= n && Fast.all_issued st) do
     if Fast.all_issued st && st.Fast.hi < n then begin
       st.Fast.base <- st.Fast.hi;
       st.Fast.hi <- Fast.window_end st st.Fast.base;
       Array.fill st.Fast.issued 0 stations false
     end;
+    (match probe with
+    | Some pr when st.Fast.base >= pr.Steady.next_pos ->
+        if st.Fast.base > pr.Steady.next_pos then
+          Steady.missed pr (st.Fast.base - 1);
+        if st.Fast.base = pr.Steady.next_pos then
+          fingerprint pr st.Fast.base !t
+    | _ -> ());
     (match metrics with
     | Some m -> Metrics.record_occupancy m (Fast.unissued_in_window st)
     | None -> ());
@@ -724,9 +769,15 @@ let simulate_packed ?metrics ~alignment ~config ~policy ~stations ~bus
   | None -> ());
   { Sim_types.cycles; instructions = n }
 
-let simulate ?metrics ?(alignment = Dynamic) ?(reference = false) ~config
-    ~policy ~stations ~bus (trace : Trace.t) =
+let simulate ?metrics ?(alignment = Dynamic) ?(reference = false)
+    ?(accel = true) ~config ~policy ~stations ~bus (trace : Trace.t) =
   if stations < 1 then invalid_arg "Buffer_issue.simulate: stations < 1";
   if reference then
     simulate_reference ?metrics ~alignment ~config ~policy ~stations ~bus trace
-  else simulate_packed ?metrics ~alignment ~config ~policy ~stations ~bus trace
+  else if accel then
+    Steady.run ?metrics trace (fun ~metrics ~probe p ->
+        simulate_packed ?metrics ?probe ~alignment ~config ~policy ~stations
+          ~bus p)
+  else
+    simulate_packed ?metrics ~alignment ~config ~policy ~stations ~bus
+      (Packed.cached trace)

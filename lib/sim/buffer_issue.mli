@@ -45,6 +45,7 @@ val simulate :
   ?metrics:Sim_types.Metrics.t ->
   ?alignment:alignment ->
   ?reference:bool ->
+  ?accel:bool ->
   config:Mfu_isa.Config.t ->
   policy:policy ->
   stations:int ->
@@ -67,4 +68,8 @@ val simulate :
     Hashtbl-and-hazard-list implementation instead of the
     {!Mfu_exec.Packed} fast path; both produce byte-identical results and
     metrics — the flag exists for the differential test suite and as the
-    benchmark baseline. *)
+    benchmark baseline.
+
+    [accel] (default [true]) enables exact steady-state fast-forward
+    ({!Steady}) on the fast path; results and metrics are bit-identical
+    either way. Ignored with [reference]. *)

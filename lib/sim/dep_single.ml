@@ -147,8 +147,7 @@ let simulate_reference ?metrics ~config scheme (trace : Trace.t) =
    store-completion map becomes an open-addressing table, and operands are
    read from the packed source arrays. *)
 
-let simulate_packed ?metrics ~config scheme (trace : Trace.t) =
-  let p = Packed.cached trace in
+let simulate_packed ?metrics ?probe ~config scheme (p : Packed.t) =
   let lat = Packed.latency_table config in
   let branch_time = Config.branch_time config in
   let shared = Packed.shared_unit in
@@ -167,7 +166,46 @@ let simulate_packed ?metrics ~config scheme (trace : Trace.t) =
     done;
     !acc
   in
+  (* Steady-state fingerprint, normalized by [now = issue_free]. Register
+     ready times and store completions at or before [now] are masked by the
+     [max] against an issue time >= [now], so they normalize to 0/absent.
+     Reservation slots live in [now, finish] only (claims never land past
+     the running [finish]); they are serialized as one 16-bit unit mask per
+     cycle. Live store completions are sorted by translated address — the
+     open-addressing table's physical order depends on absolute addresses,
+     which the fingerprint must not. *)
+  let fingerprint pr i now =
+    let fp = ref [] in
+    let push v = fp := v :: !fp in
+    let horizon = if !finish > now then !finish - now else 0 in
+    push horizon;
+    for c = now to now + horizon do
+      let mask = ref 0 in
+      for u = 0 to 15 do
+        if Bitset.mem fu_used ((c * 16) + u) then mask := !mask lor (1 lsl u)
+      done;
+      push !mask;
+      push (if Bitset.mem cdb_used c then 1 else 0)
+    done;
+    let live = ref [] in
+    Int_table.iter
+      (fun addr v ->
+        if v > now then live := (addr - pr.Steady.addr_off, v - now) :: !live)
+      mem_ready;
+    let live = List.sort compare !live in
+    push (List.length live);
+    List.iter
+      (fun (a, v) ->
+        push a;
+        push v)
+      live;
+    Array.iter (fun v -> push (if v > now then v - now else 0)) ready;
+    pr.Steady.fire ~pos:i ~time:now ~fp:!fp
+  in
   for i = 0 to p.Packed.n - 1 do
+    (match probe with
+    | Some pr when i = pr.Steady.next_pos -> fingerprint pr i !issue_free
+    | _ -> ());
     let fu = Array.unsafe_get p.Packed.fu i in
     let kind = Char.code (Bytes.unsafe_get p.Packed.kind i) in
     let parcels = Array.unsafe_get p.Packed.parcels i in
@@ -240,6 +278,10 @@ let simulate_packed ?metrics ~config scheme (trace : Trace.t) =
   | None -> ());
   { Sim_types.cycles; instructions = p.Packed.n }
 
-let simulate ?metrics ?(reference = false) ~config scheme (trace : Trace.t) =
+let simulate ?metrics ?(reference = false) ?(accel = true) ~config scheme
+    (trace : Trace.t) =
   if reference then simulate_reference ?metrics ~config scheme trace
-  else simulate_packed ?metrics ~config scheme trace
+  else if accel then
+    Steady.run ?metrics trace (fun ~metrics ~probe p ->
+        simulate_packed ?metrics ?probe ~config scheme p)
+  else simulate_packed ?metrics ~config scheme (Packed.cached trace)

@@ -29,6 +29,7 @@ val scheme_to_string : scheme -> string
 val simulate :
   ?metrics:Sim_types.Metrics.t ->
   ?reference:bool ->
+  ?accel:bool ->
   config:Mfu_isa.Config.t ->
   scheme ->
   Mfu_exec.Trace.t ->
@@ -44,4 +45,8 @@ val simulate :
     [reference] (default [false]) selects the original Hashtbl
     implementation instead of the {!Mfu_exec.Packed} fast path; both
     produce byte-identical results and metrics — the flag exists for the
-    differential test suite and as the benchmark baseline. *)
+    differential test suite and as the benchmark baseline.
+
+    [accel] (default [true]) enables exact steady-state fast-forward
+    ({!Steady}) on the fast path; results and metrics are bit-identical
+    either way. Ignored with [reference]. *)

@@ -18,6 +18,8 @@ let create model =
   if nbanks < 1 then invalid_arg "Memory_system.create: banks < 1";
   { model; port_free = 0; bank_free = Array.make nbanks 0 }
 
+let port_snapshot st ~now = max 0 (st.port_free - now)
+
 let accept st ~addr ~from_ =
   if addr < 0 then invalid_arg "Memory_system.accept: negative address";
   match st.model with

@@ -28,6 +28,12 @@ type state
 
 val create : t -> state
 
+val port_snapshot : state -> now:int -> int
+(** The [Ideal] port's next-free cycle relative to [now], clamped at 0
+    (an already-free port and a long-dead reservation are the same
+    state). Used by the steady-state fingerprints; 0 for an untouched
+    [Banked] state. *)
+
 val accept :
   state -> addr:int -> from_:int -> int
 (** [accept st ~addr ~from_] is the earliest cycle >= [from_] at which the

@@ -786,9 +786,8 @@ end
 
 let rec pow2_at_least n = if n <= 1 then 1 else 2 * pow2_at_least ((n + 1) / 2)
 
-let simulate_packed ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
-    (trace : Trace.t) =
-  let p = Packed.cached trace in
+let simulate_packed ?metrics ?probe ~branches ~config ~issue_units ~ruu_size
+    ~bus (p : Packed.t) =
   let maxprod = p.Packed.max_srcs + 1 in
   let st =
     {
@@ -843,9 +842,103 @@ let simulate_packed ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
      zero-activity cycles carry predictor state. The other policies are
      stateless per cycle. *)
   let can_skip = match branches with Bimodal _ -> false | _ -> true in
+  (* Steady-state fingerprint, normalized by [now = t] at the top of a
+     cycle where exactly the entries before the boundary have issued.
+     The ring head is kept absolute — dispatch banks are [slot mod
+     issue_units], so only states with identical slot numbering replay
+     each other. Times at or before [now] are dead (commit compares
+     [<= t], readiness [<= t], same-cycle unit reuse [= t], and probed
+     result-bus cycles are > [now]), so they clamp to 0. A producer
+     reference normalizes to its slot plus whether its generation still
+     matches: a mismatched (or committed, completion <= now) producer
+     reads as an immediately-resolved 0 either way. In-flight store-map
+     entries survive only while their producer is live, and are sorted
+     by translated address (the open-addressing table's physical order
+     must not leak). [uid_next] and the undispatched list are excluded:
+     generations only matter through the match bits, and the list is
+     determined by window order and the dispatched flags. *)
+  let maxlat = Packed.max_latency config in
+  let fingerprint pr pos now =
+    let fp = ref [] in
+    let push v = fp := v :: !fp in
+    push st.Fast.head;
+    push st.Fast.count;
+    push (if st.Fast.stall_until > now then st.Fast.stall_until - now else 0);
+    push (if st.Fast.finish > now then st.Fast.finish - now else 0);
+    push
+      (if st.Fast.scan_min > now then
+         if st.Fast.scan_min = max_int then -1 else st.Fast.scan_min - now
+       else 0);
+    for c = now + 1 to now + maxlat do
+      push (Fast.rb_get st c)
+    done;
+    Array.iter
+      (fun v -> push (if v >= now then v - now + 1 else 0))
+      st.Fast.fu_last_used;
+    Array.iter push st.Fast.latest_writer;
+    Array.iter push st.Fast.counters;
+    for k = 0 to st.Fast.count - 1 do
+      let slot = (st.Fast.head + k) mod ruu_size in
+      push st.Fast.s_dest.(slot);
+      push st.Fast.s_fu.(slot);
+      push (if st.Fast.s_dispatched.(slot) then 1 else 0);
+      let c = st.Fast.s_completion.(slot) in
+      push (if c = max_int then -1 else if c > now then c - now else 0);
+      let r = st.Fast.s_ready.(slot) in
+      push (if r = max_int then -1 else if r > now then r - now else 0);
+      (* once [s_ready] is final the partial max and producers are never
+         consulted again ([nprod] is 0 by then); canonicalize the stale
+         partial to 0 *)
+      push
+        (if r = max_int && st.Fast.s_rpart.(slot) > now then
+           st.Fast.s_rpart.(slot) - now
+         else 0);
+      let np = st.Fast.s_nprod.(slot) in
+      push np;
+      let base = slot * st.Fast.maxprod in
+      for j = 0 to np - 1 do
+        let ps = st.Fast.s_prod_slot.(base + j) in
+        push ps;
+        push (if st.Fast.s_uid.(ps) = st.Fast.s_prod_uid.(base + j) then 1 else 0)
+      done
+    done;
+    let live = ref [] in
+    Int_table.iter
+      (fun addr r ->
+        let slot = r mod ruu_size and uid = r / ruu_size in
+        let off =
+          let o = slot - st.Fast.head in
+          if o < 0 then o + ruu_size else o
+        in
+        if
+          off < st.Fast.count
+          && st.Fast.s_uid.(slot) = uid
+          && (st.Fast.s_completion.(slot) = max_int
+             || st.Fast.s_completion.(slot) > now)
+        then live := (addr - pr.Steady.addr_off, slot) :: !live)
+      st.Fast.mem_writer;
+    let live = List.sort compare !live in
+    push (List.length live);
+    List.iter
+      (fun (a, s) ->
+        push a;
+        push s)
+      live;
+    pr.Steady.fire ~pos ~time:now ~fp:!fp
+  in
+  (* the issue pass examines up to [issue_units] entries past [next] in a
+     cycle; keep that many entries' periods out of the telescoped span *)
+  Option.iter (fun pr -> pr.Steady.lookahead <- issue_units) probe;
   let t = ref 0 in
   let guard = ref (400 * (n + 100)) in
   while not (st.Fast.next >= n && st.Fast.count = 0) do
+    (match probe with
+    | Some pr when st.Fast.next >= pr.Steady.next_pos ->
+        if st.Fast.next > pr.Steady.next_pos then
+          Steady.missed pr (st.Fast.next - 1);
+        if st.Fast.next = pr.Steady.next_pos then
+          fingerprint pr st.Fast.next !t
+    | _ -> ());
     (match metrics with
     | Some m -> Metrics.record_occupancy m st.Fast.count
     | None -> ());
@@ -877,8 +970,8 @@ let simulate_packed ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
   | None -> ());
   { Sim_types.cycles; instructions = n }
 
-let simulate ?metrics ?(branches = Stall) ?(reference = false) ~config
-    ~issue_units ~ruu_size ~bus (trace : Trace.t) =
+let simulate ?metrics ?(branches = Stall) ?(reference = false) ?(accel = true)
+    ~config ~issue_units ~ruu_size ~bus (trace : Trace.t) =
   if issue_units < 1 then invalid_arg "Ruu.simulate: issue_units < 1";
   if ruu_size < issue_units then invalid_arg "Ruu.simulate: ruu_size too small";
   (match branches with
@@ -887,6 +980,10 @@ let simulate ?metrics ?(branches = Stall) ?(reference = false) ~config
   if reference then
     simulate_reference ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
       trace
+  else if accel then
+    Steady.run ?metrics trace (fun ~metrics ~probe p ->
+        simulate_packed ?metrics ?probe ~branches ~config ~issue_units
+          ~ruu_size ~bus p)
   else
     simulate_packed ?metrics ~branches ~config ~issue_units ~ruu_size ~bus
-      trace
+      (Packed.cached trace)

@@ -43,6 +43,7 @@ val simulate :
   ?metrics:Sim_types.Metrics.t ->
   ?branches:branch_handling ->
   ?reference:bool ->
+  ?accel:bool ->
   config:Mfu_isa.Config.t ->
   issue_units:int ->
   ruu_size:int ->
@@ -65,4 +66,8 @@ val simulate :
     [reference] (default [false]) selects the original entry-record
     implementation instead of the {!Mfu_exec.Packed} fast path; both
     produce byte-identical results and metrics — the flag exists for the
-    differential test suite and as the benchmark baseline. *)
+    differential test suite and as the benchmark baseline.
+
+    [accel] (default [true]) enables exact steady-state fast-forward
+    ({!Steady}) on the fast path; results and metrics are bit-identical
+    either way. Ignored with [reference]. *)

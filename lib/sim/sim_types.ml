@@ -111,6 +111,62 @@ module Metrics = struct
     m.occupancy <- grown m.occupancy depth;
     m.occupancy.(depth) <- m.occupancy.(depth) + 1
 
+  let snapshot m =
+    {
+      total_cycles = m.total_cycles;
+      issue_cycles = m.issue_cycles;
+      instructions = m.instructions;
+      stalls = Array.copy m.stalls;
+      fu_busy = Array.copy m.fu_busy;
+      issued_per_cycle = Array.copy m.issued_per_cycle;
+      occupancy = Array.copy m.occupancy;
+    }
+
+  let hist_at a i = if i < Array.length a then a.(i) else 0
+
+  (* m += times * (hi - lo), componentwise. [hi] and [lo] are snapshots of
+     the same collector, so the differences are the counters booked between
+     the two snapshot points; the histograms may have grown between them. *)
+  let add_scaled m ~hi ~lo ~times =
+    if times < 0 then invalid_arg "Metrics.add_scaled: negative multiplier";
+    m.total_cycles <- m.total_cycles + (times * (hi.total_cycles - lo.total_cycles));
+    m.issue_cycles <- m.issue_cycles + (times * (hi.issue_cycles - lo.issue_cycles));
+    m.instructions <- m.instructions + (times * (hi.instructions - lo.instructions));
+    Array.iteri
+      (fun i v -> m.stalls.(i) <- m.stalls.(i) + (times * (v - lo.stalls.(i))))
+      hi.stalls;
+    Array.iteri
+      (fun i v -> m.fu_busy.(i) <- m.fu_busy.(i) + (times * (v - lo.fu_busy.(i))))
+      hi.fu_busy;
+    m.issued_per_cycle <-
+      grown m.issued_per_cycle (Array.length hi.issued_per_cycle - 1);
+    Array.iteri
+      (fun i v ->
+        m.issued_per_cycle.(i) <-
+          m.issued_per_cycle.(i) + (times * (v - hist_at lo.issued_per_cycle i)))
+      hi.issued_per_cycle;
+    m.occupancy <- grown m.occupancy (Array.length hi.occupancy - 1);
+    Array.iteri
+      (fun i v ->
+        m.occupancy.(i) <-
+          m.occupancy.(i) + (times * (v - hist_at lo.occupancy i)))
+      hi.occupancy
+
+  (* Histogram arrays compare by logical content: physical lengths differ
+     with growth history, trailing zeros do not count. *)
+  let hist_equal a b =
+    let n = max (Array.length a) (Array.length b) in
+    let rec eq i = i >= n || (hist_at a i = hist_at b i && eq (i + 1)) in
+    eq 0
+
+  let equal a b =
+    a.total_cycles = b.total_cycles
+    && a.issue_cycles = b.issue_cycles
+    && a.instructions = b.instructions
+    && a.stalls = b.stalls && a.fu_busy = b.fu_busy
+    && hist_equal a.issued_per_cycle b.issued_per_cycle
+    && hist_equal a.occupancy b.occupancy
+
   let stall_cycles m cause = m.stalls.(cause_index cause)
   let total_stall_cycles m = Array.fold_left ( + ) 0 m.stalls
   let conserved m = m.issue_cycles + total_stall_cycles m = m.total_cycles

@@ -92,6 +92,21 @@ module Metrics : sig
   (** Book one cycle at the given fill depth.
       @raise Invalid_argument on a negative depth. *)
 
+  val snapshot : t -> t
+  (** A deep copy of the current counters (for boundary snapshots in the
+      steady-state telescoping layer). *)
+
+  val add_scaled : t -> hi:t -> lo:t -> times:int -> unit
+  (** [add_scaled m ~hi ~lo ~times] adds [times * (hi - lo)] to every
+      counter of [m], including both histograms — the closed-form
+      accumulation of [times] repetitions of the steady-state period whose
+      boundary snapshots are [lo] and [hi].
+      @raise Invalid_argument when [times < 0]. *)
+
+  val equal : t -> t -> bool
+  (** Counter-for-counter equality; histograms compare by logical content
+      (trailing zeros and physical capacity are ignored). *)
+
   val stall_cycles : t -> stall_cause -> int
   val total_stall_cycles : t -> int
 

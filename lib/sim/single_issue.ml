@@ -118,8 +118,7 @@ let simulate_reference ?metrics ~memory ~config org (trace : Trace.t) =
 
 module Packed = Mfu_exec.Packed
 
-let simulate_packed ?metrics ~memory ~config org (trace : Trace.t) =
-  let p = Packed.cached trace in
+let simulate_packed ?metrics ?probe ~memory ~config org (p : Packed.t) =
   let mem_state = Memory_system.create memory in
   let reg_ready = Array.make Reg.count 0 in
   let fu_free = Array.make Fu.count 0 in
@@ -132,7 +131,25 @@ let simulate_packed ?metrics ~memory ~config org (trace : Trace.t) =
   let prev_completion = ref 0 in
   let finish = ref 0 in
   let branch_time = Config.branch_time config in
+  (* Steady-state fingerprint: the complete machine state normalized by the
+     current cycle. Values at or before [now] are dead — no future [max]
+     against a time >= [now] can observe them — so they all normalize to 0.
+     Addresses never enter this state (the [Ideal] memory port ignores
+     them; acceleration is gated off for [Banked]). *)
+  let fingerprint pr i now =
+    let fp = ref [] in
+    let push v = fp := v :: !fp in
+    push (if !prev_completion > now then !prev_completion - now else 0);
+    push (if !finish > now then !finish - now else 0);
+    push (Memory_system.port_snapshot mem_state ~now);
+    Array.iter (fun v -> push (if v > now then v - now else 0)) reg_ready;
+    Array.iter (fun v -> push (if v > now then v - now else 0)) fu_free;
+    pr.Steady.fire ~pos:i ~time:now ~fp:!fp
+  in
   for i = 0 to p.Packed.n - 1 do
+    (match probe with
+    | Some pr when i = pr.Steady.next_pos -> fingerprint pr i !issue_free
+    | _ -> ());
     let fu = Array.unsafe_get p.Packed.fu i in
     let kind = Char.code (Bytes.unsafe_get p.Packed.kind i) in
     let is_branch = kind >= Packed.kind_taken in
@@ -188,6 +205,9 @@ let simulate_packed ?metrics ~memory ~config org (trace : Trace.t) =
   { Sim_types.cycles; instructions = p.Packed.n }
 
 let simulate ?metrics ?(memory = Memory_system.ideal) ?(reference = false)
-    ~config org (trace : Trace.t) =
+    ?(accel = true) ~config org (trace : Trace.t) =
   if reference then simulate_reference ?metrics ~memory ~config org trace
-  else simulate_packed ?metrics ~memory ~config org trace
+  else if accel && memory = Memory_system.Ideal then
+    Steady.run ?metrics trace (fun ~metrics ~probe p ->
+        simulate_packed ?metrics ?probe ~memory ~config org p)
+  else simulate_packed ?metrics ~memory ~config org (Packed.cached trace)

@@ -28,6 +28,7 @@ val simulate :
   ?metrics:Sim_types.Metrics.t ->
   ?memory:Memory_system.t ->
   ?reference:bool ->
+  ?accel:bool ->
   config:Mfu_isa.Config.t ->
   organization ->
   Mfu_exec.Trace.t ->
@@ -51,4 +52,12 @@ val simulate :
     [reference] (default [false]) selects the original entry-record
     implementation instead of the {!Mfu_exec.Packed} fast path; both
     produce byte-identical results and metrics — the flag exists for the
-    differential test suite and as the benchmark baseline. *)
+    differential test suite and as the benchmark baseline.
+
+    [accel] (default [true]) enables exact steady-state fast-forward
+    ({!Steady}) on the fast path: once the machine state provably repeats
+    across loop iterations, the remaining periods are telescoped in
+    closed form. Results and metrics are bit-identical either way.
+    Acceleration engages only under the [Ideal] memory model ([Banked]
+    bank residues are not invariant under the address translation the
+    telescoping uses) and is ignored with [reference]. *)

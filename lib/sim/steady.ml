@@ -1,0 +1,217 @@
+(* Exact steady-state fast-forward.
+
+   A loop trace is periodic after warm-up: the packed-trace period finder
+   ({!Mfu_exec.Packed.period}) proves that entries repeat with period P and
+   a uniform per-period address stride d. The simulators are deterministic
+   machines whose state refers to absolute time only through differences
+   and to absolute addresses only through equality, so if the complete
+   machine state — normalized by the current cycle and by the current
+   period's address offset — is identical at two iteration boundaries
+   b_j and b_k, the evolution from b_k replays the evolution from b_j
+   shifted by (t_k - t_j) cycles and (k - j)*d in addresses, period for
+   period, for as long as the trace stays periodic.
+
+   The driver therefore runs the real simulation once with a probe that
+   fingerprints the normalized state at each boundary. On the first repeat
+   (j, k) it stops, skips K = R*(k - j) whole periods in closed form, and
+   re-simulates a short *splice* — the original prefix [0, b_k) followed by
+   the suffix from b_k + K*P with memory addresses shifted down by K*d.
+   The shifted suffix is literally the address stream the machine would
+   have seen at periods k, k+1, ... (all addresses are original trace
+   addresses, hence non-negative), so the splice run's tail is the true
+   run's tail translated by R*(t_k - t_j) cycles:
+
+     cycles       = splice.cycles + R * (t_k - t_j)
+     metrics      = splice.metrics + R * (M_k - M_j)
+     instructions = splice.instructions + K * P
+
+   where M_j, M_k are metric snapshots taken by the probe. If no repeat is
+   found within the probe budget the first run simply completes — the
+   fallback costs nothing beyond the fingerprints. *)
+
+module Packed = Mfu_exec.Packed
+module Metrics = Sim_types.Metrics
+
+exception Stop
+
+type probe = {
+  period : int;
+  stride : int;
+  mutable next_pos : int;
+  mutable addr_off : int;
+  mutable lookahead : int;
+  mutable fire : pos:int -> time:int -> fp:int list -> unit;
+}
+
+let null_fire ~pos:_ ~time:_ ~fp:_ = ()
+
+(* A simulator position that passed [next_pos] without landing on it (a
+   cycle-stepped window crossed the boundary mid-cycle): skip boundaries
+   until the next one is ahead again. Missed boundaries only delay
+   detection; they never affect correctness. *)
+let missed pr pos =
+  while pr.next_pos <= pos do
+    pr.next_pos <- pr.next_pos + pr.period;
+    pr.addr_off <- pr.addr_off + pr.stride
+  done
+
+(* Boundaries fingerprinted before giving up on detection. Livermore-style
+   loops repeat their state within a handful of iterations; a trace whose
+   state has not recurred after this many boundaries is treated as
+   aperiodic and simulated in full. *)
+let budget = 64
+
+(* Skip at least this many whole periods, or complete the run instead:
+   below this the splice re-simulation would cost more than it saves. *)
+let min_skip = 2
+
+(* Telescope only when the skipped entries cover at least half the trace:
+   the splice re-simulates everything that is not skipped, so a small skip
+   (a short periodic window inside a long trace) would roughly double the
+   work instead of saving any. *)
+let worthwhile ~n ~skip = 2 * skip >= n
+
+type match_info = {
+  m_low : int;  (** boundary index j of the earlier state occurrence *)
+  m_high : int;  (** boundary index k of the repeat *)
+  m_dt : int;  (** t_k - t_j *)
+  m_snap_low : Metrics.t option;
+  m_snap_high : Metrics.t option;
+  m_repeats : int;  (** R: how many (k - j)-period chunks are skipped *)
+}
+
+let splice (trace : Mfu_exec.Trace.t) ~keep ~skip ~shift =
+  let n = Array.length trace in
+  Array.init
+    (n - skip)
+    (fun i ->
+      if i < keep then trace.(i)
+      else
+        let e = trace.(i + skip) in
+        match e.Mfu_exec.Trace.kind with
+        | Mfu_exec.Trace.Load a ->
+            { e with Mfu_exec.Trace.kind = Mfu_exec.Trace.Load (a - shift) }
+        | Mfu_exec.Trace.Store a ->
+            { e with Mfu_exec.Trace.kind = Mfu_exec.Trace.Store (a - shift) }
+        | _ -> e)
+
+(* Observability for tests and reports: how often runs telescoped vs fell
+   back. Domain-safe; never consulted by the simulation itself. *)
+let n_telescoped = Atomic.make 0
+let n_fallback = Atomic.make 0
+let n_aperiodic = Atomic.make 0
+
+type stats = { telescoped : int; fallback : int; aperiodic : int }
+
+let stats () =
+  {
+    telescoped = Atomic.get n_telescoped;
+    fallback = Atomic.get n_fallback;
+    aperiodic = Atomic.get n_aperiodic;
+  }
+
+let reset_stats () =
+  Atomic.set n_telescoped 0;
+  Atomic.set n_fallback 0;
+  Atomic.set n_aperiodic 0
+
+let run ?metrics trace sim =
+  let packed = Packed.cached trace in
+  match Packed.period packed with
+  | None ->
+      Atomic.incr n_aperiodic;
+      sim ~metrics ~probe:None packed
+  | Some { Packed.p_start; p_len; p_stride; p_periods } ->
+      if p_periods < min_skip + 2 then begin
+        Atomic.incr n_fallback;
+        sim ~metrics ~probe:None packed
+      end
+      else begin
+        let scratch = Option.map (fun _ -> Metrics.create ()) metrics in
+        let seen : (int list, int * int * Metrics.t option) Hashtbl.t =
+          Hashtbl.create 97
+        in
+        let found = ref None in
+        let pr =
+          {
+            period = p_len;
+            stride = p_stride;
+            next_pos = p_start;
+            addr_off = 0;
+            lookahead = 0;
+            fire = null_fire;
+          }
+        in
+        pr.fire <-
+          (fun ~pos ~time ~fp ->
+            let m = (pos - p_start) / p_len in
+            (match Hashtbl.find_opt seen fp with
+            | Some (mj, tj, snapj) ->
+                let c = m - mj in
+                (* A simulator that looks [lookahead] entries past its
+                   current position (an instruction buffer holding the next
+                   [stations] entries) behaves generically only while that
+                   window stays inside the periodic region: its final
+                   periods see the epilogue (or the end of the trace)
+                   through the buffer and must be re-simulated in the
+                   splice, not telescoped. Shrink the usable region by the
+                   lookahead, rounded up to whole periods. *)
+                let margin = (pr.lookahead + p_len - 1) / p_len in
+                let r = (p_periods - margin - m) / c in
+                if
+                  r >= 1
+                  && r * c >= min_skip
+                  && worthwhile ~n:(Packed.length packed) ~skip:(r * c * p_len)
+                then begin
+                  found :=
+                    Some
+                      {
+                        m_low = mj;
+                        m_high = m;
+                        m_dt = time - tj;
+                        m_snap_low = snapj;
+                        m_snap_high = Option.map Metrics.snapshot scratch;
+                        m_repeats = r;
+                      };
+                  raise_notrace Stop
+                end
+            | None ->
+                Hashtbl.add seen fp (m, time, Option.map Metrics.snapshot scratch));
+            if m >= budget || m >= p_periods then pr.next_pos <- max_int
+            else begin
+              pr.next_pos <- pr.next_pos + p_len;
+              pr.addr_off <- pr.addr_off + p_stride
+            end);
+        match sim ~metrics:scratch ~probe:(Some pr) packed with
+        | result ->
+            (* No steady state found: the detection run is the real run.
+               Fold its counters into the caller's collector. *)
+            Atomic.incr n_fallback;
+            Option.iter
+              (fun m ->
+                Metrics.add_scaled m
+                  ~hi:(Option.get scratch)
+                  ~lo:(Metrics.create ()) ~times:1)
+              metrics;
+            result
+        | exception Stop ->
+            Atomic.incr n_telescoped;
+            let info = Option.get !found in
+            let c = info.m_high - info.m_low in
+            let keep = p_start + (info.m_high * p_len) in
+            let skip = info.m_repeats * c * p_len in
+            let shift = info.m_repeats * c * p_stride in
+            let sp = splice trace ~keep ~skip ~shift in
+            let res = sim ~metrics ~probe:None (Packed.of_trace sp) in
+            Option.iter
+              (fun m ->
+                Metrics.add_scaled m
+                  ~hi:(Option.get info.m_snap_high)
+                  ~lo:(Option.get info.m_snap_low)
+                  ~times:info.m_repeats)
+              metrics;
+            {
+              Sim_types.cycles = res.Sim_types.cycles + (info.m_repeats * info.m_dt);
+              instructions = res.Sim_types.instructions + skip;
+            }
+      end

@@ -79,6 +79,13 @@ let rec set t k v =
     else i := (!i + 1) land t.mask
   done
 
+let iter f t =
+  let keys = t.keys and vals = t.vals in
+  for i = 0 to Array.length keys - 1 do
+    let k = Array.unsafe_get keys i in
+    if k <> empty_key then f k (Array.unsafe_get vals i)
+  done
+
 let clear t =
   Array.fill t.keys 0 (Array.length t.keys) empty_key;
   t.size <- 0

@@ -23,5 +23,9 @@ val set : t -> int -> int -> unit
 val length : t -> int
 (** Number of distinct keys. *)
 
+val iter : (int -> int -> unit) -> t -> unit
+(** [iter f t] applies [f key value] to every binding, in unspecified
+    order (the physical slot order of the backing array). *)
+
 val clear : t -> unit
 (** Drop every binding, keeping the capacity. *)

@@ -120,6 +120,7 @@ let test_keys_distinguish () =
           };
       config = Config.m11br5;
       loop = 5;
+      scale = 1;
     }
   in
   Alcotest.(check string) "key is stable" (Axes.key base) (Axes.key base);
@@ -133,12 +134,49 @@ let test_keys_distinguish () =
         Axes.config = Config.make ~paper_scalar_add:true Config.M11 Config.BR5;
       };
       { base with Axes.machine = Axes.Single Mfu_sim.Single_issue.Cray_like };
+      (* a scaled workload must never alias the default-size result *)
+      { base with Axes.scale = 3 };
     ]
   in
   List.iter
     (fun p ->
       Alcotest.(check bool) "distinct keys" false (Axes.key p = Axes.key base))
     variants
+
+let test_scale_axis () =
+  (* the scale axis parses, roundtrips and crosses into the enumeration *)
+  (match Axes.of_string "org=cray; loops=5; scale=1,3" with
+  | Ok axes ->
+      let points = Axes.enumerate axes in
+      Alcotest.(check int) "scales crossed" (2 * List.length Config.all)
+        (List.length points);
+      Alcotest.(check bool) "roundtrip" true
+        (match Axes.of_string (Axes.to_string axes) with
+        | Ok axes' -> Axes.enumerate axes' = points
+        | Error _ -> false)
+  | Error e -> Alcotest.fail e);
+  (match Axes.of_string "scale=0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scale=0 should not parse");
+  (* a scaled point's result is a genuinely different experiment: the
+     store must file it separately and return distinct numbers *)
+  with_store (fun store ->
+      let point scale =
+        {
+          Axes.machine = Axes.Single Mfu_sim.Single_issue.Cray_like;
+          config = Config.m11br5;
+          loop = 5;
+          scale;
+        }
+      in
+      let points = [ point 1; point 3 ] in
+      let results, stats = Sweep.run ~jobs:1 ~store points in
+      Alcotest.(check int) "both computed" 2 stats.Sweep.computed;
+      match List.map snd results with
+      | [ r1; r3 ] ->
+          Alcotest.(check bool) "scaled trace is longer" true
+            (r3.Sim_types.instructions > 2 * r1.Sim_types.instructions)
+      | _ -> Alcotest.fail "expected two results")
 
 (* -- store ------------------------------------------------------------------- *)
 
@@ -314,6 +352,7 @@ let () =
           Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
           Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
           Alcotest.test_case "keys distinguish" `Quick test_keys_distinguish;
+          Alcotest.test_case "scale axis" `Quick test_scale_axis;
         ] );
       ( "store",
         [

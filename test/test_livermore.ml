@@ -113,6 +113,70 @@ let test_titles_unique () =
   Alcotest.(check int) "distinct titles" 14
     (List.length (List.sort_uniq compare titles))
 
+let test_scaled () =
+  let len l = Array.length (Livermore.trace l) in
+  let base1 = len (Livermore.scaled 1) in
+  let scaled1 = len (Livermore.scaled ~scale:4 1) in
+  Alcotest.(check bool) "loop1 x4 is ~4x longer" true
+    (scaled1 > 3 * base1 && scaled1 < 5 * base1);
+  (* loop2's size stays a power of two at awkward factors *)
+  let l2 = Livermore.scaled ~scale:3 2 in
+  (match
+     Codegen.check_against_interpreter (Livermore.compiled l2)
+       l2.Livermore.inputs
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* loop6's trace grows quadratically in n, so its scale is square-rooted:
+     the scaled trace must stay within the same order as the factor *)
+  let base6 = len (Livermore.scaled 6) in
+  let scaled6 = len (Livermore.scaled ~scale:16 6) in
+  Alcotest.(check bool) "loop6 x16 stays ~16x" true
+    (scaled6 > 4 * base6 && scaled6 < 40 * base6);
+  Alcotest.(check bool) "memoized" true
+    (Livermore.scaled ~scale:4 1 == Livermore.scaled ~scale:4 1);
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected range error")
+    [
+      (fun () -> Livermore.scaled ~scale:0 1);
+      (fun () -> Livermore.scaled ~scale:2 0);
+      (fun () -> Livermore.scaled ~scale:2 15);
+    ];
+  (* [all] was forced at the top of this binary, so the process-wide
+     scale is frozen: re-asserting the built scale is fine, changing it
+     is an error *)
+  Livermore.set_scale 1;
+  Alcotest.(check int) "frozen scale" 1 (Livermore.scale ());
+  match Livermore.set_scale 2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected set_scale to reject a late change"
+
+let test_trace_cache_lru () =
+  let module Tc = Mfu_loops.Trace_cache in
+  Fun.protect
+    ~finally:(fun () -> Tc.set_capacity_bytes None)
+    (fun () ->
+      let t1 = Livermore.trace (Livermore.loop 1) in
+      let s = Tc.stats () in
+      Alcotest.(check bool) "bytes accounted" true (s.Tc.bytes > 0);
+      Alcotest.(check bool) "entries resident" true (s.Tc.entries >= 1);
+      (* a capacity below the resident total evicts down to the newest
+         entries; the cache keeps working, regenerating on demand *)
+      let one = Array.length t1 * 16 in
+      Tc.set_capacity_bytes (Some one);
+      let s' = Tc.stats () in
+      Alcotest.(check bool) "capacity evicts" true
+        (s'.Tc.evictions > 0 && s'.Tc.bytes <= one);
+      let t1' = Livermore.trace (Livermore.loop 1) in
+      Alcotest.(check bool) "evicted trace regenerates equal" true (t1 = t1');
+      (* the freshly inserted entry is never evicted, even alone over
+         budget: back-to-back lookups keep physical identity *)
+      Alcotest.(check bool) "resident identity" true
+        (Livermore.trace (Livermore.loop 1) == Livermore.trace (Livermore.loop 1)))
+
 let () =
   Alcotest.run "livermore"
     [
@@ -131,5 +195,7 @@ let () =
           Alcotest.test_case "deterministic traces" `Quick
             test_determinism_across_calls;
           Alcotest.test_case "titles unique" `Quick test_titles_unique;
+          Alcotest.test_case "scaled workloads" `Quick test_scaled;
+          Alcotest.test_case "trace cache LRU" `Quick test_trace_cache_lru;
         ] );
     ]
