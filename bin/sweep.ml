@@ -79,19 +79,21 @@ let print_table n results =
   in
   Mfu_util.Table.print (Mfu.Reporting.render_ruu_table ~title t)
 
-let run axes_spec store_dir resume pareto table jobs =
+let run axes_spec store_dir resume pareto table jobs batch =
   match Axes.of_string axes_spec with
   | Error e -> `Error (false, "bad --axes spec: " ^ e)
   | Ok axes ->
-      Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
-      let points = Axes.enumerate axes in
-      if points = [] then `Error (false, "the axes spec names no machines")
+      if batch < 1 then `Error (false, "--batch must be >= 1")
       else begin
-        let store = Store.open_ store_dir in
-        Printf.eprintf "[sweep] %d point(s) over %s\n%!" (List.length points)
-          (Axes.to_string axes);
-        let t0 = Unix.gettimeofday () in
-        let results, stats = Sweep.run ~resume ~progress ~store points in
+        Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
+        let points = Axes.enumerate axes in
+        if points = [] then `Error (false, "the axes spec names no machines")
+        else begin
+          let store = Store.open_ store_dir in
+          Printf.eprintf "[sweep] %d point(s) over %s\n%!" (List.length points)
+            (Axes.to_string axes);
+          let t0 = Unix.gettimeofday () in
+          let results, stats = Sweep.run ~batch ~resume ~progress ~store points in
         Printf.eprintf
           "[sweep] done in %.2fs: %d computed, %d reused, %d quarantined \
            (store %s)\n\
@@ -99,9 +101,10 @@ let run axes_spec store_dir resume pareto table jobs =
           (Unix.gettimeofday () -. t0)
           stats.Sweep.computed stats.Sweep.reused stats.Sweep.quarantined
           (Store.root store);
-        (match table with Some n -> print_table n results | None -> ());
-        if pareto then print_pareto results points;
-        `Ok ()
+          (match table with Some n -> print_table n results | None -> ());
+          if pareto then print_pareto results points;
+          `Ok ()
+        end
       end
 
 open Cmdliner
@@ -146,11 +149,22 @@ let jobs =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let batch =
+  let doc =
+    "Lane width of config-batched simulation: missing points sharing a \
+     (simulator family, loop, scale) group run as one trace walk of up to \
+     $(docv) configuration lanes. Results and store contents are \
+     bit-identical to $(b,--batch 1) (the default)."
+  in
+  Arg.(value & opt int 1 & info [ "b"; "batch" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "sweep the multiple-functional-unit design space" in
   let info = Cmd.info "mfu-sweep" ~doc in
   Cmd.v info
     Term.(
-      ret (const run $ axes_spec $ store_dir $ resume $ pareto $ table $ jobs))
+      ret
+        (const run $ axes_spec $ store_dir $ resume $ pareto $ table $ jobs
+       $ batch))
 
 let () = exit (Cmd.eval cmd)

@@ -14,7 +14,38 @@ let meta_of_point (p : Axes.point) =
     ("sim_version", Json.String Axes.sim_version);
   ]
 
-let run ?jobs ?(resume = true) ?progress ~store points =
+(* Split [items] into consecutive chunks of at most [n]. *)
+let rec chunks n = function
+  | [] -> []
+  | items ->
+      let rec take k acc = function
+        | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+        | rest -> (List.rev acc, rest)
+      in
+      let hd, tl = take n [] items in
+      hd :: chunks n tl
+
+(* Group the missing points by {!Axes.batch_key} (first-seen order, so
+   the job list stays deterministic) and cut each group into lane
+   batches of at most [batch]. *)
+let batches ~batch misses =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun ((p, _) as pk) ->
+      let bk = Axes.batch_key p in
+      match Hashtbl.find_opt groups bk with
+      | Some r -> r := pk :: !r
+      | None ->
+          Hashtbl.add groups bk (ref [ pk ]);
+          order := bk :: !order)
+    misses;
+  List.concat_map
+    (fun bk -> chunks batch (List.rev !(Hashtbl.find groups bk)))
+    (List.rev !order)
+
+let run ?jobs ?(batch = 1) ?(resume = true) ?progress ~store points =
+  if batch < 1 then invalid_arg "Sweep.run: batch must be >= 1";
   (* Keying generates and digests traces; do it once, on this domain, so
      workers only simulate and write. *)
   let keyed = List.map (fun p -> (p, Axes.key p)) points in
@@ -49,16 +80,25 @@ let run ?jobs ?(resume = true) ?progress ~store points =
   let done_ = Atomic.make 0 in
   (* Publish each result the moment it exists: this is what makes a
      killed sweep resumable with no duplicated work. *)
-  ignore
-    (Pool.map ?jobs
-       (fun (p, k) ->
-         let result = Axes.run p in
-         Store.put ~meta:(meta_of_point p) store ~key:k result;
-         (match progress with
-         | Some f -> f ~done_:(Atomic.fetch_and_add done_ 1 + 1) ~total:computed
-         | None -> ());
-         ())
-       misses);
+  let publish (p, k) result =
+    Store.put ~meta:(meta_of_point p) store ~key:k result;
+    match progress with
+    | Some f -> f ~done_:(Atomic.fetch_and_add done_ 1 + 1) ~total:computed
+    | None -> ()
+  in
+  (if batch = 1 then
+     ignore (Pool.map ?jobs (fun (p, k) -> publish (p, k) (Axes.run p)) misses)
+   else
+     (* One pool job per lane batch: the trace is walked once for up to
+        [batch] configurations, and every lane's result is still
+        published individually the moment its batch lands. *)
+     ignore
+       (Pool.map ?jobs
+          (fun chunk ->
+            let chunk = Array.of_list chunk in
+            let results = Axes.run_batch (Array.map fst chunk) in
+            Array.iteri (fun l pk -> publish pk results.(l)) chunk)
+          (batches ~batch misses)));
   Store.refresh_manifest store;
   let results =
     List.map

@@ -20,6 +20,7 @@ type stats = {
 
 val run :
   ?jobs:int ->
+  ?batch:int ->
   ?resume:bool ->
   ?progress:(done_:int -> total:int -> unit) ->
   store:Store.t ->
@@ -35,6 +36,17 @@ val run :
     the calling domain before fanning out. Refreshes the store manifest
     on completion.
 
-    @raise Invalid_argument if the same key appears twice in the job
-    list (the deduplication contract of {!Axes.enumerate} protects
-    concurrent writers). *)
+    [batch] (default 1) sets the lane width of config-batched
+    simulation: missing points are grouped by {!Axes.batch_key}
+    (simulator family x loop x scale, in first-seen order), cut into
+    groups of at most [batch] lanes, and each group runs as one
+    {!Axes.run_batch} pool job — one trace walk for up to [batch]
+    configurations. Results are bit-identical to [batch:1] (the
+    differential suite enforces this end to end, down to the store
+    bytes), and each lane is still published individually as soon as
+    its batch completes; a killed sweep loses at most the batches that
+    were mid-flight.
+
+    @raise Invalid_argument if [batch < 1], or if the same key appears
+    twice in the job list (the deduplication contract of
+    {!Axes.enumerate} protects concurrent writers). *)

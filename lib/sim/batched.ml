@@ -1,0 +1,103 @@
+(* Config-batched lane simulation: public entry points.
+
+   Each function packs the trace once, attaches an independent
+   steady-state detector per lane ({!Steady.run_batch}), and hands all
+   lanes to the family's lock-step walker — one trace traversal, N
+   machine configurations, struct-of-arrays per-lane state. Per lane the
+   result (cycles, instructions, and every metrics counter) is
+   bit-identical to N scalar [simulate] calls with the same arguments. *)
+
+module Config = Mfu_isa.Config
+module Trace = Mfu_exec.Trace
+module Metrics = Sim_types.Metrics
+
+type buffer_lane = {
+  b_config : Config.t;
+  b_policy : Buffer_issue.policy;
+  b_alignment : Buffer_issue.alignment;
+  b_stations : int;
+  b_bus : Sim_types.bus_model;
+}
+
+type ruu_lane = {
+  r_config : Config.t;
+  r_branches : Ruu.branch_handling;
+  r_issue_units : int;
+  r_ruu_size : int;
+  r_bus : Sim_types.bus_model;
+}
+
+let check_metrics name nlanes = function
+  | None -> None
+  | Some a ->
+      if Array.length a <> nlanes then
+        invalid_arg (name ^ ": metrics array length <> number of lanes");
+      Some a
+
+let single ?metrics ?(accel = true) ?(memory = Memory_system.ideal) ~lanes
+    trace =
+  let metrics = check_metrics "Batched.single" (Array.length lanes) metrics in
+  Steady.run_batch ?metrics
+    ~accel:(accel && memory = Memory_system.Ideal)
+    trace ~nlanes:(Array.length lanes)
+    ~walk:(fun ~metrics ~probes ~detected p ->
+      Single_issue.simulate_batch ~metrics ~probes ~detected ~memory ~lanes p)
+    ~sim:(fun l ~metrics ~probe p ->
+      let config, org = lanes.(l) in
+      Single_issue.simulate_packed ?metrics ?probe ~memory ~config org p)
+
+let dep ?metrics ?(accel = true) ~lanes trace =
+  let metrics = check_metrics "Batched.dep" (Array.length lanes) metrics in
+  Steady.run_batch ?metrics ~accel trace ~nlanes:(Array.length lanes)
+    ~walk:(fun ~metrics ~probes ~detected p ->
+      Dep_single.simulate_batch ~metrics ~probes ~detected ~lanes p)
+    ~sim:(fun l ~metrics ~probe p ->
+      let config, scheme = lanes.(l) in
+      Dep_single.simulate_packed ?metrics ?probe ~config scheme p)
+
+let buffer ?metrics ?(accel = true) ~lanes trace =
+  let metrics = check_metrics "Batched.buffer" (Array.length lanes) metrics in
+  Array.iter
+    (fun ln ->
+      if ln.b_stations < 1 then invalid_arg "Batched.buffer: stations < 1")
+    lanes;
+  let tuples =
+    Array.map
+      (fun ln -> (ln.b_config, ln.b_policy, ln.b_alignment, ln.b_stations, ln.b_bus))
+      lanes
+  in
+  Steady.run_batch ?metrics ~accel trace ~nlanes:(Array.length lanes)
+    ~walk:(fun ~metrics ~probes ~detected p ->
+      Buffer_issue.simulate_batch ~metrics ~probes ~detected ~lanes:tuples p)
+    ~sim:(fun l ~metrics ~probe p ->
+      let ln = lanes.(l) in
+      Buffer_issue.simulate_packed ?metrics ?probe ~alignment:ln.b_alignment
+        ~config:ln.b_config ~policy:ln.b_policy ~stations:ln.b_stations
+        ~bus:ln.b_bus p)
+
+let ruu ?metrics ?(accel = true) ~lanes trace =
+  let metrics = check_metrics "Batched.ruu" (Array.length lanes) metrics in
+  Array.iter
+    (fun ln ->
+      if ln.r_issue_units < 1 then invalid_arg "Batched.ruu: issue_units < 1";
+      if ln.r_ruu_size < ln.r_issue_units then
+        invalid_arg "Batched.ruu: ruu_size too small";
+      match ln.r_branches with
+      | Ruu.Bimodal n when n < 1 ->
+          invalid_arg "Batched.ruu: bimodal table size < 1"
+      | _ -> ())
+    lanes;
+  let tuples =
+    Array.map
+      (fun ln ->
+        (ln.r_config, ln.r_branches, ln.r_issue_units, ln.r_ruu_size, ln.r_bus))
+      lanes
+  in
+  Steady.run_batch ?metrics ~accel trace ~nlanes:(Array.length lanes)
+    ~walk:(fun ~metrics ~probes ~detected p ->
+      Ruu.simulate_batch ~metrics ~probes ~detected ~lanes:tuples p)
+    ~sim:(fun l ~metrics ~probe p ->
+      let ln = lanes.(l) in
+      Ruu.simulate_packed ?metrics ?probe ~branches:ln.r_branches
+        ~config:ln.r_config ~issue_units:ln.r_issue_units
+        ~ruu_size:ln.r_ruu_size ~bus:ln.r_bus p)

@@ -1,0 +1,81 @@
+(** Config-batched lane simulation: run N machine configurations in
+    lock-step lanes over a single packed-trace traversal.
+
+    The limit study is a design-space sweep — the same trace simulated
+    under many FU/window/bus configurations — and the trace walk itself
+    (decode, operand indexing, memory streaming) is identical across
+    configurations. Each entry point here packs the trace once and steps
+    every lane through the shared traversal with struct-of-arrays
+    per-lane machine state; entry-sequential families share the per-entry
+    decode across lanes, cycle-stepped families run one driver per lane
+    off a shared event wheel keyed on the minimum next-wake cycle.
+
+    Steady-state fast-forward ({!Steady}) composes per lane: period
+    detection is per-trace and shared, fingerprints and skip engagement
+    are per-lane, and a lane that detects a repeat retires from the walk
+    while the rest continue ({!Steady.run_batch}).
+
+    Per lane, the result — cycles, instructions, and every
+    {!Sim_types.Metrics} counter — is bit-identical to N independent
+    scalar [simulate] calls with the same arguments (defaults included:
+    packed fast path, acceleration on). *)
+
+type buffer_lane = {
+  b_config : Mfu_isa.Config.t;
+  b_policy : Buffer_issue.policy;
+  b_alignment : Buffer_issue.alignment;
+  b_stations : int;
+  b_bus : Sim_types.bus_model;
+}
+
+type ruu_lane = {
+  r_config : Mfu_isa.Config.t;
+  r_branches : Ruu.branch_handling;
+  r_issue_units : int;
+  r_ruu_size : int;
+  r_bus : Sim_types.bus_model;
+}
+
+val single :
+  ?metrics:Sim_types.Metrics.t option array ->
+  ?accel:bool ->
+  ?memory:Memory_system.t ->
+  lanes:(Mfu_isa.Config.t * Single_issue.organization) array ->
+  Mfu_exec.Trace.t ->
+  Sim_types.result array
+(** Batched {!Single_issue.simulate}: lane [l] is bit-identical to
+    [Single_issue.simulate ?metrics:metrics.(l) ~memory ~accel
+    ~config:(fst lanes.(l)) (snd lanes.(l)) trace]. As in the scalar
+    path, acceleration engages only under the [Ideal] memory model.
+    [metrics] defaults to all [None] and must match the lane count.
+    @raise Invalid_argument on a metrics array of the wrong length. *)
+
+val dep :
+  ?metrics:Sim_types.Metrics.t option array ->
+  ?accel:bool ->
+  lanes:(Mfu_isa.Config.t * Dep_single.scheme) array ->
+  Mfu_exec.Trace.t ->
+  Sim_types.result array
+(** Batched {!Dep_single.simulate}; same per-lane equivalence contract as
+    {!single}. *)
+
+val buffer :
+  ?metrics:Sim_types.Metrics.t option array ->
+  ?accel:bool ->
+  lanes:buffer_lane array ->
+  Mfu_exec.Trace.t ->
+  Sim_types.result array
+(** Batched {!Buffer_issue.simulate}; same per-lane equivalence contract
+    as {!single}. @raise Invalid_argument on a lane with
+    [b_stations < 1]. *)
+
+val ruu :
+  ?metrics:Sim_types.Metrics.t option array ->
+  ?accel:bool ->
+  lanes:ruu_lane array ->
+  Mfu_exec.Trace.t ->
+  Sim_types.result array
+(** Batched {!Ruu.simulate}; same per-lane equivalence contract as
+    {!single}. @raise Invalid_argument under the scalar lane-parameter
+    conditions ([r_issue_units < 1], [r_ruu_size < r_issue_units],
+    [Bimodal n] with [n < 1]). *)

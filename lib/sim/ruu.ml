@@ -786,8 +786,20 @@ end
 
 let rec pow2_at_least n = if n <= 1 then 1 else 2 * pow2_at_least ((n + 1) / 2)
 
-let simulate_packed ?metrics ?probe ~branches ~config ~issue_units ~ruu_size
-    ~bus (p : Packed.t) =
+(* One lane of the cycle-stepped machine: the [Fast] state plus its own
+   clock, probe, and progress guard, so the scalar loop and the batched
+   min-wake wheel step the same code. See {!Buffer_issue.driver}. *)
+type driver = {
+  st : Fast.state;
+  d_probe : Steady.probe option;
+  d_can_skip : bool;
+  d_maxlat : int;
+  mutable d_t : int;
+  mutable d_guard : int;
+}
+
+let make_driver ?metrics ?probe ~branches ~config ~issue_units ~ruu_size ~bus
+    (p : Packed.t) =
   let maxprod = p.Packed.max_srcs + 1 in
   let st =
     {
@@ -835,140 +847,228 @@ let simulate_packed ?metrics ?probe ~branches ~config ~issue_units ~ruu_size
       wake = max_int;
     }
   in
-  let n = p.Packed.n in
-  (* The event skip must replay every cycle under [Bimodal]: a blocked
-     branch re-predicts (and trains its 2-bit counter) each retried cycle,
-     and can even flip to a correct prediction — and issue — mid-wait, so
-     zero-activity cycles carry predictor state. The other policies are
-     stateless per cycle. *)
-  let can_skip = match branches with Bimodal _ -> false | _ -> true in
-  (* Steady-state fingerprint, normalized by [now = t] at the top of a
-     cycle where exactly the entries before the boundary have issued.
-     The ring head is kept absolute — dispatch banks are [slot mod
-     issue_units], so only states with identical slot numbering replay
-     each other. Times at or before [now] are dead (commit compares
-     [<= t], readiness [<= t], same-cycle unit reuse [= t], and probed
-     result-bus cycles are > [now]), so they clamp to 0. A producer
-     reference normalizes to its slot plus whether its generation still
-     matches: a mismatched (or committed, completion <= now) producer
-     reads as an immediately-resolved 0 either way. In-flight store-map
-     entries survive only while their producer is live, and are sorted
-     by translated address (the open-addressing table's physical order
-     must not leak). [uid_next] and the undispatched list are excluded:
-     generations only matter through the match bits, and the list is
-     determined by window order and the dispatched flags. *)
-  let maxlat = Packed.max_latency config in
-  let fingerprint pr pos now =
-    let fp = ref [] in
-    let push v = fp := v :: !fp in
-    push st.Fast.head;
-    push st.Fast.count;
-    push (if st.Fast.stall_until > now then st.Fast.stall_until - now else 0);
-    push (if st.Fast.finish > now then st.Fast.finish - now else 0);
-    push
-      (if st.Fast.scan_min > now then
-         if st.Fast.scan_min = max_int then -1 else st.Fast.scan_min - now
-       else 0);
-    for c = now + 1 to now + maxlat do
-      push (Fast.rb_get st c)
-    done;
-    Array.iter
-      (fun v -> push (if v >= now then v - now + 1 else 0))
-      st.Fast.fu_last_used;
-    Array.iter push st.Fast.latest_writer;
-    Array.iter push st.Fast.counters;
-    for k = 0 to st.Fast.count - 1 do
-      let slot = (st.Fast.head + k) mod ruu_size in
-      push st.Fast.s_dest.(slot);
-      push st.Fast.s_fu.(slot);
-      push (if st.Fast.s_dispatched.(slot) then 1 else 0);
-      let c = st.Fast.s_completion.(slot) in
-      push (if c = max_int then -1 else if c > now then c - now else 0);
-      let r = st.Fast.s_ready.(slot) in
-      push (if r = max_int then -1 else if r > now then r - now else 0);
-      (* once [s_ready] is final the partial max and producers are never
-         consulted again ([nprod] is 0 by then); canonicalize the stale
-         partial to 0 *)
-      push
-        (if r = max_int && st.Fast.s_rpart.(slot) > now then
-           st.Fast.s_rpart.(slot) - now
-         else 0);
-      let np = st.Fast.s_nprod.(slot) in
-      push np;
-      let base = slot * st.Fast.maxprod in
-      for j = 0 to np - 1 do
-        let ps = st.Fast.s_prod_slot.(base + j) in
-        push ps;
-        push (if st.Fast.s_uid.(ps) = st.Fast.s_prod_uid.(base + j) then 1 else 0)
-      done
-    done;
-    let live = ref [] in
-    Int_table.iter
-      (fun addr r ->
-        let slot = r mod ruu_size and uid = r / ruu_size in
-        let off =
-          let o = slot - st.Fast.head in
-          if o < 0 then o + ruu_size else o
-        in
-        if
-          off < st.Fast.count
-          && st.Fast.s_uid.(slot) = uid
-          && (st.Fast.s_completion.(slot) = max_int
-             || st.Fast.s_completion.(slot) > now)
-        then live := (addr - pr.Steady.addr_off, slot) :: !live)
-      st.Fast.mem_writer;
-    let live = List.sort compare !live in
-    push (List.length live);
-    List.iter
-      (fun (a, s) ->
-        push a;
-        push s)
-      live;
-    pr.Steady.fire ~pos ~time:now ~fp:!fp
-  in
   (* the issue pass examines up to [issue_units] entries past [next] in a
      cycle; keep that many entries' periods out of the telescoped span *)
   Option.iter (fun pr -> pr.Steady.lookahead <- issue_units) probe;
-  let t = ref 0 in
-  let guard = ref (400 * (n + 100)) in
-  while not (st.Fast.next >= n && st.Fast.count = 0) do
-    (match probe with
-    | Some pr when st.Fast.next >= pr.Steady.next_pos ->
-        if st.Fast.next > pr.Steady.next_pos then
-          Steady.missed pr (st.Fast.next - 1);
-        if st.Fast.next = pr.Steady.next_pos then
-          fingerprint pr st.Fast.next !t
-    | _ -> ());
-    (match metrics with
-    | Some m -> Metrics.record_occupancy m st.Fast.count
-    | None -> ());
-    st.Fast.wake <- max_int;
-    let committed = Fast.commit_pass st ~t:!t in
-    let dispatched = Fast.dispatch_pass st ~t:!t in
-    let issued = Fast.issue_pass st ~t:!t in
-    (match metrics with
-    | Some m ->
-        if issued > 0 then begin
-          Metrics.record_issue ~width:issued m 1;
-          Metrics.record_instructions m issued
-        end
-        else Metrics.record_stall m (Fast.diagnose st ~t:!t) 1;
-        incr t
-    | None ->
-        if
-          can_skip && committed = 0 && dispatched = 0 && issued = 0
-          && st.Fast.wake > !t + 1
-          && st.Fast.wake < max_int
-        then t := st.Fast.wake
-        else incr t);
-    decr guard;
-    if !guard <= 0 then failwith "Ruu.simulate: no progress"
+  {
+    st;
+    d_probe = probe;
+    (* The event skip must replay every cycle under [Bimodal]: a blocked
+       branch re-predicts (and trains its 2-bit counter) each retried
+       cycle, and can even flip to a correct prediction — and issue —
+       mid-wait, so zero-activity cycles carry predictor state. The other
+       policies are stateless per cycle. *)
+    d_can_skip = (match branches with Bimodal _ -> false | _ -> true);
+    d_maxlat = Packed.max_latency config;
+    d_t = 0;
+    d_guard = 400 * (p.Packed.n + 100);
+  }
+
+(* Steady-state fingerprint, normalized by [now = t] at the top of a
+   cycle where exactly the entries before the boundary have issued.
+   The ring head is kept absolute — dispatch banks are [slot mod
+   issue_units], so only states with identical slot numbering replay
+   each other. Times at or before [now] are dead (commit compares
+   [<= t], readiness [<= t], same-cycle unit reuse [= t], and probed
+   result-bus cycles are > [now]), so they clamp to 0. A producer
+   reference normalizes to its slot plus whether its generation still
+   matches: a mismatched (or committed, completion <= now) producer
+   reads as an immediately-resolved 0 either way. In-flight store-map
+   entries survive only while their producer is live, and are sorted
+   by translated address (the open-addressing table's physical order
+   must not leak). [uid_next] and the undispatched list are excluded:
+   generations only matter through the match bits, and the list is
+   determined by window order and the dispatched flags. *)
+let driver_fingerprint d pr pos now =
+  let st = d.st in
+  let ruu_size = st.Fast.ruu_size in
+  let fp = ref [] in
+  let push v = fp := v :: !fp in
+  push st.Fast.head;
+  push st.Fast.count;
+  push (if st.Fast.stall_until > now then st.Fast.stall_until - now else 0);
+  push (if st.Fast.finish > now then st.Fast.finish - now else 0);
+  push
+    (if st.Fast.scan_min > now then
+       if st.Fast.scan_min = max_int then -1 else st.Fast.scan_min - now
+     else 0);
+  for c = now + 1 to now + d.d_maxlat do
+    push (Fast.rb_get st c)
   done;
-  let cycles = max st.Fast.finish !t in
+  Array.iter
+    (fun v -> push (if v >= now then v - now + 1 else 0))
+    st.Fast.fu_last_used;
+  Array.iter push st.Fast.latest_writer;
+  Array.iter push st.Fast.counters;
+  for k = 0 to st.Fast.count - 1 do
+    let slot = (st.Fast.head + k) mod ruu_size in
+    push st.Fast.s_dest.(slot);
+    push st.Fast.s_fu.(slot);
+    push (if st.Fast.s_dispatched.(slot) then 1 else 0);
+    let c = st.Fast.s_completion.(slot) in
+    push (if c = max_int then -1 else if c > now then c - now else 0);
+    let r = st.Fast.s_ready.(slot) in
+    push (if r = max_int then -1 else if r > now then r - now else 0);
+    (* once [s_ready] is final the partial max and producers are never
+       consulted again ([nprod] is 0 by then); canonicalize the stale
+       partial to 0 *)
+    push
+      (if r = max_int && st.Fast.s_rpart.(slot) > now then
+         st.Fast.s_rpart.(slot) - now
+       else 0);
+    let np = st.Fast.s_nprod.(slot) in
+    push np;
+    let base = slot * st.Fast.maxprod in
+    for j = 0 to np - 1 do
+      let ps = st.Fast.s_prod_slot.(base + j) in
+      push ps;
+      push (if st.Fast.s_uid.(ps) = st.Fast.s_prod_uid.(base + j) then 1 else 0)
+    done
+  done;
+  let live = ref [] in
+  Int_table.iter
+    (fun addr r ->
+      let slot = r mod ruu_size and uid = r / ruu_size in
+      let off =
+        let o = slot - st.Fast.head in
+        if o < 0 then o + ruu_size else o
+      in
+      if
+        off < st.Fast.count
+        && st.Fast.s_uid.(slot) = uid
+        && (st.Fast.s_completion.(slot) = max_int
+           || st.Fast.s_completion.(slot) > now)
+      then live := (addr - pr.Steady.addr_off, slot) :: !live)
+    st.Fast.mem_writer;
+  let live = List.sort compare !live in
+  push (List.length live);
+  List.iter
+    (fun (a, s) ->
+      push a;
+      push s)
+    live;
+  pr.Steady.fire ~pos ~time:now ~fp:!fp
+
+let driver_done d = d.st.Fast.next >= d.st.Fast.p.Packed.n && d.st.Fast.count = 0
+
+(* One simulation cycle at [d.d_t]; the caller must have checked
+   [driver_done]. Advances [d_t] (by more than one on an event skip). *)
+let driver_cycle d =
+  let st = d.st in
+  let metrics = st.Fast.metrics in
+  (match d.d_probe with
+  | Some pr when st.Fast.next >= pr.Steady.next_pos ->
+      if st.Fast.next > pr.Steady.next_pos then
+        Steady.missed pr (st.Fast.next - 1);
+      if st.Fast.next = pr.Steady.next_pos then
+        driver_fingerprint d pr st.Fast.next d.d_t
+  | _ -> ());
   (match metrics with
-  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - !t)
+  | Some m -> Metrics.record_occupancy m st.Fast.count
   | None -> ());
-  { Sim_types.cycles; instructions = n }
+  st.Fast.wake <- max_int;
+  let committed = Fast.commit_pass st ~t:d.d_t in
+  let dispatched = Fast.dispatch_pass st ~t:d.d_t in
+  let issued = Fast.issue_pass st ~t:d.d_t in
+  (match metrics with
+  | Some m ->
+      if issued > 0 then begin
+        Metrics.record_issue ~width:issued m 1;
+        Metrics.record_instructions m issued
+      end
+      else Metrics.record_stall m (Fast.diagnose st ~t:d.d_t) 1;
+      d.d_t <- d.d_t + 1
+  | None ->
+      if
+        d.d_can_skip && committed = 0 && dispatched = 0 && issued = 0
+        && st.Fast.wake > d.d_t + 1
+        && st.Fast.wake < max_int
+      then d.d_t <- st.Fast.wake
+      else d.d_t <- d.d_t + 1);
+  d.d_guard <- d.d_guard - 1;
+  if d.d_guard <= 0 then failwith "Ruu.simulate: no progress"
+
+let driver_result d =
+  let cycles = max d.st.Fast.finish d.d_t in
+  (match d.st.Fast.metrics with
+  | Some m -> Metrics.record_stall m Metrics.Drain (cycles - d.d_t)
+  | None -> ());
+  { Sim_types.cycles; instructions = d.st.Fast.p.Packed.n }
+
+let simulate_packed ?metrics ?probe ~branches ~config ~issue_units ~ruu_size
+    ~bus (p : Packed.t) =
+  let d =
+    make_driver ?metrics ?probe ~branches ~config ~issue_units ~ruu_size ~bus p
+  in
+  while not (driver_done d) do
+    driver_cycle d
+  done;
+  driver_result d
+
+(* -- batched lanes -----------------------------------------------------------
+   N lane drivers over one time-blocked traversal. Lanes never interact,
+   so each live lane is stepped through a whole [batch_block]-cycle
+   horizon at a time — its scalar cycle sequence verbatim, including its
+   own event skips — so per lane the run is bit-identical to
+   [simulate_packed]. The shared horizon (minimum live clock plus the
+   block) keeps lanes loosely in step over the shared packed trace. *)
+
+module Bitset = Mfu_util.Bitset
+
+let batch_block = 4096
+
+let simulate_batch ~metrics ~probes ~(detected : Bitset.t) ~lanes
+    (p : Packed.t) =
+  let nl = Array.length lanes in
+  let drivers =
+    Array.mapi
+      (fun l (config, branches, issue_units, ruu_size, bus) ->
+        if issue_units < 1 then
+          invalid_arg "Ruu.simulate_batch: issue_units < 1";
+        if ruu_size < issue_units then
+          invalid_arg "Ruu.simulate_batch: ruu_size too small";
+        (match branches with
+        | Bimodal n when n < 1 ->
+            invalid_arg "Ruu.simulate_batch: bimodal table size < 1"
+        | _ -> ());
+        make_driver ?metrics:metrics.(l) ?probe:probes.(l) ~branches ~config
+          ~issue_units ~ruu_size ~bus p)
+      lanes
+  in
+  let act = Array.init nl (fun l -> l) in
+  let nact = ref nl in
+  let results = Array.make nl { Sim_types.cycles = 0; instructions = 0 } in
+  while !nact > 0 do
+    let t = ref max_int in
+    for k = 0 to !nact - 1 do
+      let d = drivers.(act.(k)) in
+      if d.d_t < !t then t := d.d_t
+    done;
+    let horizon = !t + batch_block in
+    let k = ref 0 in
+    while !k < !nact do
+      let l = act.(!k) in
+      let d = drivers.(l) in
+      let stop = ref false in
+      while (not !stop) && (not (driver_done d)) && d.d_t < horizon do
+        driver_cycle d;
+        if Bitset.mem detected l then stop := true
+      done;
+      if !stop then begin
+        (* the lane's probe found a steady-state repeat: retire it; the
+           orchestrator re-simulates its splice *)
+        decr nact;
+        act.(!k) <- act.(!nact)
+      end
+      else if driver_done d then begin
+        results.(l) <- driver_result d;
+        decr nact;
+        act.(!k) <- act.(!nact)
+      end
+      else incr k
+    done
+  done;
+  results
 
 let simulate ?metrics ?(branches = Stall) ?(reference = false) ?(accel = true)
     ~config ~issue_units ~ruu_size ~bus (trace : Trace.t) =

@@ -27,9 +27,15 @@
 
    where M_j, M_k are metric snapshots taken by the probe. If no repeat is
    found within the probe budget the first run simply completes — the
-   fallback costs nothing beyond the fingerprints. *)
+   fallback costs nothing beyond the fingerprints.
+
+   Detection state lives in a {!detector} record so that one trace
+   traversal can drive several probes at once: {!run_batch} attaches an
+   independent detector to each lane of a config-batched walk and settles
+   every lane — telescoped or completed — from the single shared pass. *)
 
 module Packed = Mfu_exec.Packed
+module Bitset = Mfu_util.Bitset
 module Metrics = Sim_types.Metrics
 
 exception Stop
@@ -115,103 +121,231 @@ let reset_stats () =
   Atomic.set n_fallback 0;
   Atomic.set n_aperiodic 0
 
+(* One lane's detection state: the probe it feeds, the scratch metrics the
+   detection run accumulates into (snapshotted at boundaries), the
+   fingerprints seen so far, and the match once found. The fire function
+   never raises — finding a repeat records it and disables further
+   probing; the caller decides whether to abandon the walk ({!run} raises
+   {!Stop}; {!run_batch} retires the lane and keeps walking the rest). *)
+type detector = {
+  d_probe : probe;
+  d_scratch : Metrics.t option;
+  d_seen : (int list, int * int * Metrics.t option) Hashtbl.t;
+  d_p_start : int;
+  d_p_len : int;
+  d_p_stride : int;
+  d_p_periods : int;
+  d_n : int;  (** packed trace length, for the [worthwhile] test *)
+  mutable d_found : match_info option;
+}
+
+let detector_fire det ~pos ~time ~fp =
+  let pr = det.d_probe in
+  let m = (pos - det.d_p_start) / det.d_p_len in
+  (match Hashtbl.find_opt det.d_seen fp with
+  | Some (mj, tj, snapj) ->
+      let c = m - mj in
+      (* A simulator that looks [lookahead] entries past its current
+         position (an instruction buffer holding the next [stations]
+         entries) behaves generically only while that window stays inside
+         the periodic region: its final periods see the epilogue (or the
+         end of the trace) through the buffer and must be re-simulated in
+         the splice, not telescoped. Shrink the usable region by the
+         lookahead, rounded up to whole periods. *)
+      let margin = (pr.lookahead + det.d_p_len - 1) / det.d_p_len in
+      let r = (det.d_p_periods - margin - m) / c in
+      if
+        r >= 1
+        && r * c >= min_skip
+        && worthwhile ~n:det.d_n ~skip:(r * c * det.d_p_len)
+      then
+        det.d_found <-
+          Some
+            {
+              m_low = mj;
+              m_high = m;
+              m_dt = time - tj;
+              m_snap_low = snapj;
+              m_snap_high = Option.map Metrics.snapshot det.d_scratch;
+              m_repeats = r;
+            }
+  | None ->
+      Hashtbl.add det.d_seen fp (m, time, Option.map Metrics.snapshot det.d_scratch));
+  if det.d_found <> None || m >= budget || m >= det.d_p_periods then
+    pr.next_pos <- max_int
+  else begin
+    pr.next_pos <- pr.next_pos + det.d_p_len;
+    pr.addr_off <- pr.addr_off + det.d_p_stride
+  end
+
+let make_detector ~metrics (pd : Packed.period) ~n =
+  let det =
+    {
+      d_probe =
+        {
+          period = pd.Packed.p_len;
+          stride = pd.Packed.p_stride;
+          next_pos = pd.Packed.p_start;
+          addr_off = 0;
+          lookahead = 0;
+          fire = null_fire;
+        };
+      d_scratch = (if metrics then Some (Metrics.create ()) else None);
+      d_seen = Hashtbl.create 97;
+      d_p_start = pd.Packed.p_start;
+      d_p_len = pd.Packed.p_len;
+      d_p_stride = pd.Packed.p_stride;
+      d_p_periods = pd.Packed.p_periods;
+      d_n = n;
+      d_found = None;
+    }
+  in
+  det.d_probe.fire <- (fun ~pos ~time ~fp -> detector_fire det ~pos ~time ~fp);
+  det
+
+(* Settle one detection run. [completed = Some result] when the walk ran
+   to the end of the trace (no repeat worth telescoping): fold the scratch
+   counters into the caller's collector and return the result as-is.
+   [completed = None] when a repeat was found: build the splice, rerun the
+   simulator on it without a probe, and combine in closed form. [splices]
+   memoizes packed splice traces by (keep, skip, shift) so lanes of a
+   batch that detect the same match share one construction. *)
+let conclude ?splices det ~metrics ~trace ~sim ~completed =
+  match completed with
+  | Some result ->
+      Atomic.incr n_fallback;
+      Option.iter
+        (fun m ->
+          Metrics.add_scaled m
+            ~hi:(Option.get det.d_scratch)
+            ~lo:(Metrics.create ()) ~times:1)
+        metrics;
+      result
+  | None ->
+      Atomic.incr n_telescoped;
+      let info = Option.get det.d_found in
+      let c = info.m_high - info.m_low in
+      let keep = det.d_p_start + (info.m_high * det.d_p_len) in
+      let skip = info.m_repeats * c * det.d_p_len in
+      let shift = info.m_repeats * c * det.d_p_stride in
+      let packed_sp =
+        let mk () = Packed.of_trace (splice trace ~keep ~skip ~shift) in
+        match splices with
+        | None -> mk ()
+        | Some tbl -> (
+            match Hashtbl.find_opt tbl (keep, skip, shift) with
+            | Some p -> p
+            | None ->
+                let p = mk () in
+                Hashtbl.add tbl (keep, skip, shift) p;
+                p)
+      in
+      let res = sim ~metrics ~probe:None packed_sp in
+      Option.iter
+        (fun m ->
+          Metrics.add_scaled m
+            ~hi:(Option.get info.m_snap_high)
+            ~lo:(Option.get info.m_snap_low)
+            ~times:info.m_repeats)
+        metrics;
+      {
+        Sim_types.cycles = res.Sim_types.cycles + (info.m_repeats * info.m_dt);
+        instructions = res.Sim_types.instructions + skip;
+      }
+
 let run ?metrics trace sim =
   let packed = Packed.cached trace in
   match Packed.period packed with
   | None ->
       Atomic.incr n_aperiodic;
       sim ~metrics ~probe:None packed
-  | Some { Packed.p_start; p_len; p_stride; p_periods } ->
-      if p_periods < min_skip + 2 then begin
+  | Some pd ->
+      if pd.Packed.p_periods < min_skip + 2 then begin
         Atomic.incr n_fallback;
         sim ~metrics ~probe:None packed
       end
       else begin
-        let scratch = Option.map (fun _ -> Metrics.create ()) metrics in
-        let seen : (int list, int * int * Metrics.t option) Hashtbl.t =
-          Hashtbl.create 97
+        let det =
+          make_detector ~metrics:(metrics <> None) pd ~n:(Packed.length packed)
         in
-        let found = ref None in
-        let pr =
-          {
-            period = p_len;
-            stride = p_stride;
-            next_pos = p_start;
-            addr_off = 0;
-            lookahead = 0;
-            fire = null_fire;
-          }
-        in
+        let pr = det.d_probe in
+        let inner = pr.fire in
         pr.fire <-
           (fun ~pos ~time ~fp ->
-            let m = (pos - p_start) / p_len in
-            (match Hashtbl.find_opt seen fp with
-            | Some (mj, tj, snapj) ->
-                let c = m - mj in
-                (* A simulator that looks [lookahead] entries past its
-                   current position (an instruction buffer holding the next
-                   [stations] entries) behaves generically only while that
-                   window stays inside the periodic region: its final
-                   periods see the epilogue (or the end of the trace)
-                   through the buffer and must be re-simulated in the
-                   splice, not telescoped. Shrink the usable region by the
-                   lookahead, rounded up to whole periods. *)
-                let margin = (pr.lookahead + p_len - 1) / p_len in
-                let r = (p_periods - margin - m) / c in
-                if
-                  r >= 1
-                  && r * c >= min_skip
-                  && worthwhile ~n:(Packed.length packed) ~skip:(r * c * p_len)
-                then begin
-                  found :=
-                    Some
-                      {
-                        m_low = mj;
-                        m_high = m;
-                        m_dt = time - tj;
-                        m_snap_low = snapj;
-                        m_snap_high = Option.map Metrics.snapshot scratch;
-                        m_repeats = r;
-                      };
-                  raise_notrace Stop
-                end
-            | None ->
-                Hashtbl.add seen fp (m, time, Option.map Metrics.snapshot scratch));
-            if m >= budget || m >= p_periods then pr.next_pos <- max_int
-            else begin
-              pr.next_pos <- pr.next_pos + p_len;
-              pr.addr_off <- pr.addr_off + p_stride
-            end);
-        match sim ~metrics:scratch ~probe:(Some pr) packed with
-        | result ->
-            (* No steady state found: the detection run is the real run.
-               Fold its counters into the caller's collector. *)
-            Atomic.incr n_fallback;
-            Option.iter
-              (fun m ->
-                Metrics.add_scaled m
-                  ~hi:(Option.get scratch)
-                  ~lo:(Metrics.create ()) ~times:1)
-              metrics;
-            result
-        | exception Stop ->
-            Atomic.incr n_telescoped;
-            let info = Option.get !found in
-            let c = info.m_high - info.m_low in
-            let keep = p_start + (info.m_high * p_len) in
-            let skip = info.m_repeats * c * p_len in
-            let shift = info.m_repeats * c * p_stride in
-            let sp = splice trace ~keep ~skip ~shift in
-            let res = sim ~metrics ~probe:None (Packed.of_trace sp) in
-            Option.iter
-              (fun m ->
-                Metrics.add_scaled m
-                  ~hi:(Option.get info.m_snap_high)
-                  ~lo:(Option.get info.m_snap_low)
-                  ~times:info.m_repeats)
-              metrics;
-            {
-              Sim_types.cycles = res.Sim_types.cycles + (info.m_repeats * info.m_dt);
-              instructions = res.Sim_types.instructions + skip;
-            }
+            inner ~pos ~time ~fp;
+            if det.d_found <> None then raise_notrace Stop);
+        match sim ~metrics:det.d_scratch ~probe:(Some pr) packed with
+        | result -> conclude det ~metrics ~trace ~sim ~completed:(Some result)
+        | exception Stop -> conclude det ~metrics ~trace ~sim ~completed:None
       end
+
+let run_batch ?metrics ?(accel = true) ?(lane_accel = fun _ -> true) trace
+    ~nlanes ~walk ~sim =
+  let metrics =
+    match metrics with Some a -> a | None -> Array.make nlanes None
+  in
+  if Array.length metrics <> nlanes then
+    invalid_arg "Steady.run_batch: metrics array length <> nlanes";
+  if nlanes = 0 then [||]
+  else begin
+    let packed = Packed.cached trace in
+    let detected = Bitset.create nlanes in
+    let probes = Array.make nlanes None in
+    let dets = Array.make nlanes None in
+    (* Period detection is per-trace and shared: one [Packed.period] call
+       settles eligibility for every lane. Stats count per lane, so a
+       batch of N is indistinguishable from N scalar runs. *)
+    let pd =
+      if not accel then None
+      else
+        match Packed.period packed with
+        | None ->
+            for l = 0 to nlanes - 1 do
+              if lane_accel l then Atomic.incr n_aperiodic
+            done;
+            None
+        | Some pd when pd.Packed.p_periods < min_skip + 2 ->
+            for l = 0 to nlanes - 1 do
+              if lane_accel l then Atomic.incr n_fallback
+            done;
+            None
+        | Some pd -> Some pd
+    in
+    (match pd with
+    | None -> ()
+    | Some pd ->
+        let n = Packed.length packed in
+        for l = 0 to nlanes - 1 do
+          if lane_accel l then begin
+            let det = make_detector ~metrics:(metrics.(l) <> None) pd ~n in
+            let pr = det.d_probe in
+            let inner = pr.fire in
+            pr.fire <-
+              (fun ~pos ~time ~fp ->
+                inner ~pos ~time ~fp;
+                if det.d_found <> None then Bitset.set detected l);
+            dets.(l) <- Some det;
+            probes.(l) <- Some pr
+          end
+        done);
+    let walk_metrics =
+      Array.init nlanes (fun l ->
+          match dets.(l) with
+          | Some det -> det.d_scratch
+          | None -> metrics.(l))
+    in
+    let walked = walk ~metrics:walk_metrics ~probes ~detected packed in
+    if Array.length walked <> nlanes then
+      invalid_arg "Steady.run_batch: walk returned wrong number of lanes";
+    let splices = Hashtbl.create 7 in
+    Array.init nlanes (fun l ->
+        match dets.(l) with
+        | None -> walked.(l)
+        | Some det ->
+            let completed =
+              if Bitset.mem detected l then None else Some walked.(l)
+            in
+            conclude ~splices det ~metrics:metrics.(l) ~trace
+              ~sim:(fun ~metrics ~probe p -> sim l ~metrics ~probe p)
+              ~completed)
+  end

@@ -1,0 +1,13 @@
+let parse ~valid spec =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest ->
+        let name = String.trim name in
+        if name = "" then Error "empty name in selection"
+        else if not (List.mem name valid) then
+          Error
+            (Printf.sprintf "unknown name %S (valid: %s)" name
+               (String.concat ", " valid))
+        else go (name :: acc) rest
+  in
+  go [] (String.split_on_char ',' spec)

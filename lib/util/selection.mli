@@ -1,0 +1,12 @@
+(** Parsing for comma-separated name selections ([--only a,b,c]).
+
+    A selection either names valid entries — each one checked against
+    the caller's list — or is an error naming the first offender and
+    the full valid set, so a typo in a CLI flag fails loudly instead of
+    silently selecting nothing. *)
+
+val parse : valid:string list -> string -> (string list, string) result
+(** [parse ~valid spec] splits [spec] on commas, trims whitespace, and
+    returns the names in order (duplicates preserved). [Error] carries a
+    human-readable message: an empty name, or a name not in [valid]
+    together with the valid set. *)

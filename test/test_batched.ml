@@ -1,0 +1,546 @@
+(* Config-batched lane simulation ({!Mfu_sim.Batched}): a batch of N
+   configuration lanes walked over one packed-trace traversal must be
+   bit-identical — cycles, instruction counts, and every metrics counter,
+   per lane — to N independent scalar [simulate] calls, with and without
+   steady-state acceleration, on synthetic periodic traces, the Livermore
+   loops, and QCheck-random loop shapes. Heterogeneous batches (a 1-FU
+   lane next to a 16-FU lane, lanes finishing thousands of cycles apart)
+   must not cross-contaminate, and acceleration must engage per lane. *)
+
+module Config = Mfu_isa.Config
+module Trace = Mfu_exec.Trace
+module Si = Mfu_sim.Single_issue
+module Bi = Mfu_sim.Buffer_issue
+module Ruu = Mfu_sim.Ruu
+module Dep = Mfu_sim.Dep_single
+module Batched = Mfu_sim.Batched
+module Sim_types = Mfu_sim.Sim_types
+module Metrics = Sim_types.Metrics
+module Steady = Mfu_sim.Steady
+module Limits = Mfu_limits.Limits
+module Livermore = Mfu_loops.Livermore
+
+(* -- synthetic loop traces (same shapes as test_steady) --------------------- *)
+
+let with_static i (e : Trace.entry) = { e with Trace.static_index = i }
+
+let shift_addr d (e : Trace.entry) =
+  match e.kind with
+  | Trace.Load a -> { e with Trace.kind = Trace.Load (a + d) }
+  | Trace.Store a -> { e with Trace.kind = Trace.Store (a + d) }
+  | _ -> e
+
+let loop_trace ?(prologue = []) ?(epilogue = []) ~periods ~stride body =
+  let body = List.mapi with_static body in
+  let prologue = List.mapi (fun i e -> with_static (1000 + i) e) prologue in
+  let epilogue = List.mapi (fun i e -> with_static (2000 + i) e) epilogue in
+  Array.of_list
+    (prologue
+    @ List.concat
+        (List.init periods (fun m -> List.map (shift_addr (m * stride)) body))
+    @ epilogue)
+
+let strided_body =
+  [
+    Tracegen.load ~d:1 ~addr:100;
+    Tracegen.fadd ~d:2 ~a:1 ~b:3;
+    Tracegen.fmul ~d:4 ~a:2 ~b:2;
+    Tracegen.store ~v:4 ~addr:400;
+    Tracegen.branch ~taken:true;
+  ]
+
+let recurrence_body =
+  [
+    Tracegen.load ~d:1 ~addr:64;
+    Tracegen.fadd ~d:2 ~a:2 ~b:1;
+    Tracegen.imm ~d:3;
+    Tracegen.branch ~taken:true;
+  ]
+
+let regonly_body =
+  [
+    Tracegen.imm ~d:1;
+    Tracegen.fadd ~d:2 ~a:1 ~b:1;
+    Tracegen.fmul ~d:3 ~a:2 ~b:1;
+    Tracegen.branch ~taken:true;
+  ]
+
+let prologue3 = [ Tracegen.imm ~d:1; Tracegen.imm ~d:2; Tracegen.imm ~d:3 ]
+let epilogue2 = [ Tracegen.fadd ~d:5 ~a:2 ~b:2; Tracegen.imm ~d:6 ]
+
+let synthetic_traces =
+  lazy
+    [
+      ( "strided-120p",
+        loop_trace ~prologue:prologue3 ~epilogue:epilogue2 ~periods:120
+          ~stride:8 strided_body );
+      ( "recurrence-0stride",
+        loop_trace ~prologue:prologue3 ~periods:100 ~stride:0 recurrence_body
+      );
+      ("regonly", loop_trace ~periods:150 ~stride:0 regonly_body);
+      (* short periodic region: not worth telescoping, must fall back *)
+      ("short", loop_trace ~periods:4 ~stride:8 strided_body);
+      (* aperiodic: per-lane acceleration must be a clean no-op *)
+      ( "aperiodic",
+        Array.of_list
+          (List.concat_map
+             (fun gap ->
+               List.init gap (fun i ->
+                   with_static i (Tracegen.fadd ~d:(i mod 4) ~a:1 ~b:2))
+               @ [ with_static 99 (Tracegen.branch ~taken:true) ])
+             [ 3; 5; 4; 7; 3; 6; 5; 4; 8; 3 ]) );
+    ]
+
+(* -- the lane specs: heterogeneous on purpose -------------------------------- *)
+
+let cfg_a = Config.m11br5
+let cfg_b = List.nth Config.all 3
+
+let single_lanes =
+  [|
+    (cfg_a, Si.Simple);
+    (cfg_b, Si.Serial_memory);
+    (cfg_a, Si.Non_segmented);
+    (cfg_b, Si.Cray_like);
+    (cfg_b, Si.Simple);
+    (cfg_a, Si.Serial_memory);
+    (cfg_b, Si.Non_segmented);
+    (cfg_a, Si.Cray_like);
+  |]
+
+let dep_lanes =
+  [|
+    (cfg_a, Dep.Scoreboard);
+    (cfg_b, Dep.Scoreboard);
+    (cfg_a, Dep.Tomasulo);
+    (cfg_b, Dep.Tomasulo);
+  |]
+
+let buffer_lanes =
+  Batched.
+    [|
+      {
+        b_config = cfg_a;
+        b_policy = Bi.In_order;
+        b_alignment = Bi.Dynamic;
+        b_stations = 1;
+        b_bus = Sim_types.N_bus;
+      };
+      {
+        b_config = cfg_b;
+        b_policy = Bi.Out_of_order;
+        b_alignment = Bi.Dynamic;
+        b_stations = 2;
+        b_bus = Sim_types.X_bar;
+      };
+      {
+        b_config = cfg_a;
+        b_policy = Bi.Out_of_order;
+        b_alignment = Bi.Static;
+        b_stations = 4;
+        b_bus = Sim_types.N_bus;
+      };
+      {
+        b_config = cfg_b;
+        b_policy = Bi.In_order;
+        b_alignment = Bi.Static;
+        b_stations = 8;
+        b_bus = Sim_types.X_bar;
+      };
+      {
+        b_config = cfg_a;
+        b_policy = Bi.Out_of_order;
+        b_alignment = Bi.Dynamic;
+        b_stations = 16;
+        b_bus = Sim_types.N_bus;
+      };
+    |]
+
+let ruu_lanes =
+  Batched.
+    [|
+      {
+        r_config = cfg_a;
+        r_branches = Ruu.Stall;
+        r_issue_units = 1;
+        r_ruu_size = 4;
+        r_bus = Sim_types.N_bus;
+      };
+      {
+        r_config = cfg_b;
+        r_branches = Ruu.Stall;
+        r_issue_units = 4;
+        r_ruu_size = 16;
+        r_bus = Sim_types.One_bus;
+      };
+      {
+        r_config = cfg_a;
+        r_branches = Ruu.Oracle;
+        r_issue_units = 2;
+        r_ruu_size = 8;
+        r_bus = Sim_types.X_bar;
+      };
+      {
+        r_config = cfg_a;
+        r_branches = Ruu.Bimodal 16;
+        r_issue_units = 4;
+        r_ruu_size = 16;
+        r_bus = Sim_types.N_bus;
+      };
+      {
+        r_config = cfg_b;
+        r_branches = Ruu.Bimodal 4;
+        r_issue_units = 8;
+        r_ruu_size = 32;
+        r_bus = Sim_types.N_bus;
+      };
+      {
+        r_config = cfg_a;
+        r_branches = Ruu.Stall;
+        r_issue_units = 16;
+        r_ruu_size = 64;
+        r_bus = Sim_types.X_bar;
+      };
+    |]
+
+let limits_configs =
+  [| cfg_a; cfg_b; List.nth Config.all 1; List.nth Config.all 2 |]
+
+(* -- batched-vs-scalar differential ------------------------------------------ *)
+
+type family = {
+  fname : string;
+  nlanes : int;
+  batched :
+    ?metrics:Metrics.t option array ->
+    accel:bool ->
+    Trace.t ->
+    Sim_types.result array;
+  scalar :
+    int -> ?metrics:Metrics.t -> accel:bool -> Trace.t -> Sim_types.result;
+}
+
+let families =
+  [
+    {
+      fname = "single";
+      nlanes = Array.length single_lanes;
+      batched =
+        (fun ?metrics ~accel t ->
+          Batched.single ?metrics ~accel ~lanes:single_lanes t);
+      scalar =
+        (fun l ?metrics ~accel t ->
+          let config, org = single_lanes.(l) in
+          Si.simulate ?metrics ~accel ~config org t);
+    };
+    {
+      fname = "dep";
+      nlanes = Array.length dep_lanes;
+      batched =
+        (fun ?metrics ~accel t -> Batched.dep ?metrics ~accel ~lanes:dep_lanes t);
+      scalar =
+        (fun l ?metrics ~accel t ->
+          let config, scheme = dep_lanes.(l) in
+          Dep.simulate ?metrics ~accel ~config scheme t);
+    };
+    {
+      fname = "buffer";
+      nlanes = Array.length buffer_lanes;
+      batched =
+        (fun ?metrics ~accel t ->
+          Batched.buffer ?metrics ~accel ~lanes:buffer_lanes t);
+      scalar =
+        (fun l ?metrics ~accel t ->
+          let ln = buffer_lanes.(l) in
+          Bi.simulate ?metrics ~alignment:ln.Batched.b_alignment ~accel
+            ~config:ln.Batched.b_config ~policy:ln.Batched.b_policy
+            ~stations:ln.Batched.b_stations ~bus:ln.Batched.b_bus t);
+    };
+    {
+      fname = "ruu";
+      nlanes = Array.length ruu_lanes;
+      batched =
+        (fun ?metrics ~accel t -> Batched.ruu ?metrics ~accel ~lanes:ruu_lanes t);
+      scalar =
+        (fun l ?metrics ~accel t ->
+          let ln = ruu_lanes.(l) in
+          Ruu.simulate ?metrics ~branches:ln.Batched.r_branches ~accel
+            ~config:ln.Batched.r_config ~issue_units:ln.Batched.r_issue_units
+            ~ruu_size:ln.Batched.r_ruu_size ~bus:ln.Batched.r_bus t);
+    };
+    {
+      fname = "limits";
+      nlanes = Array.length limits_configs;
+      batched =
+        (fun ?metrics ~accel t ->
+          Limits.critical_path_batch ?metrics ~accel ~configs:limits_configs t
+          |> Array.map (fun cycles ->
+                 { Sim_types.cycles; instructions = Array.length t }));
+      scalar =
+        (fun l ?metrics ~accel t ->
+          {
+            Sim_types.cycles =
+              Limits.critical_path ?metrics ~accel ~config:limits_configs.(l) t;
+            instructions = Array.length t;
+          });
+    };
+  ]
+
+let check_lane ~where (batch : Sim_types.result) (scalar : Sim_types.result) =
+  if batch <> scalar then
+    Alcotest.failf "%s: batched %d cycles / %d instrs, scalar %d / %d" where
+      batch.Sim_types.cycles batch.instructions scalar.Sim_types.cycles
+      scalar.instructions
+
+(* One family on one trace: plain and metrics runs, accelerated and not,
+   every lane against its scalar oracle. *)
+let check_family ~ctx fam trace =
+  List.iter
+    (fun accel ->
+      let where l =
+        Printf.sprintf "%s[%d] on %s (accel=%b)" fam.fname l ctx accel
+      in
+      let batch = fam.batched ~accel trace in
+      Alcotest.(check int)
+        (fam.fname ^ " lane count")
+        fam.nlanes (Array.length batch);
+      for l = 0 to fam.nlanes - 1 do
+        check_lane ~where:(where l) batch.(l) (fam.scalar l ~accel trace)
+      done;
+      let mbatch = Array.init fam.nlanes (fun _ -> Metrics.create ()) in
+      let batch_m =
+        fam.batched ~metrics:(Array.map Option.some mbatch) ~accel trace
+      in
+      for l = 0 to fam.nlanes - 1 do
+        let mscalar = Metrics.create () in
+        let s = fam.scalar l ~metrics:mscalar ~accel trace in
+        check_lane ~where:(where l ^ " with metrics") batch_m.(l) s;
+        if not (Metrics.equal mbatch.(l) mscalar) then
+          Alcotest.failf "%s: lane metrics differ from scalar metrics" (where l)
+      done)
+    [ true; false ]
+
+let test_differential_synthetic () =
+  List.iter
+    (fun (ctx, trace) ->
+      List.iter (fun fam -> check_family ~ctx fam trace) families)
+    (Lazy.force synthetic_traces)
+
+let test_differential_livermore () =
+  List.iter
+    (fun (ctx, loop) ->
+      let trace = Livermore.trace loop in
+      List.iter (fun fam -> check_family ~ctx fam trace) families)
+    [
+      ("livermore-1", Livermore.loop1 ~n:400 ());
+      ("livermore-5", Livermore.loop5 ~n:400 ());
+      ("livermore-12", Livermore.loop12 ~n:400 ());
+    ]
+
+(* -- degenerate batches ------------------------------------------------------ *)
+
+let test_empty_batch () =
+  let t = loop_trace ~periods:10 ~stride:0 regonly_body in
+  Alcotest.(check int)
+    "single" 0
+    (Array.length (Batched.single ~lanes:[||] t));
+  Alcotest.(check int) "dep" 0 (Array.length (Batched.dep ~lanes:[||] t));
+  Alcotest.(check int)
+    "buffer" 0
+    (Array.length (Batched.buffer ~lanes:[||] t));
+  Alcotest.(check int) "ruu" 0 (Array.length (Batched.ruu ~lanes:[||] t));
+  Alcotest.(check int)
+    "limits" 0
+    (Array.length (Limits.critical_path_batch ~configs:[||] t))
+
+let test_single_lane_batch () =
+  let t =
+    loop_trace ~prologue:prologue3 ~epilogue:epilogue2 ~periods:60 ~stride:8
+      strided_body
+  in
+  let batch =
+    Batched.ruu ~lanes:[| ruu_lanes.(1) |] t
+  in
+  let scalar =
+    let ln = ruu_lanes.(1) in
+    Ruu.simulate ~branches:ln.Batched.r_branches ~config:ln.Batched.r_config
+      ~issue_units:ln.Batched.r_issue_units ~ruu_size:ln.Batched.r_ruu_size
+      ~bus:ln.Batched.r_bus t
+  in
+  check_lane ~where:"1-lane ruu batch" batch.(0) scalar
+
+let test_metrics_length_mismatch () =
+  let t = loop_trace ~periods:10 ~stride:0 regonly_body in
+  Alcotest.check_raises "wrong metrics length"
+    (Invalid_argument "Batched.dep: metrics array length <> number of lanes")
+    (fun () ->
+      ignore (Batched.dep ~metrics:[| None |] ~lanes:dep_lanes t))
+
+(* -- lane isolation ----------------------------------------------------------- *)
+
+(* Lanes with wildly different machine strength finish at very different
+   cycle counts; the early finisher's retirement must not perturb the
+   survivors, and every lane's metrics must stay internally conserved. *)
+let test_lanes_finish_apart () =
+  let t =
+    loop_trace ~prologue:prologue3 ~epilogue:epilogue2 ~periods:200 ~stride:8
+      strided_body
+  in
+  let lanes = [| (cfg_a, Si.Simple); (cfg_a, Si.Cray_like) |] in
+  let metrics = Array.init 2 (fun _ -> Metrics.create ()) in
+  let batch =
+    Batched.single ~metrics:(Array.map Option.some metrics) ~lanes t
+  in
+  if batch.(0).Sim_types.cycles <= batch.(1).Sim_types.cycles then
+    Alcotest.fail "Simple should be much slower than CRAY-like";
+  Array.iteri
+    (fun l m ->
+      if not (Metrics.conserved m) then
+        Alcotest.failf "lane %d metrics not conserved" l)
+    metrics;
+  Array.iteri
+    (fun l (config, org) ->
+      let m = Metrics.create () in
+      let s = Si.simulate ~metrics:m ~config org t in
+      check_lane ~where:(Printf.sprintf "apart lane %d" l) batch.(l) s;
+      if not (Metrics.equal metrics.(l) m) then
+        Alcotest.failf "apart lane %d: metrics differ" l)
+    lanes
+
+(* -- per-lane steady engagement ----------------------------------------------- *)
+
+let test_batch_telescopes_per_lane () =
+  let t = loop_trace ~prologue:prologue3 ~periods:400 ~stride:0 regonly_body in
+  Steady.reset_stats ();
+  let batch = Batched.single ~lanes:single_lanes t in
+  let s = Steady.stats () in
+  Alcotest.(check int)
+    "all lanes telescoped"
+    (Array.length single_lanes)
+    s.Steady.telescoped;
+  (* and the telescoped lanes still agree with unaccelerated lanes *)
+  let slow = Batched.single ~accel:false ~lanes:single_lanes t in
+  Array.iteri
+    (fun l r -> check_lane ~where:(Printf.sprintf "telescoped lane %d" l) r
+        slow.(l))
+    batch
+
+(* -- random loop shapes ------------------------------------------------------- *)
+
+let body_gen =
+  let open QCheck.Gen in
+  let sreg = int_range 0 5 in
+  let op =
+    frequency
+      [
+        (3, map3 (fun d a b -> Tracegen.fadd ~d ~a ~b) sreg sreg sreg);
+        (2, map3 (fun d a b -> Tracegen.fmul ~d ~a ~b) sreg sreg sreg);
+        (2, map2 (fun d addr -> Tracegen.load ~d ~addr) sreg (int_range 0 40));
+        (2, map2 (fun v addr -> Tracegen.store ~v ~addr) sreg (int_range 0 40));
+        (1, map (fun d -> Tracegen.imm ~d) sreg);
+        (1, return (Tracegen.branch ~taken:false));
+      ]
+  in
+  map
+    (fun ops -> ops @ [ Tracegen.branch ~taken:true ])
+    (list_size (int_range 1 8) op)
+
+let loop_gen =
+  QCheck.Gen.(
+    map3
+      (fun body (periods, stride) (pro, epi) ->
+        loop_trace
+          ~prologue:(List.init pro (fun i -> Tracegen.imm ~d:(i mod 6)))
+          ~epilogue:
+            (List.init epi (fun i -> Tracegen.fadd ~d:(i mod 6) ~a:1 ~b:2))
+          ~periods ~stride body)
+      body_gen
+      (pair (int_range 8 60) (oneofl [ 0; 0; 1; 3; 8 ]))
+      (pair (int_range 0 6) (int_range 0 5)))
+
+let arbitrary_loop =
+  QCheck.make
+    ~print:(fun t -> Printf.sprintf "trace of %d entries" (Array.length t))
+    loop_gen
+
+let test_random_loops =
+  QCheck.Test.make ~name:"batched == N scalar runs on random loop traces"
+    ~count:30 arbitrary_loop (fun trace ->
+      List.iter
+        (fun fam -> check_family ~ctx:"random loop" fam trace)
+        families;
+      true)
+
+(* A 1-FU lane batched next to a 16-FU lane: neither contaminates the
+   other, in either lane order. *)
+let test_random_hetero_isolation =
+  QCheck.Test.make ~name:"1-FU and 16-FU lanes never cross-contaminate"
+    ~count:30 arbitrary_loop (fun trace ->
+      let weak =
+        Batched.
+          {
+            r_config = cfg_a;
+            r_branches = Ruu.Stall;
+            r_issue_units = 1;
+            r_ruu_size = 1;
+            r_bus = Sim_types.One_bus;
+          }
+      in
+      let strong =
+        Batched.
+          {
+            r_config = cfg_a;
+            r_branches = Ruu.Stall;
+            r_issue_units = 16;
+            r_ruu_size = 64;
+            r_bus = Sim_types.X_bar;
+          }
+      in
+      let oracle ln =
+        Ruu.simulate ~branches:ln.Batched.r_branches
+          ~config:ln.Batched.r_config ~issue_units:ln.Batched.r_issue_units
+          ~ruu_size:ln.Batched.r_ruu_size ~bus:ln.Batched.r_bus trace
+      in
+      let check lanes =
+        let batch = Batched.ruu ~lanes trace in
+        Array.iteri
+          (fun l ln ->
+            check_lane
+              ~where:(Printf.sprintf "hetero lane %d (%d units)" l
+                        ln.Batched.r_issue_units)
+              batch.(l) (oracle ln))
+          lanes
+      in
+      check [| weak; strong |];
+      check [| strong; weak |];
+      true)
+
+let () =
+  Alcotest.run "batched"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "synthetic" `Quick test_differential_synthetic;
+          Alcotest.test_case "livermore" `Slow test_differential_livermore;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+          Alcotest.test_case "single lane" `Quick test_single_lane_batch;
+          Alcotest.test_case "metrics length" `Quick
+            test_metrics_length_mismatch;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "lanes finish apart" `Quick
+            test_lanes_finish_apart;
+          QCheck_alcotest.to_alcotest ~long:false test_random_hetero_isolation;
+        ] );
+      ( "engagement",
+        [
+          Alcotest.test_case "telescopes per lane" `Quick
+            test_batch_telescopes_per_lane;
+        ] );
+      ( "random",
+        [ QCheck_alcotest.to_alcotest ~long:false test_random_loops ] );
+    ]
