@@ -1,0 +1,104 @@
+(* Command-line client for an mfu-serve/v1 daemon.
+
+   Events stream to stdout as they arrive (newline-delimited JSON, the
+   wire format verbatim); the closing summary goes to stderr so stdout
+   stays machine-consumable. Exit status is non-zero on any protocol
+   or server error. *)
+
+module Server = Mfu_serve.Server
+module Client = Mfu_serve.Client
+module Protocol = Mfu_serve.Protocol
+module Json = Mfu_util.Json
+
+open Cmdliner
+
+let run connect_addr timeout spec point stats quiet =
+  match Server.addr_of_string connect_addr with
+  | Error e -> `Error (false, e)
+  | Ok addr -> (
+      match Client.connect ~timeout addr with
+      | exception Unix.Unix_error (err, _, _) ->
+          `Error
+            ( false,
+              Printf.sprintf "cannot connect to %s: %s" connect_addr
+                (Unix.error_message err) )
+      | c ->
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              if stats then
+                match Client.stats c with
+                | Ok doc ->
+                    print_endline (Json.to_string doc);
+                    `Ok ()
+                | Error e -> `Error (false, e)
+              else
+                match point with
+                | Some spec -> (
+                    match Client.point c ~spec with
+                    | Ok p ->
+                        print_endline
+                          (Json.to_string ~indent:0
+                             (Protocol.event_to_json (Protocol.Point p)));
+                        `Ok ()
+                    | Error e -> `Error (false, e))
+                | None -> (
+                    let on_event = function
+                      | Protocol.Summary _ -> ()
+                      | ev ->
+                          if not quiet then
+                            print_string (Protocol.event_line ev)
+                    in
+                    match Client.query ~on_event c ~spec with
+                    | Ok s ->
+                        Printf.eprintf
+                          "[client] %d point(s): %d store, %d computed, %d \
+                           in-flight, %d quarantined, %d deferred, %d \
+                           stolen\n\
+                           %!"
+                          s.Protocol.total s.Protocol.store_hits
+                          s.Protocol.computed s.Protocol.inflight_hits
+                          s.Protocol.quarantined s.Protocol.lease_deferred
+                          s.Protocol.lease_stolen;
+                        `Ok ()
+                    | Error e -> `Error (false, e))))
+
+let connect_addr =
+  let doc = "Server address ($(b,unix:PATH) or $(b,HOST:PORT))." in
+  Arg.(
+    value
+    & opt string "127.0.0.1:8464"
+    & info [ "c"; "connect" ] ~docv:"ADDR" ~doc)
+
+let timeout =
+  let doc = "Per-read socket deadline in seconds." in
+  Arg.(value & opt float 60. & info [ "timeout" ] ~docv:"SEC" ~doc)
+
+let spec =
+  let doc =
+    "Axes spec to query: a preset ($(b,table7), $(b,table8), \
+     $(b,paper-ruu)) or an $(b,axis=values) spec."
+  in
+  Arg.(value & opt string "table7" & info [ "axes" ] ~docv:"SPEC" ~doc)
+
+let point =
+  let doc =
+    "Single-point lookup: $(docv) must enumerate exactly one point."
+  in
+  Arg.(value & opt (some string) None & info [ "point" ] ~docv:"SPEC" ~doc)
+
+let stats =
+  let doc = "Print the server's /stats document and exit." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let quiet =
+  let doc = "Suppress per-point output; print only the summary." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let cmd =
+  let doc = "query an mfu-serve result server" in
+  let info = Cmd.info "mfu-client" ~doc in
+  Cmd.v info
+    Term.(ret (const run $ connect_addr $ timeout $ spec $ point $ stats $ quiet))
+
+let () = exit (Cmd.eval cmd)

@@ -79,21 +79,56 @@ let print_table n results =
   in
   Mfu_util.Table.print (Mfu.Reporting.render_ruu_table ~title t)
 
-let run axes_spec store_dir resume pareto table jobs batch =
+let print_store_stats store =
+  let s = Store.stats store in
+  Printf.printf "store %s: %d entries, %d bytes, %d quarantined\n"
+    (Store.root store) s.Store.entries s.Store.bytes s.Store.quarantined_count;
+  let occupied = ref 0 in
+  let mn = ref max_int in
+  let mx = ref 0 in
+  Array.iter
+    (fun n ->
+      if n > 0 then incr occupied;
+      if n < !mn then mn := n;
+      if n > !mx then mx := n)
+    s.Store.fanout_histogram;
+  Printf.printf
+    "fanout: %d/256 shards occupied, min %d / mean %.2f / max %d entries per \
+     shard\n"
+    !occupied !mn
+    (float_of_int s.Store.entries /. 256.)
+    !mx
+
+let run axes_spec store_dir resume pareto table jobs batch lease lease_ttl
+    store_stats =
   match Axes.of_string axes_spec with
   | Error e -> `Error (false, "bad --axes spec: " ^ e)
   | Ok axes ->
       if batch < 1 then `Error (false, "--batch must be >= 1")
+      else if store_stats then begin
+        print_store_stats (Store.open_ store_dir);
+        `Ok ()
+      end
       else begin
         Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
         let points = Axes.enumerate axes in
         if points = [] then `Error (false, "the axes spec names no machines")
         else begin
           let store = Store.open_ store_dir in
+          let lease =
+            if lease then
+              Some
+                (Mfu_explore.Lease.create ~ttl:lease_ttl
+                   ~dir:(Mfu_explore.Lease.default_dir ~store_root:store_dir)
+                   ())
+            else None
+          in
           Printf.eprintf "[sweep] %d point(s) over %s\n%!" (List.length points)
             (Axes.to_string axes);
           let t0 = Unix.gettimeofday () in
-          let results, stats = Sweep.run ~batch ~resume ~progress ~store points in
+          let results, stats =
+            Sweep.run ~batch ~resume ?lease ~progress ~store points
+          in
         Printf.eprintf
           "[sweep] done in %.2fs: %d computed, %d reused, %d quarantined \
            (store %s)\n\
@@ -101,6 +136,9 @@ let run axes_spec store_dir resume pareto table jobs batch =
           (Unix.gettimeofday () -. t0)
           stats.Sweep.computed stats.Sweep.reused stats.Sweep.quarantined
           (Store.root store);
+          if lease <> None then
+            Printf.eprintf "[sweep] leases: %d deferred, %d stolen\n%!"
+              stats.Sweep.deferred stats.Sweep.stolen;
           (match table with Some n -> print_table n results | None -> ());
           if pareto then print_pareto results points;
           `Ok ()
@@ -158,6 +196,29 @@ let batch =
   in
   Arg.(value & opt int 1 & info [ "b"; "batch" ] ~docv:"N" ~doc)
 
+let lease =
+  let doc =
+    "Coordinate with other sweep/serve processes draining the same store \
+     through lease files in a work-queue directory next to it: keys leased \
+     by a live process are not recomputed here, expired leases are stolen. \
+     Results are unaffected — leases only remove duplicated work."
+  in
+  Arg.(value & flag & info [ "lease" ] ~doc)
+
+let lease_ttl =
+  let doc =
+    "Lease lifetime in seconds; a worker killed mid-computation delays its \
+     keys by at most this long before another process steals them."
+  in
+  Arg.(value & opt float 60. & info [ "lease-ttl" ] ~docv:"SEC" ~doc)
+
+let store_stats =
+  let doc =
+    "Print store statistics (entries, bytes, quarantine, shard fanout) and \
+     exit without sweeping."
+  in
+  Arg.(value & flag & info [ "store-stats" ] ~doc)
+
 let cmd =
   let doc = "sweep the multiple-functional-unit design space" in
   let info = Cmd.info "mfu-sweep" ~doc in
@@ -165,6 +226,6 @@ let cmd =
     Term.(
       ret
         (const run $ axes_spec $ store_dir $ resume $ pareto $ table $ jobs
-       $ batch))
+       $ batch $ lease $ lease_ttl $ store_stats))
 
 let () = exit (Cmd.eval cmd)

@@ -75,18 +75,28 @@ let config_to_key (c : Config.t) =
     l.Fu.scalar_shift l.Fu.scalar_add l.Fu.float_add l.Fu.float_multiply
     l.Fu.reciprocal l.Fu.memory l.Fu.branch l.Fu.transfer
 
-(* Trace digests are memoized per (loop number, scale); computed on
-   demand, on the calling domain (the sweep driver keys every point before
-   fanning out, so worker domains never race on this table). *)
+(* Trace digests are memoized per (loop number, scale). The table is
+   guarded by a mutex because the serve daemon keys points from
+   concurrent client threads; the lock is uncontended in the batch
+   drivers, which key every point on the calling domain before fanning
+   out. The trace generation itself runs outside the lock (Trace_cache
+   is already domain-safe), so a slow first digest never serializes
+   unrelated keys. *)
 let trace_digests : (int * int, string) Hashtbl.t = Hashtbl.create 16
+let trace_digests_lock = Mutex.create ()
 
 let trace_digest loop scale =
-  match Hashtbl.find_opt trace_digests (loop, scale) with
+  let memoized =
+    Mutex.protect trace_digests_lock (fun () ->
+        Hashtbl.find_opt trace_digests (loop, scale))
+  in
+  match memoized with
   | Some d -> d
   | None ->
       let trace = Livermore.trace (Livermore.scaled ~scale loop) in
       let d = Digest.to_hex (Digest.string (Mfu_exec.Trace_io.to_string trace)) in
-      Hashtbl.replace trace_digests (loop, scale) d;
+      Mutex.protect trace_digests_lock (fun () ->
+          Hashtbl.replace trace_digests (loop, scale) d);
       d
 
 (* [scale] appears both as an explicit key dimension and through the trace

@@ -1,0 +1,157 @@
+module Json = Mfu_util.Json
+
+let schema = "mfu-lease/v1"
+
+type t = {
+  dir : string;
+  ttl : float;
+  token : string;  (* distinguishes two holders with a recycled pid *)
+  stolen : int Atomic.t;
+  acquired : int Atomic.t;
+  counter : int Atomic.t;  (* staging-name uniqueness within the process *)
+}
+
+let default_dir ~store_root =
+  (* Sibling of the store root: keeps the store itself byte-comparable
+     between leased and plain runs. *)
+  Filename.concat
+    (Filename.dirname store_root)
+    (Filename.basename store_root ^ ".leases")
+
+let mkdir_p path =
+  let rec go path =
+    if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+    then begin
+      go (Filename.dirname path);
+      try Sys.mkdir path 0o755
+      with Sys_error _ when Sys.is_directory path -> ()
+    end
+  in
+  go path
+
+let create ?(ttl = 60.) ~dir () =
+  mkdir_p dir;
+  let token =
+    Printf.sprintf "%d-%08Lx" (Unix.getpid ())
+      (Random.State.int64
+         (Random.State.make_self_init ())
+         Int64.max_int)
+  in
+  {
+    dir;
+    ttl;
+    token;
+    stolen = Atomic.make 0;
+    acquired = Atomic.make 0;
+    counter = Atomic.make 0;
+  }
+
+let ttl t = t.ttl
+
+let path t ~key =
+  Filename.concat t.dir (Store.digest_of_key key ^ ".lease")
+
+let lease_json t ~key ~deadline =
+  Json.to_string ~indent:0
+    (Json.Obj
+       [
+         ("schema", Json.String schema);
+         ("key", Json.String key);
+         ("pid", Json.Int (Unix.getpid ()));
+         ("token", Json.String t.token);
+         ("deadline", Json.Float deadline);
+       ])
+  ^ "\n"
+
+type outcome = Acquired | Held of { pid : int; expires_in : float }
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          try Some (really_input_string ic (in_channel_length ic))
+          with End_of_file | Sys_error _ -> None)
+
+(* (pid, token, deadline) of a well-formed lease file. *)
+let parse text =
+  match Json.of_string text with
+  | Error _ -> None
+  | Ok json -> (
+      let field name conv = Option.bind (Json.member name json) conv in
+      match
+        ( field "schema" Json.to_str,
+          field "pid" Json.to_int,
+          field "token" Json.to_str,
+          field "deadline" Json.to_float )
+      with
+      | Some s, Some pid, Some token, Some deadline when s = schema ->
+          Some (pid, token, deadline)
+      | _ -> None)
+
+(* Atomically replace [dest] with our fresh lease. Two concurrent
+   stealers both rename complete files; the loser's lease is simply
+   overwritten, and idempotent publication makes the double computation
+   harmless. *)
+let steal t ~key ~dest =
+  let temp =
+    Filename.concat t.dir
+      (Printf.sprintf "steal.%s.%d.tmp" t.token
+         (Atomic.fetch_and_add t.counter 1))
+  in
+  let oc = open_out temp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (lease_json t ~key ~deadline:(Unix.gettimeofday () +. t.ttl)));
+  Sys.rename temp dest;
+  Atomic.incr t.stolen;
+  Atomic.incr t.acquired;
+  Acquired
+
+let try_acquire t ~key =
+  let dest = path t ~key in
+  let fresh () =
+    match
+      Unix.openfile dest [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | fd ->
+        let text = lease_json t ~key ~deadline:(Unix.gettimeofday () +. t.ttl) in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            ignore (Unix.write_substring fd text 0 (String.length text)));
+        Atomic.incr t.acquired;
+        Some Acquired
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> None
+  in
+  match fresh () with
+  | Some outcome -> outcome
+  | None -> (
+      match Option.bind (read_file dest) parse with
+      | None ->
+          (* Torn or vanished: only a killed writer leaves a torn lease;
+             a vanished one was just released. Either way it is free. *)
+          steal t ~key ~dest
+      | Some (pid, token, deadline) ->
+          let now = Unix.gettimeofday () in
+          if deadline <= now then steal t ~key ~dest
+          else if token = t.token then begin
+            (* Re-acquiring our own live lease (e.g. retry loop). *)
+            Atomic.incr t.acquired;
+            Acquired
+          end
+          else Held { pid; expires_in = deadline -. now })
+
+let release t ~key =
+  let dest = path t ~key in
+  match Option.bind (read_file dest) parse with
+  | Some (_, token, _) when token = t.token -> (
+      try Sys.remove dest with Sys_error _ -> ())
+  | _ -> ()
+
+let stolen t = Atomic.get t.stolen
+let acquired t = Atomic.get t.acquired

@@ -1,0 +1,59 @@
+(** Work-queue leases for multi-process store draining.
+
+    Several [serve.exe] / [sweep.exe] processes pointed at one store
+    should not duplicate simulations. A {e lease} is a claim on one
+    [mfu-point/v1] key, held as a file in a work-queue directory next to
+    the store:
+
+    {v
+    <store>.leases/<md5-of-key>.lease    mfu-lease/v1 JSON
+    v}
+
+    Acquisition is atomic ([O_CREAT | O_EXCL]); a lease names its owner
+    (pid + a random token) and a deadline, and an expired lease is
+    {e stolen} — atomically replaced via temp + rename — rather than
+    trusted, so a worker killed mid-computation only delays its keys by
+    one TTL instead of wedging them forever.
+
+    Leases are an {e optimization}, not a correctness mechanism: if a
+    steal races a slow-but-alive owner, both compute the point and both
+    publish, which is safe because [mfu-point/v1] publication is
+    idempotent (both write identical results; {!Store.put} renames
+    complete files). Correctness never depends on lease exclusivity —
+    only throughput does. *)
+
+type t
+(** A lease holder: the directory plus this process's identity. One [t]
+    per process per store is the intended shape; the steal counter is
+    per-[t]. *)
+
+val default_dir : store_root:string -> string
+(** ["<store-root>.leases"] — next to (not inside) the store, so store
+    directories stay byte-comparable across serving and batch runs. *)
+
+val create : ?ttl:float -> dir:string -> unit -> t
+(** Open (and create) the lease directory. [ttl] (default 60 s) is the
+    lifetime written into every lease this holder acquires. *)
+
+val ttl : t -> float
+
+type outcome =
+  | Acquired  (** this holder now owns the key (fresh or stolen) *)
+  | Held of { pid : int; expires_in : float }
+      (** another live lease owns it; retry after [expires_in] *)
+
+val try_acquire : t -> key:string -> outcome
+(** Try to claim [key]. An existing lease that is expired — or torn /
+    unparseable, which only a killed writer leaves behind — is stolen.
+    Never blocks. *)
+
+val release : t -> key:string -> unit
+(** Drop the claim if this holder still owns it; a lease meanwhile
+    stolen by someone else is left untouched. Safe to call on keys never
+    acquired. *)
+
+val stolen : t -> int
+(** Number of expired/torn leases this holder has stolen so far. *)
+
+val acquired : t -> int
+(** Number of successful {!try_acquire} calls (steals included). *)

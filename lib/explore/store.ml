@@ -34,11 +34,21 @@ let entry_path t ~key =
 (* Atomic publication: write the full payload to a private file in tmp/
    and rename it into place. rename(2) within one filesystem is atomic,
    so readers (and a rerun after a kill) see either the whole entry or
-   nothing. The temp name includes the digest, and a single sweep never
-   runs one key twice, so concurrent workers cannot collide on it. *)
+   nothing. The temp name includes the pid and a process-wide counter in
+   addition to the digest, so two processes (or threads) racing to
+   publish the same key never share a staging file — each writes its own
+   and the renames serialize, last writer winning with a complete entry
+   either way. That is what makes mfu-point/v1 publication idempotent
+   under multi-process draining (lease steals included). *)
+let temp_counter = Atomic.make 0
+
 let write_atomically t ~temp_name ~dest text =
   mkdir_p (Filename.dirname dest);
-  let temp = Filename.concat (tmp_dir t) temp_name in
+  let temp =
+    Filename.concat (tmp_dir t)
+      (Printf.sprintf "%s.%d.%d" temp_name (Unix.getpid ())
+         (Atomic.fetch_and_add temp_counter 1))
+  in
   let oc = open_out temp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -66,6 +76,70 @@ let quarantined t =
   if not (Sys.file_exists dir) then []
   else List.sort String.compare (Array.to_list (Sys.readdir dir))
 
+(* A leftover staging file means a writer died between open_out and
+   rename. Reads never see it (entries live under objects/), but it would
+   accumulate forever, so open_ sweeps stale ones. The age threshold
+   protects a live writer in another process that is mid-publication:
+   writes take milliseconds, so a staging file minutes old is certainly
+   an orphan of a killed process. *)
+let sweep_tmp ?(older_than = 600.) t =
+  let dir = tmp_dir t in
+  if not (Sys.file_exists dir) then 0
+  else begin
+    let now = Unix.gettimeofday () in
+    Array.fold_left
+      (fun removed f ->
+        let path = Filename.concat dir f in
+        match Unix.stat path with
+        | { Unix.st_kind = Unix.S_REG; st_mtime; _ }
+          when now -. st_mtime >= older_than -> (
+            match Sys.remove path with
+            | () -> removed + 1
+            | exception Sys_error _ -> removed)
+        | _ -> removed
+        | exception Unix.Unix_error _ -> removed)
+      0 (Sys.readdir dir)
+  end
+
+type stats = {
+  entries : int;
+  bytes : int;
+  quarantined_count : int;
+  fanout_histogram : int array;
+}
+
+let stats t =
+  let fanout = Array.make 256 0 in
+  let entries = ref 0 in
+  let bytes = ref 0 in
+  let dir = objects_dir t in
+  (if Sys.file_exists dir then
+     Array.iter
+       (fun shard ->
+         let sub = Filename.concat dir shard in
+         match int_of_string_opt ("0x" ^ shard) with
+         | Some s
+           when String.length shard = 2 && s >= 0 && s < 256
+                && Sys.is_directory sub ->
+             Array.iter
+               (fun f ->
+                 if Filename.check_suffix f ".json" then begin
+                   incr entries;
+                   fanout.(s) <- fanout.(s) + 1;
+                   match Unix.stat (Filename.concat sub f) with
+                   | st -> bytes := !bytes + st.Unix.st_size
+                   | exception Unix.Unix_error _ -> ()
+                 end)
+               (Sys.readdir sub)
+         | _ -> ())
+       (Sys.readdir dir));
+  {
+    entries = !entries;
+    bytes = !bytes;
+    quarantined_count = List.length (quarantined t);
+    fanout_histogram = fanout;
+  }
+
 let manifest_json t =
   Json.Obj
     [
@@ -84,6 +158,7 @@ let open_ root_path =
   mkdir_p (objects_dir t);
   mkdir_p (tmp_dir t);
   mkdir_p (quarantine_dir t);
+  ignore (sweep_tmp t);
   if not (Sys.file_exists (manifest_path t)) then refresh_manifest t;
   t
 

@@ -56,7 +56,10 @@ val put :
 (** Write (or atomically replace) the entry for [key]. [meta] is
     attached under a ["meta"] field for human consumption; it is not
     validated on read. Safe to call concurrently from pool worker
-    domains as long as no two writers share a key. *)
+    domains, server threads, and {e other processes}, including two
+    writers racing on the same key: each writer stages under a private
+    temp name (digest + pid + counter) and the atomic renames serialize,
+    so the surviving entry is always one writer's complete bytes. *)
 
 val lookup :
   t -> key:string -> [ `Hit of Mfu_sim.Sim_types.result | `Miss | `Corrupt ]
@@ -72,6 +75,29 @@ val entry_count : t -> int
 
 val quarantined : t -> string list
 (** File names currently in [quarantine/], sorted. *)
+
+val sweep_tmp : ?older_than:float -> t -> int
+(** Remove staging files in [tmp/] older than [older_than] seconds
+    (default 600) and return how many were removed. A torn half-written
+    temp file left by a killed process is already ignored by every read
+    path — entries live under [objects/] — so this is pure hygiene;
+    {!open_} calls it with the default threshold, which is far beyond
+    the milliseconds a live writer in another process keeps a staging
+    file around. *)
+
+type stats = {
+  entries : int;  (** entry files under [objects/] *)
+  bytes : int;  (** total size of those entry files *)
+  quarantined_count : int;  (** files in [quarantine/] *)
+  fanout_histogram : int array;
+      (** entries per 2-hex shard, indexed 0..255 — the shape the
+          sharding layer balances *)
+}
+
+val stats : t -> stats
+(** One pass over [objects/] and [quarantine/]. [sweep.exe
+    --store-stats] prints it and the serve daemon's [/stats] endpoint
+    embeds it. *)
 
 val refresh_manifest : t -> unit
 (** Rewrite [MANIFEST.json] (atomically) to reflect the current entry

@@ -3,7 +3,14 @@ module Json = Mfu_util.Json
 module Sim_types = Mfu_sim.Sim_types
 module Config = Mfu_isa.Config
 
-type stats = { total : int; computed : int; reused : int; quarantined : int }
+type stats = {
+  total : int;
+  computed : int;
+  reused : int;
+  quarantined : int;
+  deferred : int;
+  stolen : int;
+}
 
 let meta_of_point (p : Axes.point) =
   [
@@ -44,61 +51,126 @@ let batches ~batch misses =
     (fun bk -> chunks batch (List.rev !(Hashtbl.find groups bk)))
     (List.rev !order)
 
-let run ?jobs ?(batch = 1) ?(resume = true) ?progress ~store points =
-  if batch < 1 then invalid_arg "Sweep.run: batch must be >= 1";
-  (* Keying generates and digests traces; do it once, on this domain, so
-     workers only simulate and write. *)
+let keyed points =
   let keyed = List.map (fun p -> (p, Axes.key p)) points in
   let seen = Hashtbl.create (List.length keyed) in
   List.iter
     (fun (_, k) ->
       if Hashtbl.mem seen k then
-        invalid_arg ("Sweep.run: duplicate point key " ^ k);
+        invalid_arg ("Sweep: duplicate point key " ^ k);
       Hashtbl.add seen k ())
     keyed;
+  keyed
+
+let misses ~store keyed =
   let quarantined = ref 0 in
-  let classified =
-    List.map
-      (fun (p, k) ->
-        if not resume then `Compute (p, k)
-        else
-          match Store.lookup store ~key:k with
-          | `Hit _ -> `Reuse (p, k)
-          | `Miss -> `Compute (p, k)
-          | `Corrupt ->
-              incr quarantined;
-              `Compute (p, k))
+  let missing =
+    List.filter
+      (fun (_, k) ->
+        match Store.lookup store ~key:k with
+        | `Hit _ -> false
+        | `Miss -> true
+        | `Corrupt ->
+            incr quarantined;
+            true)
       keyed
   in
-  let misses =
-    List.filter_map
-      (function `Compute pk -> Some pk | `Reuse _ -> None)
-      classified
+  (missing, !quarantined)
+
+let run ?jobs ?(batch = 1) ?(resume = true) ?lease ?progress ~store points =
+  if batch < 1 then invalid_arg "Sweep.run: batch must be >= 1";
+  (* Keying generates and digests traces; do it once, on this domain, so
+     workers only simulate and write. *)
+  let keyed = keyed points in
+  let missing, quarantined =
+    if resume then misses ~store keyed else (keyed, 0)
   in
   let total = List.length keyed in
-  let computed = List.length misses in
+  let expected = List.length missing in
   let done_ = Atomic.make 0 in
+  let computed = Atomic.make 0 in
+  let deferred = ref 0 in
+  let stolen0 = match lease with Some l -> Lease.stolen l | None -> 0 in
   (* Publish each result the moment it exists: this is what makes a
-     killed sweep resumable with no duplicated work. *)
+     killed sweep resumable with no duplicated work, and what lets a
+     lease be released only once the entry is already on disk. *)
   let publish (p, k) result =
     Store.put ~meta:(meta_of_point p) store ~key:k result;
+    (match lease with Some l -> Lease.release l ~key:k | None -> ());
     match progress with
-    | Some f -> f ~done_:(Atomic.fetch_and_add done_ 1 + 1) ~total:computed
+    | Some f -> f ~done_:(Atomic.fetch_and_add done_ 1 + 1) ~total:expected
     | None -> ()
   in
-  (if batch = 1 then
-     ignore (Pool.map ?jobs (fun (p, k) -> publish (p, k) (Axes.run p)) misses)
-   else
-     (* One pool job per lane batch: the trace is walked once for up to
-        [batch] configurations, and every lane's result is still
-        published individually the moment its batch lands. *)
-     ignore
-       (Pool.map ?jobs
-          (fun chunk ->
-            let chunk = Array.of_list chunk in
-            let results = Axes.run_batch (Array.map fst chunk) in
-            Array.iteri (fun l pk -> publish pk results.(l)) chunk)
-          (batches ~batch misses)));
+  let compute pks =
+    if batch = 1 then
+      ignore
+        (Pool.map ?jobs
+           (fun (p, k) ->
+             Atomic.incr computed;
+             publish (p, k) (Axes.run p))
+           pks)
+    else
+      (* One pool job per lane batch: the trace is walked once for up to
+         [batch] configurations, and every lane's result is still
+         published individually the moment its batch lands. *)
+      ignore
+        (Pool.map ?jobs
+           (fun chunk ->
+             let chunk = Array.of_list chunk in
+             Atomic.fetch_and_add computed (Array.length chunk) |> ignore;
+             let results = Axes.run_batch (Array.map fst chunk) in
+             Array.iteri (fun l pk -> publish pk results.(l)) chunk)
+           (batches ~batch pks))
+  in
+  (match lease with
+  | None -> compute missing
+  | Some l ->
+      (* Claim what we can; compute it; then settle the keys other
+         processes hold. A held key normally resolves by its owner's
+         entry appearing in the store; an expired lease is stolen and
+         the point recomputed here — at worst both compute it, and
+         idempotent publication keeps that harmless. *)
+      let mine, held =
+        List.partition
+          (fun (_, k) ->
+            match Lease.try_acquire l ~key:k with
+            | Lease.Acquired -> true
+            | Lease.Held _ -> false)
+          missing
+      in
+      compute mine;
+      let rec settle pending =
+        if pending <> [] then begin
+          let wait = ref 0.05 in
+          let still =
+            List.filter
+              (fun (p, k) ->
+                match Store.lookup store ~key:k with
+                | `Hit _ ->
+                    incr deferred;
+                    (match progress with
+                    | Some f ->
+                        f
+                          ~done_:(Atomic.fetch_and_add done_ 1 + 1)
+                          ~total:expected
+                    | None -> ());
+                    false
+                | `Miss | `Corrupt -> (
+                    match Lease.try_acquire l ~key:k with
+                    | Lease.Acquired ->
+                        Atomic.incr computed;
+                        publish (p, k) (Axes.run p);
+                        false
+                    | Lease.Held { expires_in; _ } ->
+                        wait := Float.min !wait expires_in;
+                        true))
+              pending
+          in
+          if still <> [] then Unix.sleepf (Float.max 0.01 !wait);
+          settle still
+        end
+      in
+      settle held);
   Store.refresh_manifest store;
   let results =
     List.map
@@ -113,7 +185,10 @@ let run ?jobs ?(batch = 1) ?(resume = true) ?progress ~store points =
   ( results,
     {
       total;
-      computed;
-      reused = total - computed;
-      quarantined = !quarantined;
+      computed = Atomic.get computed;
+      reused = total - expected;
+      quarantined;
+      deferred = !deferred;
+      stolen =
+        (match lease with Some l -> Lease.stolen l - stolen0 | None -> 0);
     } )

@@ -16,12 +16,42 @@ type stats = {
   computed : int;  (** simulator invocations actually performed *)
   reused : int;  (** points served from the store without simulating *)
   quarantined : int;  (** corrupt entries found (then recomputed) *)
+  deferred : int;
+      (** points another lease-holding process computed while we waited
+          (always 0 without [lease]) *)
+  stolen : int;
+      (** expired/torn leases this run stole (always 0 without [lease]) *)
 }
+
+val meta_of_point : Axes.point -> (string * Mfu_util.Json.t) list
+(** The human-consumption ["meta"] block {!run} attaches to every entry
+    it publishes. Exposed so other publishers (the serve daemon) produce
+    byte-identical store entries — the CI smoke job diffs a served store
+    against a swept one. *)
+
+val keyed : Axes.point list -> (Axes.point * string) list
+(** Pair every point with its {!Axes.key} (generating and memoizing
+    traces as needed), rejecting duplicates.
+
+    @raise Invalid_argument on a duplicate key. *)
+
+val misses : store:Store.t -> (Axes.point * string) list -> (Axes.point * string) list * int
+(** The store-miss iteration shared by {!run} and the serve scheduler:
+    validated lookup of every key, returning the points that need
+    computing (corrupt entries quarantine and count as missing) and the
+    number quarantined. *)
+
+val batches :
+  batch:int -> (Axes.point * string) list -> (Axes.point * string) list list
+(** Group points by {!Axes.batch_key} in first-seen order and cut each
+    group into lane batches of at most [batch] — the chunking {!run}
+    hands to {!Axes.run_batch}, exposed for the serve scheduler. *)
 
 val run :
   ?jobs:int ->
   ?batch:int ->
   ?resume:bool ->
+  ?lease:Lease.t ->
   ?progress:(done_:int -> total:int -> unit) ->
   store:Store.t ->
   Axes.point list ->
@@ -46,6 +76,16 @@ val run :
     bytes), and each lane is still published individually as soon as
     its batch completes; a killed sweep loses at most the batches that
     were mid-flight.
+
+    [lease] enables multi-process draining: before computing, each
+    missing key is claimed through {!Lease.try_acquire}; keys held by
+    another live process are set aside, computed work is published and
+    only then released, and the set-aside keys settle afterwards —
+    normally by the owner's entry appearing in the store (counted in
+    [deferred]), otherwise by stealing the lease once it expires and
+    recomputing here (counted in [stolen]). Safe against every
+    interleaving because publication is idempotent; leases only remove
+    duplicated work, they are not needed for correctness.
 
     @raise Invalid_argument if [batch < 1], or if the same key appears
     twice in the job list (the deduplication contract of

@@ -1,0 +1,117 @@
+module Http = Mfu_util.Http
+module Json = Mfu_util.Json
+
+type t = { fd : Unix.file_descr; reader : Http.reader }
+
+let connect ?(timeout = 60.) addr =
+  let domain =
+    match addr with
+    | Server.Unix_sock _ -> Unix.PF_UNIX
+    | Server.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Server.sockaddr_of addr) with
+  | () -> { fd; reader = Http.reader ~timeout fd }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let http_error resp body =
+  let msg =
+    match Protocol.error_of_body body with Some m -> m | None -> body
+  in
+  Error (Printf.sprintf "HTTP %d: %s" resp.Http.status msg)
+
+let read_error e = Error (Http.error_to_string e)
+
+(* Feed chunk payloads through a line splitter: events are one JSON
+   document per line, but chunk boundaries fall anywhere. *)
+let fold_lines ~handle reader =
+  let partial = Buffer.create 256 in
+  let rec go () =
+    match Http.read_chunk reader with
+    | Error e -> Some e
+    | Ok None -> None
+    | Ok (Some chunk) ->
+        Buffer.add_string partial chunk;
+        let s = Buffer.contents partial in
+        Buffer.clear partial;
+        let rec split start =
+          match String.index_from_opt s start '\n' with
+          | Some i ->
+              handle (String.sub s start (i - start));
+              split (i + 1)
+          | None ->
+              Buffer.add_substring partial s start (String.length s - start)
+        in
+        split 0;
+        go ()
+  in
+  go ()
+
+let query ?(on_event = fun _ -> ()) t ~spec =
+  Http.write_request t.fd ~meth:"POST" ~path:"/v1/query"
+    ~body:(Protocol.query_body ~spec);
+  match Http.read_response_head t.reader with
+  | Error e -> read_error e
+  | Ok resp when resp.Http.status <> 200 -> (
+      match Http.read_body t.reader resp with
+      | Ok body -> http_error resp body
+      | Error e -> read_error e)
+  | Ok resp ->
+      if Http.header "transfer-encoding" resp.Http.resp_headers
+         <> Some "chunked"
+      then Error "expected a chunked event stream"
+      else begin
+        let summary = ref None in
+        let bad = ref None in
+        let handle line =
+          if line <> "" && !bad = None then
+            match
+              Result.bind (Json.of_string line) Protocol.event_of_json
+            with
+            | Error e -> bad := Some (Printf.sprintf "bad event %S: %s" line e)
+            | Ok (Protocol.Summary s as ev) ->
+                summary := Some s;
+                on_event ev
+            | Ok ev -> on_event ev
+        in
+        let read_err = fold_lines ~handle t.reader in
+        match (!bad, read_err, !summary) with
+        | Some e, _, _ -> Error e
+        | None, Some e, _ -> read_error e
+        | None, None, Some s -> Ok s
+        | None, None, None ->
+            Error "stream ended without a summary event"
+      end
+
+let body_of t resp =
+  match Http.read_body t.reader resp with
+  | Error e -> read_error e
+  | Ok body ->
+      if resp.Http.status <> 200 then http_error resp body else Ok body
+
+let get t path =
+  Http.write_request t.fd ~meth:"GET" ~path;
+  match Http.read_response_head t.reader with
+  | Error e -> read_error e
+  | Ok resp -> body_of t resp
+
+let point t ~spec =
+  match get t ("/v1/point?" ^ Http.query_string [ ("spec", spec) ]) with
+  | Error _ as e -> e
+  | Ok body -> (
+      match Result.bind (Json.of_string body) Protocol.event_of_json with
+      | Ok (Protocol.Point p) -> Ok p
+      | Ok (Protocol.Summary _) -> Error "expected a point document"
+      | Error e -> Error e)
+
+let stats t =
+  match get t "/stats" with
+  | Error _ as e -> e
+  | Ok body -> Json.of_string body
+
+let healthz t =
+  match get t "/healthz" with Ok _ -> true | Error _ -> false

@@ -1,0 +1,32 @@
+(** Client side of [mfu-serve/v1] — one keep-alive connection.
+
+    Used by [mfu_client.exe], the serve tests, and the CI smoke job.
+    All calls are synchronous on the calling thread; a {!t} is not
+    thread-safe (open one per thread). Errors come back as [Error msg]
+    rather than exceptions, except for connection-level
+    [Unix.Unix_error] on {!connect}. *)
+
+type t
+
+val connect : ?timeout:float -> Server.addr -> t
+(** [timeout] (default 60 s) is the per-read socket deadline — longer
+    than the server's so a busy compute still streams within it. *)
+
+val close : t -> unit
+
+val query :
+  ?on_event:(Protocol.event -> unit) ->
+  t ->
+  spec:string ->
+  (Protocol.summary, string) result
+(** Run an axes-spec query and consume the event stream. [on_event]
+    fires for every event in arrival order (including the final
+    summary); the summary is also returned. *)
+
+val point : t -> spec:string -> (Protocol.point_event, string) result
+(** Single-point lookup; the spec must enumerate exactly one point. *)
+
+val stats : t -> (Mfu_util.Json.t, string) result
+(** The raw [/stats] document. *)
+
+val healthz : t -> bool

@@ -1,0 +1,80 @@
+type flight = {
+  cond : Condition.t;
+  mutable settled : [ `Published | `Aborted ] option;
+}
+
+type t = {
+  lock : Mutex.t;
+  flights : (string, flight) Hashtbl.t;
+  mutable dedup_count : int;
+}
+
+let create () =
+  { lock = Mutex.create (); flights = Hashtbl.create 64; dedup_count = 0 }
+
+let claim t ~key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.flights key with
+      | Some _ ->
+          t.dedup_count <- t.dedup_count + 1;
+          `Waiter
+      | None ->
+          Hashtbl.add t.flights key
+            { cond = Condition.create (); settled = None };
+          `Owner)
+
+let settle t ~key outcome =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.flights key with
+      | None -> ()
+      | Some f ->
+          f.settled <- Some outcome;
+          Hashtbl.remove t.flights key;
+          Condition.broadcast f.cond)
+
+let publish t ~key = settle t ~key `Published
+let abort t ~key = settle t ~key `Aborted
+
+(* A settled flight is removed from the table, but waiters already
+   enrolled keep their reference to the [flight] record and read the
+   outcome from [settled]. A key absent from the table therefore means
+   the race is over: report [`Published] and let the caller consult the
+   store. *)
+let wait ?timeout t ~key =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.flights key with
+  | None ->
+      Mutex.unlock t.lock;
+      `Published
+  | Some f ->
+      let deadline =
+        Option.map (fun s -> Unix.gettimeofday () +. s) timeout
+      in
+      let rec loop () =
+        match f.settled with
+        | Some outcome -> outcome
+        | None -> (
+            match deadline with
+            | None ->
+                Condition.wait f.cond t.lock;
+                loop ()
+            | Some d ->
+                if Unix.gettimeofday () >= d then `Aborted
+                else begin
+                  (* Condition.wait has no timeout in the stdlib; poll
+                     on a short quantum. The quantum only bounds the
+                     latency of detecting a wedged owner, not the
+                     common settled path, which is seen on the next
+                     tick. *)
+                  Mutex.unlock t.lock;
+                  Thread.delay 0.02;
+                  Mutex.lock t.lock;
+                  loop ()
+                end)
+      in
+      let outcome = loop () in
+      Mutex.unlock t.lock;
+      outcome
+
+let active t = Mutex.protect t.lock (fun () -> Hashtbl.length t.flights)
+let dedups t = Mutex.protect t.lock (fun () -> t.dedup_count)

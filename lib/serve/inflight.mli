@@ -1,0 +1,40 @@
+(** In-flight dedup: one computation per key, N waiters.
+
+    When several clients request the same missing point concurrently,
+    exactly one of them (the first to {!claim}) becomes the {e owner}
+    and simulates it; the others become {e waiters} and block in
+    {!wait} until the owner signals {!publish} (the entry is in the
+    store) or {!abort} (the owner failed or was cancelled — the waiter
+    should re-claim and compute itself). This is the in-process
+    counterpart of the cross-process lease layer, and the mechanism
+    behind the warm-cache contract: N concurrent identical queries
+    trigger exactly one simulation. *)
+
+type t
+
+val create : unit -> t
+
+val claim : t -> key:string -> [ `Owner | `Waiter ]
+(** Atomically: register [key] as in-flight and become its owner, or
+    join the existing flight as a waiter. *)
+
+val publish : t -> key:string -> unit
+(** Owner only, after the store entry is durable: wake all waiters with
+    success and retire the flight. *)
+
+val abort : t -> key:string -> unit
+(** Owner only: retire the flight waking all waiters with failure. *)
+
+val wait : ?timeout:float -> t -> key:string -> [ `Published | `Aborted ]
+(** Block until the flight for [key] retires. Returns [`Published] if
+    the key is not (or no longer) in flight — the store has the answer
+    or the waiter should just look. [timeout] (default none) bounds the
+    wait; expiry behaves as [`Aborted] so the caller re-claims rather
+    than hanging on a wedged owner. *)
+
+val active : t -> int
+(** Number of keys currently in flight. *)
+
+val dedups : t -> int
+(** Total waiters ever enrolled — the "simulations avoided by in-flight
+    dedup" counter on [/stats]. *)

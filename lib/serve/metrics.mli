@@ -1,0 +1,39 @@
+(** Server counters behind [/stats].
+
+    Monotonic counters are atomics bumped from any client thread;
+    per-loop-family compute time is a small mutex-guarded table. The
+    snapshot taken by {!to_json} is not a consistent cut across all
+    counters — each is individually exact, which is all an
+    observability endpoint needs. *)
+
+type t
+
+val create : unit -> t
+
+val incr_requests : t -> unit
+val incr_queries : t -> unit
+val incr_errors : t -> unit
+val add_store_hits : t -> int -> unit
+val add_computed : t -> int -> unit
+val add_inflight_hits : t -> int -> unit
+val add_lease_deferred : t -> int -> unit
+val add_lease_stolen : t -> int -> unit
+val add_rejected_points : t -> int -> unit
+
+val record_compute : t -> family:string -> seconds:float -> points:int -> unit
+(** Attribute a batch's wall-clock simulation time to a loop family
+    (the Livermore kernel number, or the machine-model name for
+    cross-family batches). *)
+
+val to_json :
+  t ->
+  in_flight:int ->
+  dedups:int ->
+  pool_inflight:int ->
+  store_entries:int ->
+  store_bytes:int ->
+  store_quarantined:int ->
+  Mfu_util.Json.t
+(** The [/stats] document. Gauges the metrics object cannot observe on
+    its own (in-flight table size, pool occupancy, store footprint) are
+    passed in by the server at snapshot time. *)

@@ -1,0 +1,147 @@
+module Json = Mfu_util.Json
+module Axes = Mfu_explore.Axes
+module Config = Mfu_isa.Config
+module Sim_types = Mfu_sim.Sim_types
+
+let version = "mfu-serve/v1"
+
+type source = Store | Computed | Inflight
+
+let source_to_string = function
+  | Store -> "store"
+  | Computed -> "computed"
+  | Inflight -> "inflight"
+
+let source_of_string = function
+  | "store" -> Ok Store
+  | "computed" -> Ok Computed
+  | "inflight" -> Ok Inflight
+  | s -> Error (Printf.sprintf "unknown source %S" s)
+
+type point_event = {
+  key : string;
+  machine : string;
+  config : string;
+  loop : int;
+  scale : int;
+  cycles : int;
+  instructions : int;
+  source : source;
+}
+
+type summary = {
+  total : int;
+  store_hits : int;
+  computed : int;
+  inflight_hits : int;
+  quarantined : int;
+  lease_deferred : int;
+  lease_stolen : int;
+}
+
+type event = Point of point_event | Summary of summary
+
+let point_event ~point ~key ~result ~source =
+  {
+    key;
+    machine = Axes.machine_to_string point.Axes.machine;
+    config = Config.name point.Axes.config;
+    loop = point.Axes.loop;
+    scale = point.Axes.scale;
+    cycles = result.Sim_types.cycles;
+    instructions = result.Sim_types.instructions;
+    source;
+  }
+
+let event_to_json = function
+  | Point p ->
+      Json.Obj
+        [
+          ("event", Json.String "point");
+          ("key", Json.String p.key);
+          ("machine", Json.String p.machine);
+          ("config", Json.String p.config);
+          ("loop", Json.Int p.loop);
+          ("scale", Json.Int p.scale);
+          ("cycles", Json.Int p.cycles);
+          ("instructions", Json.Int p.instructions);
+          ("source", Json.String (source_to_string p.source));
+        ]
+  | Summary s ->
+      Json.Obj
+        [
+          ("event", Json.String "summary");
+          ("schema", Json.String version);
+          ("total", Json.Int s.total);
+          ("store_hits", Json.Int s.store_hits);
+          ("computed", Json.Int s.computed);
+          ("inflight_hits", Json.Int s.inflight_hits);
+          ("quarantined", Json.Int s.quarantined);
+          ("lease_deferred", Json.Int s.lease_deferred);
+          ("lease_stolen", Json.Int s.lease_stolen);
+        ]
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let ( let* ) = Result.bind
+
+let event_of_json j =
+  let* ev = field "event" Json.to_str j in
+  match ev with
+  | "point" ->
+      let* key = field "key" Json.to_str j in
+      let* machine = field "machine" Json.to_str j in
+      let* config = field "config" Json.to_str j in
+      let* loop = field "loop" Json.to_int j in
+      let* scale = field "scale" Json.to_int j in
+      let* cycles = field "cycles" Json.to_int j in
+      let* instructions = field "instructions" Json.to_int j in
+      let* source_s = field "source" Json.to_str j in
+      let* source = source_of_string source_s in
+      Ok
+        (Point
+           { key; machine; config; loop; scale; cycles; instructions; source })
+  | "summary" ->
+      let* total = field "total" Json.to_int j in
+      let* store_hits = field "store_hits" Json.to_int j in
+      let* computed = field "computed" Json.to_int j in
+      let* inflight_hits = field "inflight_hits" Json.to_int j in
+      let* quarantined = field "quarantined" Json.to_int j in
+      let* lease_deferred = field "lease_deferred" Json.to_int j in
+      let* lease_stolen = field "lease_stolen" Json.to_int j in
+      Ok
+        (Summary
+           {
+             total;
+             store_hits;
+             computed;
+             inflight_hits;
+             quarantined;
+             lease_deferred;
+             lease_stolen;
+           })
+  | other -> Error (Printf.sprintf "unknown event %S" other)
+
+let event_line ev = Json.to_string ~indent:0 (event_to_json ev) ^ "\n"
+
+let error_body msg =
+  Json.to_string ~indent:0 (Json.Obj [ ("error", Json.String msg) ])
+
+let error_of_body body =
+  match Json.of_string body with
+  | Ok j -> Option.bind (Json.member "error" j) Json.to_str
+  | Error _ -> None
+
+let query_body ~spec =
+  Json.to_string ~indent:0 (Json.Obj [ ("spec", Json.String spec) ])
+
+let spec_of_query_body body =
+  match Json.of_string body with
+  | Error e -> Error ("request body is not JSON: " ^ e)
+  | Ok j -> (
+      match Option.bind (Json.member "spec" j) Json.to_str with
+      | Some s -> Ok s
+      | None -> Error "request body lacks a string \"spec\" field")

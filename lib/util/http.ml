@@ -1,0 +1,396 @@
+(* A deliberately small HTTP/1.1: enough framing for one JSON service.
+   Parsing is defensive — every length is bounded and every read can
+   time out — because the server reads from arbitrary peers. *)
+
+let max_line = 8192
+let max_headers = 64
+let default_max_body = 1 lsl 20
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;  (* next unconsumed byte in [buf] *)
+  mutable len : int;  (* bytes valid in [buf] *)
+}
+
+let reader ?timeout fd =
+  (match timeout with
+  | Some t -> (
+      (* Only sockets support SO_RCVTIMEO; a pipe reader just blocks. *)
+      try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t
+      with Unix.Unix_error _ -> ())
+  | None -> ());
+  { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+type error =
+  [ `Closed | `Timeout | `Too_large of string | `Malformed of string ]
+
+let error_to_string = function
+  | `Closed -> "connection closed mid-message"
+  | `Timeout -> "read timed out"
+  | `Too_large what -> "message too large: " ^ what
+  | `Malformed what -> "malformed HTTP: " ^ what
+
+(* Refill the buffer from the descriptor. [Ok false] is EOF. *)
+let refill r =
+  if r.pos < r.len then Ok true
+  else begin
+    r.pos <- 0;
+    r.len <- 0;
+    match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+    | 0 -> Ok false
+    | n ->
+        r.len <- n;
+        Ok true
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Error `Timeout
+    | exception Unix.Unix_error (EINTR, _, _) -> Ok true
+    | exception Unix.Unix_error (_, _, _) -> Error `Closed
+  end
+
+(* One CRLF- (or bare-LF-) terminated line, without its terminator. *)
+let read_line r =
+  let out = Buffer.create 128 in
+  let rec go () =
+    if Buffer.length out > max_line then Error (`Too_large "line")
+    else
+      match refill r with
+      | Error _ as e -> e
+      | Ok false -> if Buffer.length out = 0 then Error `Closed else Error (`Malformed "EOF inside line")
+      | Ok true -> (
+          match Bytes.index_from_opt r.buf r.pos '\n' with
+          | Some i when i < r.len ->
+              Buffer.add_subbytes out r.buf r.pos (i - r.pos);
+              r.pos <- i + 1;
+              let s = Buffer.contents out in
+              let n = String.length s in
+              Ok (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
+          | _ ->
+              Buffer.add_subbytes out r.buf r.pos (r.len - r.pos);
+              r.pos <- r.len;
+              go ())
+  in
+  go ()
+
+let read_exact r n =
+  let out = Bytes.create n in
+  let rec go filled =
+    if filled = n then Ok (Bytes.unsafe_to_string out)
+    else
+      match refill r with
+      | Error _ as e -> e
+      | Ok false -> Error `Closed
+      | Ok true ->
+          let take = min (n - filled) (r.len - r.pos) in
+          Bytes.blit r.buf r.pos out filled take;
+          r.pos <- r.pos + take;
+          go (filled + take)
+  in
+  go 0
+
+(* -- tokens and headers ------------------------------------------------------ *)
+
+let lowercase = String.lowercase_ascii
+
+let header name headers =
+  let name = lowercase name in
+  List.assoc_opt name (List.map (fun (k, v) -> (lowercase k, v)) headers)
+
+let read_headers r =
+  let rec go acc n =
+    if n > max_headers then Error (`Too_large "header count")
+    else
+      match read_line r with
+      | Error _ as e -> e
+      | Ok "" -> Ok (List.rev acc)
+      | Ok line -> (
+          match String.index_opt line ':' with
+          | None -> Error (`Malformed ("header line " ^ line))
+          | Some i ->
+              let k = lowercase (String.trim (String.sub line 0 i)) in
+              let v =
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              go ((k, v) :: acc) (n + 1))
+  in
+  go [] 0
+
+(* -- percent encoding -------------------------------------------------------- *)
+
+let unreserved c =
+  (c >= 'A' && c <= 'Z')
+  || (c >= 'a' && c <= 'z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '.' || c = '_' || c = '~'
+
+let percent_encode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if unreserved c then Buffer.add_char b c
+      else Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '+' ->
+          Buffer.add_char b ' ';
+          go (i + 1)
+      | '%' when i + 2 < n -> (
+          match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+          | Some h, Some l ->
+              Buffer.add_char b (Char.chr ((h lsl 4) lor l));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char b '%';
+              go (i + 1))
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+let query_string pairs =
+  String.concat "&"
+    (List.map
+       (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v)
+       pairs)
+
+let parse_query q =
+  if q = "" then []
+  else
+    List.filter_map
+      (fun pair ->
+        if pair = "" then None
+        else
+          match String.index_opt pair '=' with
+          | None -> Some (percent_decode pair, "")
+          | Some i ->
+              Some
+                ( percent_decode (String.sub pair 0 i),
+                  percent_decode
+                    (String.sub pair (i + 1) (String.length pair - i - 1)) ))
+      (String.split_on_char '&' q)
+
+(* -- requests ---------------------------------------------------------------- *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+let read_request ?(max_body = default_max_body) r =
+  match read_line r with
+  | Error _ as e -> e
+  | Ok line -> (
+      match String.split_on_char ' ' line with
+      | [ meth; target; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+          match read_headers r with
+          | Error _ as e -> e
+          | Ok headers -> (
+              let path, query =
+                match String.index_opt target '?' with
+                | None -> (target, [])
+                | Some i ->
+                    ( String.sub target 0 i,
+                      parse_query
+                        (String.sub target (i + 1)
+                           (String.length target - i - 1)) )
+              in
+              let length =
+                match header "content-length" headers with
+                | None -> Ok 0
+                | Some v -> (
+                    match int_of_string_opt (String.trim v) with
+                    | Some n when n >= 0 -> Ok n
+                    | _ -> Error (`Malformed ("content-length " ^ v)))
+              in
+              match length with
+              | Error _ as e -> e
+              | Ok n when n > max_body -> Error (`Too_large "body")
+              | Ok n -> (
+                  match read_exact r n with
+                  | Error _ as e -> e
+                  | Ok body ->
+                      Ok
+                        {
+                          meth = String.uppercase_ascii meth;
+                          path = percent_decode path;
+                          query;
+                          headers;
+                          body;
+                        })))
+      | _ -> Error (`Malformed ("request line " ^ line)))
+
+(* -- writing ----------------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then begin
+      let written =
+        try Unix.write fd b off (n - off)
+        with Unix.Unix_error (EINTR, _, _) -> 0
+      in
+      go (off + written)
+    end
+  in
+  go 0
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let head ?(status = 200) ?(content_type = "application/json") extra =
+  Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n%s" status
+    (status_text status) content_type extra
+
+let respond ?status ?content_type fd body =
+  write_all fd
+    (head ?status ?content_type
+       (Printf.sprintf "Content-Length: %d\r\nConnection: keep-alive\r\n\r\n"
+          (String.length body))
+    ^ body)
+
+let respond_chunked_start ?status ?content_type fd =
+  write_all fd
+    (head ?status ?content_type
+       "Transfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n")
+
+let write_chunk fd s =
+  if s <> "" then
+    write_all fd (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+
+let write_chunk_end fd = write_all fd "0\r\n\r\n"
+
+let write_request ?(headers = []) ?(body = "") fd ~meth ~path =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
+  write_all fd
+    (Printf.sprintf
+       "%s %s HTTP/1.1\r\nHost: mfu-serve\r\nContent-Length: %d\r\n%s\r\n%s"
+       meth path (String.length body) extra body)
+
+(* -- responses (client side) ------------------------------------------------- *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+}
+
+let read_response_head r =
+  match read_line r with
+  | Error _ as e -> e
+  | Ok line -> (
+      match String.split_on_char ' ' line with
+      | version :: code :: rest
+        when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+        -> (
+          match int_of_string_opt code with
+          | None -> Error (`Malformed ("status " ^ code))
+          | Some status -> (
+              match read_headers r with
+              | Error _ as e -> e
+              | Ok resp_headers ->
+                  Ok { status; reason = String.concat " " rest; resp_headers }
+              ))
+      | _ -> Error (`Malformed ("status line " ^ line)))
+
+let read_chunk ?(max_chunk = 1 lsl 24) r =
+  match read_line r with
+  | Error _ as e -> e
+  | Ok line -> (
+      (* chunk-size [;extensions] *)
+      let size_part =
+        match String.index_opt line ';' with
+        | None -> line
+        | Some i -> String.sub line 0 i
+      in
+      match int_of_string_opt ("0x" ^ String.trim size_part) with
+      | None -> Error (`Malformed ("chunk size " ^ line))
+      | Some n when n < 0 || n > max_chunk -> Error (`Too_large "chunk")
+      | Some 0 ->
+          (* Consume (and discard) any trailers up to the blank line. *)
+          let rec trailers () =
+            match read_line r with
+            | Error _ as e -> e
+            | Ok "" -> Ok None
+            | Ok _ -> trailers ()
+          in
+          trailers ()
+      | Some n -> (
+          match read_exact r n with
+          | Error _ as e -> e
+          | Ok data -> (
+              match read_line r with
+              | Error _ as e -> e
+              | Ok "" -> Ok (Some data)
+              | Ok junk -> Error (`Malformed ("after chunk: " ^ junk)))))
+
+let read_body ?(max_body = 1 lsl 26) r resp =
+  match header "content-length" resp.resp_headers with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 && n <= max_body -> read_exact r n
+      | Some _ -> Error (`Too_large "body")
+      | None -> Error (`Malformed ("content-length " ^ v)))
+  | None -> (
+      match header "transfer-encoding" resp.resp_headers with
+      | Some te when lowercase (String.trim te) = "chunked" ->
+          let b = Buffer.create 4096 in
+          let rec go () =
+            if Buffer.length b > max_body then Error (`Too_large "body")
+            else
+              match read_chunk r with
+              | Error _ as e -> e
+              | Ok None -> Ok (Buffer.contents b)
+              | Ok (Some chunk) ->
+                  Buffer.add_string b chunk;
+                  go ()
+          in
+          go ()
+      | _ ->
+          (* No framing: read to EOF, bounded. *)
+          let b = Buffer.create 4096 in
+          let rec go () =
+            if Buffer.length b > max_body then Error (`Too_large "body")
+            else
+              match refill r with
+              | Error _ as e -> e
+              | Ok false -> Ok (Buffer.contents b)
+              | Ok true ->
+                  Buffer.add_subbytes b r.buf r.pos (r.len - r.pos);
+                  r.pos <- r.len;
+                  go ()
+          in
+          go ())

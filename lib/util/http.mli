@@ -1,0 +1,115 @@
+(** Minimal HTTP/1.1 over Unix file descriptors — just enough protocol
+    for the [mfu-serve/v1] result service and its client, with no
+    dependency beyond [unix].
+
+    Scope: request/response framing with [Content-Length] bodies,
+    chunked transfer encoding for streaming responses, bounded parsing
+    (line length, header count, body size) so a hostile or broken peer
+    cannot balloon memory, and read deadlines via [SO_RCVTIMEO] so a
+    stalled peer cannot wedge a server thread. TLS, compression,
+    pipelining, and multi-valued headers are deliberately out of scope.
+
+    All reads go through a {!reader}, which owns a reuse buffer and any
+    bytes read past the current message boundary (needed for keep-alive
+    connections). All writes are plain [Unix.write] loops; callers that
+    write to sockets should ignore [SIGPIPE] and handle [EPIPE]. *)
+
+type reader
+(** Buffered reads from one file descriptor. *)
+
+val reader : ?timeout:float -> Unix.file_descr -> reader
+(** [timeout] (seconds, default none) sets [SO_RCVTIMEO] on the
+    descriptor when it is a socket: a read that stalls longer returns
+    [`Timeout] instead of blocking forever. *)
+
+type error =
+  [ `Closed  (** peer closed before a complete message *)
+  | `Timeout  (** read deadline expired *)
+  | `Too_large of string  (** a configured bound was exceeded *)
+  | `Malformed of string  (** syntactically invalid HTTP *) ]
+
+val error_to_string : error -> string
+
+type request = {
+  meth : string;  (** verb, uppercased, e.g. ["GET"] *)
+  path : string;  (** decoded path without the query string *)
+  query : (string * string) list;  (** decoded query pairs, in order *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+val header : string -> (string * string) list -> string option
+(** Case-insensitive header lookup. *)
+
+val read_request : ?max_body:int -> reader -> (request, error) result
+(** Read one request (request line, headers, and a [Content-Length] body
+    of at most [max_body] bytes, default 1 MiB). Request lines and
+    header lines are bounded at 8 KiB and 64 headers. *)
+
+(** {1 Responses} *)
+
+val respond :
+  ?status:int ->
+  ?content_type:string ->
+  Unix.file_descr ->
+  string ->
+  unit
+(** Write a complete response with [Content-Length] framing and
+    [Connection: keep-alive]. [status] defaults to 200; [content_type]
+    to ["application/json"]. *)
+
+val respond_chunked_start :
+  ?status:int -> ?content_type:string -> Unix.file_descr -> unit
+(** Start a [Transfer-Encoding: chunked] response; follow with any
+    number of {!write_chunk} calls and one {!write_chunk_end}. *)
+
+val write_chunk : Unix.file_descr -> string -> unit
+(** Write one non-empty chunk ([""] is silently dropped — an empty chunk
+    would terminate the stream). *)
+
+val write_chunk_end : Unix.file_descr -> unit
+
+(** {1 Client side} *)
+
+val write_request :
+  ?headers:(string * string) list ->
+  ?body:string ->
+  Unix.file_descr ->
+  meth:string ->
+  path:string ->
+  unit
+(** Write a request with [Content-Length] framing (0 when [body] is
+    omitted) and [Host: mfu-serve]. *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;  (** names lowercased *)
+}
+
+val read_response_head : reader -> (response, error) result
+(** Read the status line and headers, leaving the body unread. *)
+
+val read_body : ?max_body:int -> reader -> response -> (string, error) result
+(** Read the whole body: by [Content-Length] when present, by
+    de-chunking when [Transfer-Encoding: chunked], else up to EOF.
+    [max_body] defaults to 64 MiB. *)
+
+val read_chunk : ?max_chunk:int -> reader -> (string option, error) result
+(** Read one chunk of a chunked body; [Ok None] is the terminating
+    zero-length chunk (trailers are consumed and discarded). Call only
+    after {!read_response_head} reported chunked framing. [max_chunk]
+    defaults to 16 MiB. *)
+
+(** {1 Encoding helpers} *)
+
+val percent_encode : string -> string
+(** Encode for a query component: unreserved characters (RFC 3986) pass
+    through, everything else becomes [%XX]. *)
+
+val percent_decode : string -> string
+(** Decode [%XX] escapes and [+] as space; malformed escapes pass
+    through verbatim. *)
+
+val query_string : (string * string) list -> string
+(** ["k1=v1&k2=v2"] with both sides percent-encoded; [""] for []. *)

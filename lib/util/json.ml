@@ -287,3 +287,11 @@ let member k = function
 
 let to_int = function Int i -> Some i | _ -> None
 let to_str = function String s -> Some s | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -49,3 +49,11 @@ val member : string -> t -> t option
 
 val to_int : t -> int option
 val to_str : t -> string option
+
+val to_float : t -> float option
+(** Accepts {!Int} too (a JSON number without a fraction part parses as
+    {!Int}), so readers of float fields survive round-tripping through
+    whole numbers. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -227,6 +227,127 @@ let test_store_rejects_key_swap () =
       Alcotest.(check bool) "wrong-name entry rejected" true
         (Store.lookup store ~key:key_b = `Corrupt))
 
+(* A process killed between open_out and rename leaves a torn staging
+   file in tmp/. It must be invisible to lookups and swept on the next
+   open — never renamed into objects/ or served. *)
+let test_store_ignores_and_sweeps_torn_tmp () =
+  let dir = temp_store_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store = Store.open_ dir in
+      let key = "mfu-point/v1 torn-tmp-key" in
+      let tmp = Filename.concat (Store.root store) "tmp" in
+      let torn = Filename.concat tmp "deadbeef.json.tmp.12345.0" in
+      let oc = open_out torn in
+      output_string oc "{ \"schema\": \"mfu-result/v1\", \"key\": ";
+      close_out oc;
+      Alcotest.(check bool) "torn tmp never serves a key" true
+        (Store.lookup store ~key = `Miss);
+      Alcotest.(check int) "no quarantine from a tmp orphan" 0
+        (List.length (Store.quarantined store));
+      (* Too young to sweep: a live writer's staging file is protected. *)
+      let store = Store.open_ dir in
+      Alcotest.(check bool) "fresh staging file survives open" true
+        (Sys.file_exists torn);
+      Alcotest.(check int) "explicit sweep removes it" 1
+        (Store.sweep_tmp ~older_than:0. store);
+      Alcotest.(check bool) "orphan gone" false (Sys.file_exists torn);
+      Alcotest.(check int) "sweep is idempotent" 0
+        (Store.sweep_tmp ~older_than:0. store))
+
+let test_store_stats () =
+  with_store (fun store ->
+      let s0 = Store.stats store in
+      Alcotest.(check int) "empty store: no entries" 0 s0.Store.entries;
+      Alcotest.(check int) "empty store: no bytes" 0 s0.Store.bytes;
+      let keys = List.init 20 (Printf.sprintf "mfu-point/v1 stats-key-%d") in
+      List.iter
+        (fun key -> Store.put store ~key { Sim_types.cycles = 9; instructions = 3 })
+        keys;
+      let s = Store.stats store in
+      Alcotest.(check int) "entries counted" 20 s.Store.entries;
+      Alcotest.(check int) "histogram sums to entries" 20
+        (Array.fold_left ( + ) 0 s.Store.fanout_histogram);
+      Alcotest.(check int) "256 shards" 256
+        (Array.length s.Store.fanout_histogram);
+      let on_disk =
+        List.fold_left
+          (fun acc key ->
+            acc + String.length (read_file (Store.entry_path store ~key)))
+          0 keys
+      in
+      Alcotest.(check int) "bytes are the entry files' sizes" on_disk
+        s.Store.bytes;
+      Alcotest.(check int) "no quarantine" 0 s.Store.quarantined_count;
+      (* Quarantine one and recount. *)
+      let victim = List.hd keys in
+      let oc = open_out (Store.entry_path store ~key:victim) in
+      output_string oc "torn";
+      close_out oc;
+      (match Store.lookup store ~key:victim with
+      | `Corrupt -> ()
+      | _ -> Alcotest.fail "expected `Corrupt");
+      let s' = Store.stats store in
+      Alcotest.(check int) "entry moved out" 19 s'.Store.entries;
+      Alcotest.(check int) "quarantine counted" 1 s'.Store.quarantined_count)
+
+(* Two processes racing to publish the same mfu-point/v1 key: exactly
+   one valid entry must survive, and every reader must see one writer's
+   complete bytes. The children synchronize on a pipe so both write
+   windows genuinely overlap. *)
+let test_store_concurrent_publication () =
+  with_store (fun store ->
+      let key = "mfu-point/v1 race-key" in
+      let result = { Sim_types.cycles = 4242; instructions = 1717 } in
+      let expected_text =
+        (* What a clean single-writer publication looks like. *)
+        Store.put store ~key result;
+        let text = read_file (Store.entry_path store ~key) in
+        Sys.remove (Store.entry_path store ~key);
+        text
+      in
+      for _round = 1 to 10 do
+        let go_r, go_w = Unix.pipe () in
+        let spawn () =
+          match Unix.fork () with
+          | 0 ->
+              (* Child: wait for the starting gun, publish, exit. *)
+              Unix.close go_w;
+              ignore (Unix.read go_r (Bytes.create 1) 0 1);
+              Unix.close go_r;
+              let status =
+                match Store.put store ~key result with
+                | () -> 0
+                | exception _ -> 1
+              in
+              Unix._exit status
+          | pid -> pid
+        in
+        let pids = [ spawn (); spawn () ] in
+        Unix.close go_r;
+        (* Fire the gun by closing the write end: every child's read
+           returns EOF at the same instant. *)
+        Unix.close go_w;
+        List.iter
+          (fun pid ->
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _ -> Alcotest.fail "racing publisher crashed")
+          pids;
+        (match Store.lookup store ~key with
+        | `Hit r ->
+            Alcotest.(check bool) "surviving entry is valid and exact" true
+              (r = result)
+        | `Miss | `Corrupt -> Alcotest.fail "no valid entry after the race");
+        Alcotest.(check string) "surviving bytes are one complete write"
+          expected_text
+          (read_file (Store.entry_path store ~key));
+        Sys.remove (Store.entry_path store ~key)
+      done;
+      Alcotest.(check int) "no staging residue" 0
+        (Store.sweep_tmp ~older_than:0. store))
+
 (* -- sweep ------------------------------------------------------------------- *)
 
 let test_sweep_resume_counts () =
@@ -361,6 +482,11 @@ let () =
             test_store_quarantines_corruption;
           Alcotest.test_case "rejects key swap" `Quick
             test_store_rejects_key_swap;
+          Alcotest.test_case "ignores and sweeps torn tmp files" `Quick
+            test_store_ignores_and_sweeps_torn_tmp;
+          Alcotest.test_case "stats" `Quick test_store_stats;
+          Alcotest.test_case "concurrent publication race" `Quick
+            test_store_concurrent_publication;
         ] );
       ( "sweep",
         [

@@ -1,0 +1,209 @@
+(* The lease layer under multi-process store draining: atomic
+   acquisition, visibility of live leases across holders, steal on
+   expiry (or on a torn lease file), owner-checked release, and the
+   Sweep.run integration — a held key must settle via the owner's
+   published entry (deferred) or via a steal, never by waiting forever
+   or computing twice while the owner is live. *)
+
+module Axes = Mfu_explore.Axes
+module Store = Mfu_explore.Store
+module Sweep = Mfu_explore.Sweep
+module Lease = Mfu_explore.Lease
+module Sim_types = Mfu_sim.Sim_types
+module Config = Mfu_isa.Config
+
+let temp_dir () =
+  let path = Filename.temp_file "mfu_lease" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let key = "mfu-point/v1 lease-test-key"
+
+let test_acquire_and_hold () =
+  with_dir (fun dir ->
+      let a = Lease.create ~ttl:60. ~dir () in
+      let b = Lease.create ~ttl:60. ~dir () in
+      (match Lease.try_acquire a ~key with
+      | Lease.Acquired -> ()
+      | Lease.Held _ -> Alcotest.fail "fresh key should acquire");
+      (match Lease.try_acquire b ~key with
+      | Lease.Held { pid; expires_in } ->
+          Alcotest.(check int) "owner pid visible" (Unix.getpid ()) pid;
+          (* The stored deadline is JSON ~%.12g — an epoch rounds by a
+             few ms, so allow a hair over the nominal TTL. *)
+          Alcotest.(check bool) "deadline in the future" true
+            (expires_in > 0. && expires_in <= 60.1)
+      | Lease.Acquired -> Alcotest.fail "live lease must not be reacquired");
+      (* The owner itself may re-enter (retry loops do this). *)
+      (match Lease.try_acquire a ~key with
+      | Lease.Acquired -> ()
+      | Lease.Held _ -> Alcotest.fail "own live lease should re-acquire");
+      Alcotest.(check int) "no steal involved" 0 (Lease.stolen a);
+      Lease.release a ~key;
+      (match Lease.try_acquire b ~key with
+      | Lease.Acquired -> ()
+      | Lease.Held _ -> Alcotest.fail "released key should acquire");
+      (* Releasing a key someone else now owns must not drop their lease. *)
+      Lease.release a ~key;
+      match Lease.try_acquire a ~key with
+      | Lease.Held _ -> ()
+      | Lease.Acquired -> Alcotest.fail "foreign release must be a no-op")
+
+let test_steal_on_expiry () =
+  with_dir (fun dir ->
+      let a = Lease.create ~ttl:0.05 ~dir () in
+      let b = Lease.create ~ttl:60. ~dir () in
+      (match Lease.try_acquire a ~key with
+      | Lease.Acquired -> ()
+      | Lease.Held _ -> Alcotest.fail "fresh key should acquire");
+      Unix.sleepf 0.08;
+      (match Lease.try_acquire b ~key with
+      | Lease.Acquired -> ()
+      | Lease.Held _ -> Alcotest.fail "expired lease should be stolen");
+      Alcotest.(check int) "steal counted" 1 (Lease.stolen b);
+      (* The original owner's release must not remove the thief's lease. *)
+      Lease.release a ~key;
+      match Lease.try_acquire a ~key with
+      | Lease.Held _ -> ()
+      | Lease.Acquired -> Alcotest.fail "stolen lease still live for others")
+
+let test_steal_on_torn_file () =
+  with_dir (fun dir ->
+      let a = Lease.create ~ttl:60. ~dir () in
+      let torn = Filename.concat dir (Store.digest_of_key key ^ ".lease") in
+      let oc = open_out torn in
+      output_string oc "{ \"schema\": \"mfu-lease/v1\", \"pid";
+      close_out oc;
+      (match Lease.try_acquire a ~key with
+      | Lease.Acquired -> ()
+      | Lease.Held _ -> Alcotest.fail "torn lease should be stolen");
+      Alcotest.(check int) "torn file counts as a steal" 1 (Lease.stolen a))
+
+let point =
+  {
+    Axes.machine = Axes.Single Mfu_sim.Single_issue.Cray_like;
+    config = Config.m11br5;
+    loop = 5;
+    scale = 1;
+  }
+
+(* Sweep under a foreign live lease: the owner publishes while we wait,
+   and the sweep must pick the entry up as [deferred] without ever
+   simulating the point itself. *)
+let test_sweep_defers_to_live_owner () =
+  with_dir (fun store_dir ->
+      let store = Store.open_ store_dir in
+      let lease_dir = Lease.default_dir ~store_root:store_dir in
+      Fun.protect
+        ~finally:(fun () -> rm_rf lease_dir)
+        (fun () ->
+          let owner = Lease.create ~ttl:60. ~dir:lease_dir () in
+          let k = Axes.key point in
+          (match Lease.try_acquire owner ~key:k with
+          | Lease.Acquired -> ()
+          | Lease.Held _ -> Alcotest.fail "owner could not acquire");
+          let expected = Axes.run point in
+          let publisher =
+            Thread.create
+              (fun () ->
+                Unix.sleepf 0.15;
+                Store.put ~meta:(Sweep.meta_of_point point) store ~key:k
+                  expected;
+                Lease.release owner ~key:k)
+              ()
+          in
+          let ours = Lease.create ~ttl:60. ~dir:lease_dir () in
+          let results, stats =
+            Sweep.run ~jobs:1 ~lease:ours ~store [ point ]
+          in
+          Thread.join publisher;
+          Alcotest.(check int) "nothing computed here" 0 stats.Sweep.computed;
+          Alcotest.(check int) "settled as deferred" 1 stats.Sweep.deferred;
+          Alcotest.(check int) "no steal" 0 stats.Sweep.stolen;
+          match results with
+          | [ (_, r) ] ->
+              Alcotest.(check bool) "owner's result served" true (r = expected)
+          | _ -> Alcotest.fail "one result expected"))
+
+(* Sweep against a dead owner: the lease expires, the sweep steals it
+   and computes the point itself. *)
+let test_sweep_steals_from_dead_owner () =
+  with_dir (fun store_dir ->
+      let store = Store.open_ store_dir in
+      let lease_dir = Lease.default_dir ~store_root:store_dir in
+      Fun.protect
+        ~finally:(fun () -> rm_rf lease_dir)
+        (fun () ->
+          let dead = Lease.create ~ttl:0.1 ~dir:lease_dir () in
+          let k = Axes.key point in
+          (match Lease.try_acquire dead ~key:k with
+          | Lease.Acquired -> ()
+          | Lease.Held _ -> Alcotest.fail "owner could not acquire");
+          let ours = Lease.create ~ttl:60. ~dir:lease_dir () in
+          let results, stats =
+            Sweep.run ~jobs:1 ~lease:ours ~store [ point ]
+          in
+          Alcotest.(check int) "computed after the steal" 1
+            stats.Sweep.computed;
+          Alcotest.(check int) "steal counted" 1 stats.Sweep.stolen;
+          Alcotest.(check int) "not deferred" 0 stats.Sweep.deferred;
+          match results with
+          | [ (_, r) ] ->
+              Alcotest.(check bool) "stolen point simulated exactly" true
+                (r = Axes.run point)
+          | _ -> Alcotest.fail "one result expected"))
+
+let test_lease_dir_is_outside_store () =
+  with_dir (fun store_dir ->
+      let store = Store.open_ store_dir in
+      let lease_dir = Lease.default_dir ~store_root:store_dir in
+      Fun.protect
+        ~finally:(fun () -> rm_rf lease_dir)
+        (fun () ->
+          let l = Lease.create ~ttl:60. ~dir:lease_dir () in
+          (match Lease.try_acquire l ~key with
+          | Lease.Acquired -> ()
+          | Lease.Held _ -> Alcotest.fail "fresh key should acquire");
+          (* The work queue must not perturb the store's bytes: stores
+             swept with and without leases diff clean in CI. *)
+          Alcotest.(check bool) "lease dir is a sibling" false
+            (String.length lease_dir >= String.length store_dir
+            && String.sub lease_dir 0 (String.length store_dir) = store_dir
+            && String.length lease_dir > String.length store_dir
+            && lease_dir.[String.length store_dir] = '/');
+          Alcotest.(check int) "store untouched" 0
+            (Store.stats store).Store.entries))
+
+let () =
+  Alcotest.run "lease"
+    [
+      ( "lease",
+        [
+          Alcotest.test_case "acquire, hold, release" `Quick
+            test_acquire_and_hold;
+          Alcotest.test_case "steal on expiry" `Quick test_steal_on_expiry;
+          Alcotest.test_case "steal on torn file" `Quick
+            test_steal_on_torn_file;
+          Alcotest.test_case "lease dir outside store" `Quick
+            test_lease_dir_is_outside_store;
+        ] );
+      ( "sweep integration",
+        [
+          Alcotest.test_case "defers to a live owner" `Quick
+            test_sweep_defers_to_live_owner;
+          Alcotest.test_case "steals from a dead owner" `Quick
+            test_sweep_steals_from_dead_owner;
+        ] );
+    ]
