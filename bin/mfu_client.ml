@@ -54,13 +54,19 @@ let run connect_addr timeout spec point stats quiet =
                         Printf.eprintf
                           "[client] %d point(s): %d store, %d computed, %d \
                            in-flight, %d quarantined, %d deferred, %d \
-                           stolen\n\
+                           stolen, %d aborted\n\
                            %!"
                           s.Protocol.total s.Protocol.store_hits
                           s.Protocol.computed s.Protocol.inflight_hits
                           s.Protocol.quarantined s.Protocol.lease_deferred
-                          s.Protocol.lease_stolen;
-                        `Ok ()
+                          s.Protocol.lease_stolen s.Protocol.aborted;
+                        if s.Protocol.aborted > 0 then
+                          `Error
+                            ( false,
+                              Printf.sprintf
+                                "%d point(s) aborted server-side"
+                                s.Protocol.aborted )
+                        else `Ok ()
                     | Error e -> `Error (false, e))))
 
 let connect_addr =

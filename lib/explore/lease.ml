@@ -146,6 +146,14 @@ let try_acquire t ~key =
           end
           else Held { pid; expires_in = deadline -. now })
 
+(* Read-check-remove is not atomic: between parsing our token and the
+   remove, our *expired* lease can be stolen (renamed over) by another
+   process, and the remove then deletes the new owner's file. That is
+   within the advisory contract — the key merely re-opens, and at worst
+   two processes compute it, which idempotent publication absorbs —
+   but it costs duplicated work. Closing the window would need
+   flock/renameat2-style atomicity, not worth it for a lease that only
+   dedups effort. *)
 let release t ~key =
   let dest = path t ~key in
   match Option.bind (read_file dest) parse with

@@ -11,7 +11,9 @@ let connect ?(timeout = 60.) addr =
   in
   let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Server.sockaddr_of addr) with
-  | () -> { fd; reader = Http.reader ~timeout fd }
+  | () ->
+      Http.set_send_timeout fd timeout;
+      { fd; reader = Http.reader ~timeout fd }
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
@@ -105,6 +107,8 @@ let point t ~spec =
   | Ok body -> (
       match Result.bind (Json.of_string body) Protocol.event_of_json with
       | Ok (Protocol.Point p) -> Ok p
+      | Ok (Protocol.Aborted a) ->
+          Error (Printf.sprintf "point aborted: %s" a.Protocol.reason)
       | Ok (Protocol.Summary _) -> Error "expected a point document"
       | Error e -> Error e)
 

@@ -29,6 +29,15 @@ type point_event = {
   source : source;
 }
 
+type aborted_event = {
+  ab_key : string;
+  ab_machine : string;
+  ab_config : string;
+  ab_loop : int;
+  ab_scale : int;
+  reason : string;
+}
+
 type summary = {
   total : int;
   store_hits : int;
@@ -37,9 +46,13 @@ type summary = {
   quarantined : int;
   lease_deferred : int;
   lease_stolen : int;
+  aborted : int;
 }
 
-type event = Point of point_event | Summary of summary
+type event =
+  | Point of point_event
+  | Aborted of aborted_event
+  | Summary of summary
 
 let point_event ~point ~key ~result ~source =
   {
@@ -51,6 +64,16 @@ let point_event ~point ~key ~result ~source =
     cycles = result.Sim_types.cycles;
     instructions = result.Sim_types.instructions;
     source;
+  }
+
+let aborted_event ~point ~key ~reason =
+  {
+    ab_key = key;
+    ab_machine = Axes.machine_to_string point.Axes.machine;
+    ab_config = Config.name point.Axes.config;
+    ab_loop = point.Axes.loop;
+    ab_scale = point.Axes.scale;
+    reason;
   }
 
 let event_to_json = function
@@ -67,6 +90,17 @@ let event_to_json = function
           ("instructions", Json.Int p.instructions);
           ("source", Json.String (source_to_string p.source));
         ]
+  | Aborted a ->
+      Json.Obj
+        [
+          ("event", Json.String "aborted");
+          ("key", Json.String a.ab_key);
+          ("machine", Json.String a.ab_machine);
+          ("config", Json.String a.ab_config);
+          ("loop", Json.Int a.ab_loop);
+          ("scale", Json.Int a.ab_scale);
+          ("reason", Json.String a.reason);
+        ]
   | Summary s ->
       Json.Obj
         [
@@ -79,6 +113,7 @@ let event_to_json = function
           ("quarantined", Json.Int s.quarantined);
           ("lease_deferred", Json.Int s.lease_deferred);
           ("lease_stolen", Json.Int s.lease_stolen);
+          ("aborted", Json.Int s.aborted);
         ]
 
 let field name conv j =
@@ -104,6 +139,14 @@ let event_of_json j =
       Ok
         (Point
            { key; machine; config; loop; scale; cycles; instructions; source })
+  | "aborted" ->
+      let* ab_key = field "key" Json.to_str j in
+      let* ab_machine = field "machine" Json.to_str j in
+      let* ab_config = field "config" Json.to_str j in
+      let* ab_loop = field "loop" Json.to_int j in
+      let* ab_scale = field "scale" Json.to_int j in
+      let* reason = field "reason" Json.to_str j in
+      Ok (Aborted { ab_key; ab_machine; ab_config; ab_loop; ab_scale; reason })
   | "summary" ->
       let* total = field "total" Json.to_int j in
       let* store_hits = field "store_hits" Json.to_int j in
@@ -112,6 +155,7 @@ let event_of_json j =
       let* quarantined = field "quarantined" Json.to_int j in
       let* lease_deferred = field "lease_deferred" Json.to_int j in
       let* lease_stolen = field "lease_stolen" Json.to_int j in
+      let* aborted = field "aborted" Json.to_int j in
       Ok
         (Summary
            {
@@ -122,6 +166,7 @@ let event_of_json j =
              quarantined;
              lease_deferred;
              lease_stolen;
+             aborted;
            })
   | other -> Error (Printf.sprintf "unknown event %S" other)
 

@@ -3,11 +3,14 @@
 
     A query reply is a chunked stream of newline-delimited JSON events —
     one ["point"] event per result as it lands (store hit, freshly
-    computed, or settled by another client's in-flight computation),
-    terminated by exactly one ["summary"] event. Errors are plain JSON
-    objects with an ["error"] field and an HTTP error status. All
-    construction and parsing lives here so the server, the client
-    library, and the tests agree on one schema by construction. *)
+    computed, or settled by another client's in-flight computation), an
+    ["aborted"] event for any point the server had to give up on (pool
+    draining, a failed batch, a wedged in-flight owner) so the stream
+    never silently omits a requested point, terminated by exactly one
+    ["summary"] event. Errors are plain JSON objects with an ["error"]
+    field and an HTTP error status. All construction and parsing lives
+    here so the server, the client library, and the tests agree on one
+    schema by construction. *)
 
 val version : string
 (** ["mfu-serve/v1"], sent as the [server] header and in summaries. *)
@@ -27,6 +30,17 @@ type point_event = {
   source : source;
 }
 
+type aborted_event = {
+  ab_key : string;
+  ab_machine : string;
+  ab_config : string;
+  ab_loop : int;
+  ab_scale : int;
+  reason : string;
+}
+(** A point the server could not settle within this query — the stream
+    emits one of these instead of dropping the point silently. *)
+
 type summary = {
   total : int;
   store_hits : int;
@@ -35,9 +49,13 @@ type summary = {
   quarantined : int;
   lease_deferred : int;
   lease_stolen : int;
+  aborted : int;
 }
 
-type event = Point of point_event | Summary of summary
+type event =
+  | Point of point_event
+  | Aborted of aborted_event
+  | Summary of summary
 
 val point_event :
   point:Mfu_explore.Axes.point ->
@@ -45,6 +63,12 @@ val point_event :
   result:Mfu_sim.Sim_types.result ->
   source:source ->
   point_event
+
+val aborted_event :
+  point:Mfu_explore.Axes.point ->
+  key:string ->
+  reason:string ->
+  aborted_event
 
 val event_to_json : event -> Mfu_util.Json.t
 val event_of_json : Mfu_util.Json.t -> (event, string) result

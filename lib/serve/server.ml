@@ -95,6 +95,7 @@ type tally = {
   mutable quarantined : int;
   mutable lease_deferred : int;
   mutable lease_stolen : int;
+  mutable aborted : int;
 }
 
 let release_lease st ~key =
@@ -137,10 +138,17 @@ let process st ~emit keyed =
       quarantined = 0;
       lease_deferred = 0;
       lease_stolen = 0;
+      aborted = 0;
     }
   in
   let emit_point point key result source =
     emit (Protocol.Point (Protocol.point_event ~point ~key ~result ~source))
+  in
+  (* A point this query gives up on still gets an event: the stream
+     must account for every requested point, never silently omit one. *)
+  let emit_abort point key reason =
+    tally.aborted <- tally.aborted + 1;
+    emit (Protocol.Aborted (Protocol.aborted_event ~point ~key ~reason))
   in
   (* Pass 1: stream store hits as they are found. *)
   let misses = ref [] in
@@ -204,42 +212,62 @@ let process st ~emit keyed =
         (fun group result ->
           match result with
           | Ok n -> tally.computed <- tally.computed + n
-          | Error _ ->
+          | Error e ->
               (* The whole batch failed before publishing anything (a
                  partially published batch aborts retired flights,
-                 which is a no-op). Let waiters take over. *)
+                 which is a no-op). Let waiters take over, and tell
+                 this client which points it lost. *)
+              let reason =
+                "batch computation failed: " ^ Printexc.to_string e
+              in
               List.iter
-                (fun (_p, k) ->
+                (fun (p, k) ->
                   release_lease st ~key:k;
-                  Inflight.abort st.inflight ~key:k)
+                  Inflight.abort st.inflight ~key:k;
+                  (* Points the batch published (and streamed) before
+                     failing are settled, not lost. *)
+                  match Store.lookup st.store ~key:k with
+                  | `Hit _ -> tally.computed <- tally.computed + 1
+                  | `Miss | `Corrupt -> emit_abort p k reason)
                 group)
         batches results
   | exception Pool.Draining ->
       List.iter
-        (fun (_p, k) ->
+        (fun (p, k) ->
           release_lease st ~key:k;
-          Inflight.abort st.inflight ~key:k)
+          Inflight.abort st.inflight ~key:k;
+          emit_abort p k "server compute pool is draining (shutdown)")
         mine);
   (* Pass 5: keys another thread of this process owns — wait for its
-     flight, then read the published entry. If the owner aborted,
-     take over. *)
+     flight, then read the published entry. If the owner aborted, take
+     over. The whole settle is bounded by one request_timeout per
+     point: a wedged owner that never retires its flight (wait times
+     out, the store misses, claim still says `Waiter`) must not spin
+     this loop forever. *)
   List.iter
     (fun (p, k) ->
+      let deadline = Unix.gettimeofday () +. st.cfg.request_timeout in
       let rec settle () =
-        match Inflight.wait ~timeout:st.cfg.request_timeout st.inflight ~key:k
-        with
-        | `Published | `Aborted -> (
-            match Store.lookup st.store ~key:k with
-            | `Hit r ->
-                tally.inflight_hits <- tally.inflight_hits + 1;
-                emit_point p k r Protocol.Inflight
-            | `Miss | `Corrupt -> (
-                match Inflight.claim st.inflight ~key:k with
-                | `Owner ->
-                    let r = compute_single st p k in
-                    tally.computed <- tally.computed + 1;
-                    emit_point p k r Protocol.Computed
-                | `Waiter -> settle ()))
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then
+          emit_abort p k
+            (Printf.sprintf
+               "in-flight owner did not settle within %gs; try again"
+               st.cfg.request_timeout)
+        else
+          match Inflight.wait ~timeout:remaining st.inflight ~key:k with
+          | `Published | `Aborted -> (
+              match Store.lookup st.store ~key:k with
+              | `Hit r ->
+                  tally.inflight_hits <- tally.inflight_hits + 1;
+                  emit_point p k r Protocol.Inflight
+              | `Miss | `Corrupt -> (
+                  match Inflight.claim st.inflight ~key:k with
+                  | `Owner ->
+                      let r = compute_single st p k in
+                      tally.computed <- tally.computed + 1;
+                      emit_point p k r Protocol.Computed
+                  | `Waiter -> settle ()))
       in
       settle ())
     waiting;
@@ -284,6 +312,7 @@ let summary_of_tally total (t : tally) =
     quarantined = t.quarantined;
     lease_deferred = t.lease_deferred;
     lease_stolen = t.lease_stolen;
+    aborted = t.aborted;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -407,6 +436,11 @@ let dispatch st fd (req : Http.request) =
 
 let handle_conn st fd =
   let reader = Http.reader ~timeout:st.cfg.request_timeout fd in
+  (* Deadline both directions: a client that stops *reading* a chunked
+     stream must fail the write (closing the event queue and unblocking
+     any pool workers pushing into it) rather than wedge this thread in
+     write(2) forever. *)
+  Http.set_send_timeout fd st.cfg.request_timeout;
   let rec loop () =
     if not (Atomic.get st.stopping) then
       match Http.read_request reader with

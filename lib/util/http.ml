@@ -216,12 +216,20 @@ let read_request ?(max_body = default_max_body) r =
                            (String.length target - i - 1)) )
               in
               let length =
-                match header "content-length" headers with
-                | None -> Ok 0
-                | Some v -> (
-                    match int_of_string_opt (String.trim v) with
-                    | Some n when n >= 0 -> Ok n
-                    | _ -> Error (`Malformed ("content-length " ^ v)))
+                (* Chunked request bodies are out of scope; silently
+                   treating one as Content-Length 0 would leave its
+                   chunk bytes to be parsed as the next pipelined
+                   request, desyncing the connection's framing. *)
+                match header "transfer-encoding" headers with
+                | Some te ->
+                    Error (`Malformed ("unsupported transfer-encoding " ^ te))
+                | None -> (
+                    match header "content-length" headers with
+                    | None -> Ok 0
+                    | Some v -> (
+                        match int_of_string_opt (String.trim v) with
+                        | Some n when n >= 0 -> Ok n
+                        | _ -> Error (`Malformed ("content-length " ^ v))))
               in
               match length with
               | Error _ as e -> e
@@ -242,14 +250,24 @@ let read_request ?(max_body = default_max_body) r =
 
 (* -- writing ----------------------------------------------------------------- *)
 
+let set_send_timeout fd t =
+  (* Only sockets support SO_SNDTIMEO; other descriptors just block. *)
+  try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+  with Unix.Unix_error _ -> ()
+
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let rec go off =
     if off < n then begin
       let written =
-        try Unix.write fd b off (n - off)
-        with Unix.Unix_error (EINTR, _, _) -> 0
+        match Unix.write fd b off (n - off) with
+        | w -> w
+        | exception Unix.Unix_error (EINTR, _, _) -> 0
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            (* SO_SNDTIMEO expired with no byte accepted: the peer has
+               stopped reading. Surface a timeout, not a retry loop. *)
+            raise (Unix.Unix_error (Unix.ETIMEDOUT, "write", ""))
       in
       go (off + written)
     end

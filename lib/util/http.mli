@@ -5,9 +5,13 @@
     Scope: request/response framing with [Content-Length] bodies,
     chunked transfer encoding for streaming responses, bounded parsing
     (line length, header count, body size) so a hostile or broken peer
-    cannot balloon memory, and read deadlines via [SO_RCVTIMEO] so a
-    stalled peer cannot wedge a server thread. TLS, compression,
-    pipelining, and multi-valued headers are deliberately out of scope.
+    cannot balloon memory, and deadlines on both directions — reads via
+    [SO_RCVTIMEO] ({!reader}), writes via [SO_SNDTIMEO]
+    ({!set_send_timeout}) — so a stalled peer cannot wedge a server
+    thread. TLS, compression, pipelining, chunked {e request} bodies,
+    and multi-valued headers are deliberately out of scope (a request
+    bearing [Transfer-Encoding] is rejected as malformed rather than
+    misframed).
 
     All reads go through a {!reader}, which owns a reuse buffer and any
     bytes read past the current message boundary (needed for keep-alive
@@ -21,6 +25,14 @@ val reader : ?timeout:float -> Unix.file_descr -> reader
 (** [timeout] (seconds, default none) sets [SO_RCVTIMEO] on the
     descriptor when it is a socket: a read that stalls longer returns
     [`Timeout] instead of blocking forever. *)
+
+val set_send_timeout : Unix.file_descr -> float -> unit
+(** Set [SO_SNDTIMEO] (seconds) on a socket; a no-op on other
+    descriptors. With it set, any write in this module that makes no
+    progress for that long — the peer stopped reading and the socket
+    buffer is full — raises [Unix.Unix_error (ETIMEDOUT, _, _)] instead
+    of blocking forever. Servers should set this next to the {!reader}
+    timeout so a stalled client cannot wedge the responding thread. *)
 
 type error =
   [ `Closed  (** peer closed before a complete message *)

@@ -16,6 +16,7 @@ module Protocol = Mfu_serve.Protocol
 module Inflight = Mfu_serve.Inflight
 module Bqueue = Mfu_serve.Bqueue
 module Json = Mfu_util.Json
+module Http = Mfu_util.Http
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -68,10 +69,10 @@ let spec_1pt = "units=1;size=10;bus=nbus;config=m11br5;loops=5"
 let summ = Alcotest.of_pp (fun ppf (s : Protocol.summary) ->
     Format.fprintf ppf
       "{total=%d; store=%d; computed=%d; inflight=%d; quar=%d; def=%d; \
-       stolen=%d}"
+       stolen=%d; aborted=%d}"
       s.Protocol.total s.Protocol.store_hits s.Protocol.computed
       s.Protocol.inflight_hits s.Protocol.quarantined
-      s.Protocol.lease_deferred s.Protocol.lease_stolen)
+      s.Protocol.lease_deferred s.Protocol.lease_stolen s.Protocol.aborted)
 
 let query_ok ?on_event c ~spec =
   match Client.query ?on_event c ~spec with
@@ -84,7 +85,7 @@ let test_cold_then_warm () =
           let sources = ref [] in
           let on_event = function
             | Protocol.Point p -> sources := p.Protocol.source :: !sources
-            | Protocol.Summary _ -> ()
+            | Protocol.Aborted _ | Protocol.Summary _ -> ()
           in
           let cold = query_ok ~on_event c ~spec:spec_2pts in
           Alcotest.check summ "cold: everything computed"
@@ -96,6 +97,7 @@ let test_cold_then_warm () =
               quarantined = 0;
               lease_deferred = 0;
               lease_stolen = 0;
+              aborted = 0;
             }
             cold;
           Alcotest.(check bool) "cold events say computed" true
@@ -112,6 +114,7 @@ let test_cold_then_warm () =
               quarantined = 0;
               lease_deferred = 0;
               lease_stolen = 0;
+              aborted = 0;
             }
             warm;
           Alcotest.(check bool) "warm events say store" true
@@ -123,7 +126,7 @@ let test_served_results_are_exact () =
           let got = ref [] in
           let on_event = function
             | Protocol.Point p -> got := p :: !got
-            | Protocol.Summary _ -> ()
+            | Protocol.Aborted _ | Protocol.Summary _ -> ()
           in
           ignore (query_ok ~on_event c ~spec:spec_2pts);
           let points =
@@ -210,6 +213,7 @@ let test_concurrent_clients_dedup () =
                   quarantined = 0;
                   lease_deferred = 0;
                   lease_stolen = 0;
+                  aborted = 0;
                 }
                 s
           | Some (Error e) -> Alcotest.failf "client failed: %s" e
@@ -451,6 +455,80 @@ let test_inflight_unit () =
   Alcotest.(check bool) "timed-out wait reports aborted" true
     (Inflight.wait ~timeout:0.1 t ~key:"w" = `Aborted)
 
+(* The write-side deadline: a peer that stops reading must fail the
+   writer with ETIMEDOUT once the socket buffer fills, not block it
+   forever (the review case: one stalled client wedging the pool). *)
+let test_write_timeout () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () ->
+      Http.set_send_timeout a 0.2;
+      let big = String.make (8 * 1024 * 1024) 'x' in
+      match Http.respond a big with
+      | () -> Alcotest.fail "write into a full socket must time out"
+      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> ())
+
+(* A chunked request body would desync keep-alive framing if treated as
+   Content-Length 0; the server must refuse it outright. *)
+let test_transfer_encoding_rejected () =
+  with_server (fun t ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Server.sockaddr_of (Server.bound_addr t));
+          let req =
+            "POST /v1/query HTTP/1.1\r\nHost: x\r\n\
+             Transfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n"
+          in
+          ignore (Unix.write_substring fd req 0 (String.length req));
+          let reader = Http.reader ~timeout:5. fd in
+          match Http.read_response_head reader with
+          | Ok resp -> Alcotest.(check int) "rejected" 400 resp.Http.status
+          | Error e ->
+              Alcotest.failf "no response: %s" (Http.error_to_string e)))
+
+(* A wedged in-flight owner (claims the key, never publishes or aborts)
+   must not hang waiters' requests forever: the settle loop is bounded
+   by request_timeout and the point comes back as an aborted event. *)
+let test_wedged_owner_bounded () =
+  with_server
+    ~configure:(fun c -> { c with request_timeout = 0.5 })
+    (fun t ->
+      let point =
+        match Axes.of_string spec_1pt with
+        | Ok a -> List.hd (Axes.enumerate a)
+        | Error e -> Alcotest.fail e
+      in
+      let key = Axes.key point in
+      let table = Server.inflight_table t in
+      (match Inflight.claim table ~key with
+      | `Owner -> ()
+      | `Waiter -> Alcotest.fail "test could not own the flight");
+      let aborts = ref [] in
+      let on_event = function
+        | Protocol.Aborted a -> aborts := a :: !aborts
+        | Protocol.Point _ | Protocol.Summary _ -> ()
+      in
+      let s =
+        with_client t (fun c -> query_ok ~on_event c ~spec:spec_1pt)
+      in
+      Alcotest.(check int) "point aborted, request not hung" 1
+        s.Protocol.aborted;
+      Alcotest.(check int) "nothing computed" 0 s.Protocol.computed;
+      (match !aborts with
+      | [ a ] ->
+          Alcotest.(check string) "names the key" key a.Protocol.ab_key;
+          Alcotest.(check bool) "reason blames the owner" true
+            (contains ~sub:"owner" a.Protocol.reason)
+      | l ->
+          Alcotest.failf "expected 1 aborted event, got %d" (List.length l));
+      Inflight.abort table ~key)
+
 let test_protocol_roundtrip () =
   let p =
     {
@@ -464,6 +542,16 @@ let test_protocol_roundtrip () =
       source = Protocol.Inflight;
     }
   in
+  let a =
+    {
+      Protocol.ab_key = "mfu-point/v1 some key";
+      ab_machine = "ruu(units=1,size=10,bus=N-Bus,branches=stall)";
+      ab_config = "M11BR5";
+      ab_loop = 5;
+      ab_scale = 1;
+      reason = "in-flight owner did not settle within 5s; try again";
+    }
+  in
   let s =
     {
       Protocol.total = 9;
@@ -473,6 +561,7 @@ let test_protocol_roundtrip () =
       quarantined = 1;
       lease_deferred = 1;
       lease_stolen = 0;
+      aborted = 1;
     }
   in
   List.iter
@@ -483,7 +572,7 @@ let test_protocol_roundtrip () =
       with
       | Ok ev' -> Alcotest.(check bool) "round-trips" true (ev = ev')
       | Error e -> Alcotest.failf "round-trip failed: %s" e)
-    [ Protocol.Point p; Protocol.Summary s ];
+    [ Protocol.Point p; Protocol.Aborted a; Protocol.Summary s ];
   Alcotest.(check (option string)) "error body round-trips" (Some "boom")
     (Protocol.error_of_body (Protocol.error_body "boom"))
 
@@ -499,6 +588,8 @@ let () =
           Alcotest.test_case "inflight dedup table" `Quick test_inflight_unit;
           Alcotest.test_case "protocol round-trip" `Quick
             test_protocol_roundtrip;
+          Alcotest.test_case "stalled reader times the writer out" `Quick
+            test_write_timeout;
         ] );
       ( "server",
         [
@@ -507,6 +598,10 @@ let () =
             test_served_results_are_exact;
           Alcotest.test_case "concurrent clients dedup to one simulation"
             `Quick test_concurrent_clients_dedup;
+          Alcotest.test_case "wedged owner bounded by request timeout"
+            `Quick test_wedged_owner_bounded;
+          Alcotest.test_case "chunked request body rejected" `Quick
+            test_transfer_encoding_rejected;
           Alcotest.test_case "oversized spec rejected" `Quick
             test_oversized_spec_rejected;
           Alcotest.test_case "single-point endpoint" `Quick
