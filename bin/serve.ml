@@ -9,7 +9,7 @@ module Server = Mfu_serve.Server
 open Cmdliner
 
 let run listen store_dir jobs batch max_points no_lease lease_ttl
-    request_timeout queue_capacity =
+    request_timeout queue_capacity no_guided =
   match Server.addr_of_string listen with
   | Error e -> `Error (false, e)
   | Ok addr ->
@@ -24,6 +24,7 @@ let run listen store_dir jobs batch max_points no_lease lease_ttl
           lease_ttl;
           request_timeout;
           queue_capacity;
+          guided = not no_guided;
         };
       `Ok ()
 
@@ -81,6 +82,15 @@ let queue_capacity =
   in
   Arg.(value & opt int 256 & info [ "queue-capacity" ] ~docv:"N" ~doc)
 
+let no_guided =
+  let doc =
+    "Serve cache-miss computations in axis-enumeration order instead of \
+     the surrogate model's predicted Pareto-optimality order. Results \
+     and store bytes are identical either way; only the streaming order \
+     changes."
+  in
+  Arg.(value & flag & info [ "no-guided" ] ~doc)
+
 let cmd =
   let doc = "serve the multiple-functional-unit result store" in
   let info = Cmd.info "mfu-serve" ~doc in
@@ -88,6 +98,7 @@ let cmd =
     Term.(
       ret
         (const run $ listen $ store_dir $ jobs $ batch $ max_points
-       $ no_lease $ lease_ttl $ request_timeout $ queue_capacity))
+       $ no_lease $ lease_ttl $ request_timeout $ queue_capacity
+       $ no_guided))
 
 let () = exit (Cmd.eval cmd)

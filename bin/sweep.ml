@@ -34,7 +34,7 @@ let classes_covered points =
       List.for_all (fun n -> List.mem n loops) wanted)
     [ Livermore.Scalar; Livermore.Vectorizable ]
 
-let print_pareto results points =
+let print_pareto ?top results points =
   List.iter
     (fun cls ->
       List.iter
@@ -51,7 +51,8 @@ let print_pareto results points =
                 (Config.name config) (List.length cands)
                 (List.length frontier)
             in
-            Mfu_util.Table.print (Analyze.render_pareto ~title ?knee frontier);
+            Mfu_util.Table.print
+              (Analyze.render_pareto ~title ?knee ?top frontier);
             match knee with
             | Some k ->
                 Printf.printf "Knee (%s, %s): %s at cost %.0f, rate %s\n\n"
@@ -99,12 +100,55 @@ let print_store_stats store =
     (float_of_int s.Store.entries /. 256.)
     !mx
 
-let run axes_spec store_dir resume pareto table jobs batch lease lease_ttl
-    store_stats =
+(* Per-family point breakdown of an enumerated job list. *)
+let family_breakdown points =
+  let tally = Hashtbl.create 4 in
+  List.iter
+    (fun (p : Axes.point) ->
+      let f = Mfu_model.family_name (Mfu_model.family p.Axes.machine) in
+      Hashtbl.replace tally f
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally f)))
+    points;
+  List.filter_map
+    (fun f -> Option.map (fun n -> (f, n)) (Hashtbl.find_opt tally f))
+    (List.map Mfu_model.family_name Mfu_model.all_families)
+
+let print_dry_run ~guided ~top points =
+  Printf.printf "%d point(s)\n" (List.length points);
+  List.iter
+    (fun (f, n) -> Printf.printf "  %-12s %d point(s)\n" f n)
+    (family_breakdown points);
+  if guided then begin
+    let k = Option.value ~default:10 top in
+    let ranked = Axes.rank points in
+    Printf.printf
+      "top %d of %d by predicted Pareto-optimality (surrogate-calibrated \
+       with %d exact runs):\n"
+      (min k (List.length ranked))
+      (List.length ranked)
+      (Mfu_model.calibration_runs ());
+    List.iteri
+      (fun i ((p : Axes.point), pred) ->
+        if i < k then
+          Printf.printf "  %2d. %s %s LL%d  cost %.0f  predicted %.3f\n"
+            (i + 1)
+            (Axes.machine_to_string p.Axes.machine)
+            (Config.name p.Axes.config) p.Axes.loop
+            (Axes.cost p.Axes.machine)
+            pred)
+      ranked
+  end
+
+let run axes_spec store_dir resume pareto table top jobs batch lease lease_ttl
+    guided budget frontier_stop dry_run store_stats =
   match Axes.of_string axes_spec with
   | Error e -> `Error (false, "bad --axes spec: " ^ e)
   | Ok axes ->
       if batch < 1 then `Error (false, "--batch must be >= 1")
+      else if (budget <> None || frontier_stop) && not guided then
+        `Error (false, "--budget and --frontier-stop require --guided")
+      else if guided && lease then
+        `Error (false, "--guided does not compose with --lease")
       else if store_stats then begin
         print_store_stats (Store.open_ store_dir);
         `Ok ()
@@ -113,6 +157,10 @@ let run axes_spec store_dir resume pareto table jobs batch lease lease_ttl
         Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
         let points = Axes.enumerate axes in
         if points = [] then `Error (false, "the axes spec names no machines")
+        else if dry_run then begin
+          print_dry_run ~guided ~top points;
+          `Ok ()
+        end
         else begin
           let store = Store.open_ store_dir in
           let lease =
@@ -126,21 +174,28 @@ let run axes_spec store_dir resume pareto table jobs batch lease lease_ttl
           Printf.eprintf "[sweep] %d point(s) over %s\n%!" (List.length points)
             (Axes.to_string axes);
           let t0 = Unix.gettimeofday () in
-          let results, stats =
-            Sweep.run ~batch ~resume ?lease ~progress ~store points
+          let guided_policy =
+            if guided then Some { Sweep.budget; frontier_stop } else None
           in
-        Printf.eprintf
-          "[sweep] done in %.2fs: %d computed, %d reused, %d quarantined \
-           (store %s)\n\
-           %!"
-          (Unix.gettimeofday () -. t0)
-          stats.Sweep.computed stats.Sweep.reused stats.Sweep.quarantined
-          (Store.root store);
+          let results, stats =
+            Sweep.run ~batch ~resume ?lease ~progress ?guided:guided_policy
+              ~store points
+          in
+          Printf.eprintf
+            "[sweep] done in %.2fs: %d computed, %d reused, %d quarantined \
+             (store %s)\n\
+             %!"
+            (Unix.gettimeofday () -. t0)
+            stats.Sweep.computed stats.Sweep.reused stats.Sweep.quarantined
+            (Store.root store);
+          if guided then
+            Printf.eprintf "[sweep] guided: %d inferred, %d pruned\n%!"
+              stats.Sweep.inferred stats.Sweep.pruned;
           if lease <> None then
             Printf.eprintf "[sweep] leases: %d deferred, %d stolen\n%!"
               stats.Sweep.deferred stats.Sweep.stolen;
           (match table with Some n -> print_table n results | None -> ());
-          if pareto then print_pareto results points;
+          if pareto then print_pareto ?top results points;
           `Ok ()
         end
       end
@@ -219,13 +274,59 @@ let store_stats =
   in
   Arg.(value & flag & info [ "store-stats" ] ~doc)
 
+let top =
+  let doc =
+    "Truncate every Pareto table to its first $(docv) rows (a footer names \
+     how many points were cut); with $(b,--dry-run --guided), the length \
+     of the predicted ranking shown (default 10)."
+  in
+  Arg.(value & opt (some int) None & info [ "top" ] ~docv:"K" ~doc)
+
+let guided =
+  let doc =
+    "Surrogate-guided sweep: simulate points best-first in predicted \
+     Pareto order, publish byte-identical results for structurally \
+     equivalent machines and window-saturated RUU chains without \
+     simulating them, and count the model's calibration runs against \
+     the work done. Stored results are identical to an unguided sweep's \
+     for every point actually resolved."
+  in
+  Arg.(value & flag & info [ "guided" ] ~doc)
+
+let budget =
+  let doc =
+    "Stop launching simulations once $(docv) exact simulator runs \
+     (calibration included) have been performed; unresolved points are \
+     left for a resumed run. Requires $(b,--guided)."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
+
+let frontier_stop =
+  let doc =
+    "Stop simulating a machine's loop-class cells as soon as an exactly \
+     simulated machine dominates its model-error-inflated upper bound: \
+     the Pareto frontier over the surviving results is byte-identical \
+     to a full sweep's as long as the committed model bounds hold \
+     (tables.exe --model-error). Requires $(b,--guided)."
+  in
+  Arg.(value & flag & info [ "frontier-stop" ] ~doc)
+
+let dry_run =
+  let doc =
+    "Enumerate and report instead of simulating: the point count, the \
+     per-family breakdown, and with $(b,--guided) the top $(b,--top) \
+     points by predicted Pareto-optimality."
+  in
+  Arg.(value & flag & info [ "dry-run" ] ~doc)
+
 let cmd =
   let doc = "sweep the multiple-functional-unit design space" in
   let info = Cmd.info "mfu-sweep" ~doc in
   Cmd.v info
     Term.(
       ret
-        (const run $ axes_spec $ store_dir $ resume $ pareto $ table $ jobs
-       $ batch $ lease $ lease_ttl $ store_stats))
+        (const run $ axes_spec $ store_dir $ resume $ pareto $ table $ top
+       $ jobs $ batch $ lease $ lease_ttl $ guided $ budget $ frontier_stop
+       $ dry_run $ store_stats))
 
 let () = exit (Cmd.eval cmd)

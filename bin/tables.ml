@@ -95,18 +95,47 @@ let run_metrics ~csv ~json_file =
       Printf.eprintf "[metrics] wrote %s\n%!" file)
     json_file
 
-let run table ablations compare csv metrics metrics_json jobs scale =
+(* Exclusive mode: validate the surrogate model against the exact
+   simulators over the documented grid and render the per-family error
+   table. Exit 1 if any family violates its committed bounds — the CI
+   guided-sweep job runs exactly this. *)
+let run_model_error ~csv =
+  let module R = Mfu.Reporting in
+  let rows = timed "model error" (fun () -> Mfu_model.validate ()) in
+  output_table ~csv
+    (R.render_model_error
+       (List.map
+          (fun (r : Mfu_model.error_row) ->
+            {
+              R.me_family = Mfu_model.family_name r.e_family;
+              me_points = r.e_points;
+              me_mean = r.e_mean;
+              me_max = r.e_max;
+              me_under = r.e_under;
+              me_bound = r.e_bound;
+              me_under_bound = Mfu_model.under_bound r.e_family;
+              me_ok = r.e_ok;
+            })
+          rows));
+  if List.exists (fun (r : Mfu_model.error_row) -> not r.e_ok) rows then exit 1
+
+let run table ablations compare csv metrics metrics_json model_error jobs scale
+    =
   Option.iter (fun n -> Mfu_util.Pool.set_jobs (Some n)) jobs;
   Mfu_loops.Livermore.set_scale scale;
-  let one n =
-    timed (Printf.sprintf "table %d" n) (fun () -> table_of_int ~compare ~csv n)
-  in
-  (match table with
-  | Some n -> one n
-  | None -> List.iter one [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
-  if ablations then run_ablations ();
-  if metrics || metrics_json <> None then
-    run_metrics ~csv ~json_file:metrics_json
+  if model_error then run_model_error ~csv
+  else begin
+    let one n =
+      timed (Printf.sprintf "table %d" n) (fun () ->
+          table_of_int ~compare ~csv n)
+    in
+    (match table with
+    | Some n -> one n
+    | None -> List.iter one [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    if ablations then run_ablations ();
+    if metrics || metrics_json <> None then
+      run_metrics ~csv ~json_file:metrics_json
+  end
 
 open Cmdliner
 
@@ -144,6 +173,16 @@ let metrics_json =
     & opt (some string) None
     & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
+let model_error =
+  let doc =
+    "Instead of the paper tables, validate the calibrated surrogate model \
+     (Mfu_model) against the exact simulators over the documented \
+     validation grid and print the per-family mean/max relative error \
+     with its committed bound. Exits 1 if any family violates its \
+     bounds — the constants the guided sweep's pruning relies on."
+  in
+  Arg.(value & flag & info [ "model-error" ] ~doc)
+
 let jobs =
   let doc =
     "Worker domains for the experiment engine (overrides MFU_JOBS; 1 runs \
@@ -167,6 +206,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ table $ ablations $ compare $ csv $ metrics $ metrics_json
-      $ jobs $ scale)
+      $ model_error $ jobs $ scale)
 
 let () = exit (Cmd.eval cmd)

@@ -599,3 +599,48 @@ let render_comparison ~title c =
     c.cells c.pearson c.mean_ratio c.rank_agreement
 
 let table_to_csv t = Mfu_util.Table.to_csv t
+
+(* -- surrogate model error ---------------------------------------------------- *)
+
+type model_error_row = {
+  me_family : string;
+  me_points : int;
+  me_mean : float;
+  me_max : float;
+  me_under : float;
+  me_bound : float;
+  me_under_bound : float;
+  me_ok : bool;
+}
+
+let render_model_error rows =
+  let t =
+    Table.create ~title:"Surrogate model error vs exact simulation"
+      ~columns:
+        [
+          ("Family", Table.Left);
+          ("Points", Table.Right);
+          ("Mean err", Table.Right);
+          ("Max err", Table.Right);
+          ("Under err", Table.Right);
+          ("Mean bound", Table.Right);
+          ("Under bound", Table.Right);
+          ("Status", Table.Left);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.me_family;
+          string_of_int r.me_points;
+          Printf.sprintf "%.2f%%" (100.0 *. r.me_mean);
+          Printf.sprintf "%.2f%%" (100.0 *. r.me_max);
+          Printf.sprintf "%.2f%%" (100.0 *. r.me_under);
+          Printf.sprintf "%.2f%%" (100.0 *. r.me_bound);
+          Printf.sprintf "%.2f%%" (100.0 *. r.me_under_bound);
+          (if r.me_ok then "ok" else "FAIL");
+        ])
+    rows;
+  t

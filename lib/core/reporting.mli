@@ -85,3 +85,25 @@ val compare_cells :
 val render_comparison : title:string -> comparison -> string
 (** One-line summary, e.g.
     ["Table 3: 64 cells, pearson 0.97, level x1.08, rank agreement 0.91"]. *)
+
+(** {1 Surrogate model error} *)
+
+type model_error_row = {
+  me_family : string;  (** machine-family label *)
+  me_points : int;  (** validation cells measured *)
+  me_mean : float;  (** mean relative issue-rate error (fraction) *)
+  me_max : float;  (** worst relative issue-rate error (fraction) *)
+  me_under : float;
+      (** worst under-prediction relative to the prediction (fraction)
+          — the directional error the guided sweep's pruning leans on *)
+  me_bound : float;  (** committed ceiling on the mean (fraction) *)
+  me_under_bound : float;
+      (** committed ceiling on the under-prediction (fraction) *)
+  me_ok : bool;  (** every committed bound holds *)
+}
+
+val render_model_error : model_error_row list -> Mfu_util.Table.t
+(** Per-family surrogate-vs-exact error table ([tables.exe
+    --model-error]). Plain data in, so the core reporting layer stays
+    independent of the model library; errors and bounds render as
+    percentages. *)

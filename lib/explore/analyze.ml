@@ -149,7 +149,13 @@ let knee frontier =
            (fun best c -> if above c > above best then c else best)
            first frontier)
 
-let render_pareto ~title ?knee frontier =
+let render_pareto ~title ?knee ?top frontier =
+  let shown, hidden =
+    match top with
+    | Some k when k >= 0 && List.length frontier > k ->
+        (List.filteri (fun i _ -> i < k) frontier, List.length frontier - k)
+    | _ -> (frontier, 0)
+  in
   let t =
     Table.create ~title
       ~columns:
@@ -183,5 +189,8 @@ let render_pareto ~title ?knee frontier =
           marker;
         ];
       prev := Some c)
-    frontier;
+    shown;
+  if hidden > 0 then
+    Table.add_row t
+      [ Printf.sprintf "... %d more points" hidden; ""; ""; ""; "" ];
   t

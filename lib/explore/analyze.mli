@@ -60,6 +60,13 @@ val knee : candidate list -> candidate option
     fewer than 3 points, its last point. *)
 
 val render_pareto :
-  title:string -> ?knee:candidate -> candidate list -> Mfu_util.Table.t
+  title:string ->
+  ?knee:candidate ->
+  ?top:int ->
+  candidate list ->
+  Mfu_util.Table.t
 (** Frontier table: machine, cost, issue rate, marginal rate per unit
-    cost over the previous frontier point, and a knee marker. *)
+    cost over the previous frontier point, and a knee marker. [top]
+    truncates the table to its first [top] rows, closing with a
+    ["... N more points"] footer naming what was cut (no footer when
+    nothing is). *)

@@ -9,7 +9,10 @@ module Livermore = Mfu_loops.Livermore
 
 let sim_version = "mfu-sim/1"
 
-type machine =
+(* The machine taxonomy lives in {!Mfu_model} (the surrogate must price
+   machines without depending on the explore layer); re-exporting the
+   constructors keeps every existing [Axes.Ruu {...}] pattern working. *)
+type machine = Mfu_model.machine =
   | Single of Single_issue.organization
   | Dep of Dep_single.scheme
   | Buffer of {
@@ -24,44 +27,11 @@ type machine =
       branches : Ruu.branch_handling;
     }
 
-let machine_to_string = function
-  | Single org ->
-      Printf.sprintf "single(%s)" (Single_issue.organization_to_string org)
-  | Dep scheme -> Printf.sprintf "dep(%s)" (Dep_single.scheme_to_string scheme)
-  | Buffer { policy; stations; bus } ->
-      Printf.sprintf "buffer(%s,stations=%d,bus=%s)"
-        (Buffer_issue.policy_to_string policy)
-        stations
-        (Sim_types.bus_model_to_string bus)
-  | Ruu { issue_units; ruu_size; bus; branches } ->
-      Printf.sprintf "ruu(units=%d,size=%d,bus=%s,branches=%s)" issue_units
-        ruu_size
-        (Sim_types.bus_model_to_string bus)
-        (Ruu.branch_handling_to_string branches)
-
-let issue_units_of = function
-  | Single _ | Dep _ -> 1
-  | Buffer { stations; _ } -> stations
-  | Ruu { issue_units; _ } -> issue_units
-
-let window_of = function
-  | Single _ | Dep _ -> 0
-  | Buffer { stations; _ } -> stations
-  | Ruu { ruu_size; _ } -> ruu_size
-
-let bus_of = function
-  | Single _ | Dep _ -> Sim_types.One_bus
-  | Buffer { bus; _ } | Ruu { bus; _ } -> bus
-
-let cost m =
-  let units = issue_units_of m in
-  let bus =
-    match bus_of m with
-    | Sim_types.One_bus -> 1
-    | Sim_types.N_bus -> units
-    | Sim_types.X_bar -> units * units
-  in
-  float_of_int ((4 * units) + window_of m + bus)
+let machine_to_string = Mfu_model.machine_to_string
+let issue_units_of = Mfu_model.issue_units_of
+let window_of = Mfu_model.window_of
+let bus_of = Mfu_model.bus_of
+let cost = Mfu_model.cost
 
 type point = { machine : machine; config : Config.t; loop : int; scale : int }
 
@@ -109,16 +79,14 @@ let key p =
     p.scale
     (trace_digest p.loop p.scale)
 
-let run p =
-  let config = p.config in
+let run ?metrics p =
   let trace = Livermore.trace (Livermore.scaled ~scale:p.scale p.loop) in
-  match p.machine with
-  | Single org -> Single_issue.simulate ~config org trace
-  | Dep scheme -> Dep_single.simulate ~config scheme trace
-  | Buffer { policy; stations; bus } ->
-      Buffer_issue.simulate ~config ~policy ~stations ~bus trace
-  | Ruu { issue_units; ruu_size; bus; branches } ->
-      Ruu.simulate ~branches ~config ~issue_units ~ruu_size ~bus trace
+  Mfu_model.simulate_exact ?metrics p.machine p.config trace
+
+let run_metrics p =
+  let metrics = Sim_types.Metrics.create () in
+  let result = run ~metrics p in
+  (result, metrics)
 
 (* -- lane batching ------------------------------------------------------------ *)
 
@@ -200,6 +168,110 @@ let run_batch (points : point array) =
         in
         Batched.ruu ~lanes trace
   end
+
+(* -- surrogate ranking -------------------------------------------------------- *)
+
+let rank points =
+  let scored =
+    List.map
+      (fun p ->
+        let pred =
+          Mfu_model.predict_rate ~config:p.config ~loop:p.loop ~scale:p.scale
+            p.machine
+        in
+        (p, pred))
+      points
+  in
+  (* Pareto depth per (machine, config, scale, loop class): a machine's
+     figure of merit is its predicted class rate — the harmonic mean of
+     its per-loop predictions over the class loops present, the same
+     aggregation the exact Pareto analysis uses — so depth 0 is the
+     predicted cost/class-rate frontier, depth 1 the frontier once
+     depth 0 is peeled away, and so on. All of a machine's cells for
+     one class share its depth: a best-first consumer finishes every
+     predicted-optimal machine before touching a predicted-dominated
+     one, which is exactly the order the guided sweep's dominance
+     pruning profits from. *)
+  let class_of loop = (Livermore.loop loop).Livermore.classification in
+  let mk_of (p : point) =
+    ( machine_to_string p.machine,
+      config_to_key p.config,
+      p.scale,
+      class_of p.loop )
+  in
+  (* machine key -> (cost, per-loop predictions) *)
+  let machines = Hashtbl.create 64 in
+  List.iter
+    (fun ((p : point), pred) ->
+      let mk = mk_of p in
+      match Hashtbl.find_opt machines mk with
+      | Some (_, r) -> r := pred :: !r
+      | None -> Hashtbl.add machines mk (cost p.machine, ref [ pred ]))
+    scored;
+  let class_pred = Hashtbl.create 64 in
+  let groups = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun ((_, ck, scale, cls) as mk) (_, preds) ->
+      Hashtbl.replace class_pred mk (Mfu_util.Stats.harmonic_mean !preds);
+      match Hashtbl.find_opt groups (ck, scale, cls) with
+      | Some r -> r := mk :: !r
+      | None -> Hashtbl.add groups (ck, scale, cls) (ref [ mk ]))
+    machines;
+  let depth_tbl = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ members ->
+      let rec peel depth remaining =
+        if remaining <> [] then begin
+          let sorted =
+            List.sort
+              (fun ((la, _, _, _) as a) ((lb, _, _, _) as b) ->
+                let ca, _ = Hashtbl.find machines a
+                and cb, _ = Hashtbl.find machines b in
+                match compare ca cb with
+                | 0 -> (
+                    match
+                      compare
+                        (Hashtbl.find class_pred b)
+                        (Hashtbl.find class_pred a)
+                    with
+                    | 0 -> String.compare la lb
+                    | c -> c)
+                | c -> c)
+              remaining
+          in
+          let best = ref neg_infinity in
+          let deeper =
+            List.filter
+              (fun mk ->
+                let pred = Hashtbl.find class_pred mk in
+                if pred > !best then begin
+                  best := pred;
+                  Hashtbl.replace depth_tbl mk depth;
+                  false
+                end
+                else true)
+              sorted
+          in
+          peel (depth + 1) deeper
+        end
+      in
+      peel 0 !members)
+    groups;
+  List.stable_sort
+    (fun ((a : point), _) (b, _) ->
+      let ka = mk_of a and kb = mk_of b in
+      match compare (Hashtbl.find depth_tbl ka) (Hashtbl.find depth_tbl kb) with
+      | 0 -> (
+          match compare (cost a.machine) (cost b.machine) with
+          | 0 -> (
+              match
+                compare (Hashtbl.find class_pred kb) (Hashtbl.find class_pred ka)
+              with
+              | 0 -> compare a b
+              | c -> c)
+          | c -> c)
+      | c -> c)
+    scored
 
 (* -- axis specification ------------------------------------------------------ *)
 

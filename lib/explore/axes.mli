@@ -26,8 +26,11 @@ val sim_version : string
     builds are never mistaken for current ones. *)
 
 (** One machine organization, spanning every simulator family of the
-    repository. *)
-type machine =
+    repository. The type itself lives in {!Mfu_model} (the surrogate
+    prices machines without depending on this layer); the constructors
+    are re-exported here so explore code keeps pattern-matching on
+    [Axes.Ruu {...}] etc. *)
+type machine = Mfu_model.machine =
   | Single of Mfu_sim.Single_issue.organization
       (** single issue unit, hazards block at issue (Table 1) *)
   | Dep of Mfu_sim.Dep_single.scheme
@@ -53,6 +56,10 @@ val window_of : machine -> int
 (** Buffered instructions the machine examines: [stations] for a buffer
     machine, [ruu_size] for an RUU machine, 0 for the single-issue
     families. *)
+
+val bus_of : machine -> Sim_types.bus_model
+(** The result-bus interconnect ([N_bus] for the single-issue families,
+    which have one unit and one bus). *)
 
 val cost : machine -> float
 (** Abstract hardware cost of the machine, the x axis of the Pareto
@@ -82,8 +89,30 @@ val key : point -> string
     construction (enforced by the differential test suite), so results
     computed either way share one entry. *)
 
-val run : point -> Sim_types.result
-(** Execute the point's simulation on the loop's trace. *)
+val run : ?metrics:Sim_types.Metrics.t -> point -> Sim_types.result
+(** Execute the point's simulation on the loop's trace. When [metrics]
+    is supplied the simulator records stall attribution, issue and
+    occupancy histograms into it; the timing result is bit-identical
+    either way. *)
+
+val run_metrics : point -> Sim_types.result * Sim_types.Metrics.t
+(** [run] with a fresh metrics recorder — the guided sweep uses the
+    returned occupancy histogram to certify window saturation. *)
+
+val rank : point list -> (point * float) list
+(** Order points best-first by predicted Pareto-optimality. Each point
+    is priced by the calibrated surrogate ({!Mfu_model.predict_rate},
+    the returned score); machines are then peeled by predicted
+    cost/class-rate frontier depth within every (config, scale, loop
+    class) group — class rate being the harmonic mean of the machine's
+    per-loop predictions, the same aggregation the exact Pareto
+    analysis uses — and all of a machine's cells for one class share
+    its depth. A best-first consumer therefore finishes every
+    predicted-optimal machine before touching a predicted-dominated
+    one, the order the guided sweep's dominance pruning profits from.
+    Ties break by cost, then predicted class rate, then machine label,
+    so the order is deterministic. Calibration runs exact simulations
+    (memoized process-wide); see {!Mfu_model.calibration_runs}. *)
 
 val batch_key : point -> string
 (** The grouping key for lane batching: simulator family x loop x scale.

@@ -13,15 +13,31 @@
 
 type stats = {
   total : int;  (** points requested *)
-  computed : int;  (** simulator invocations actually performed *)
+  computed : int;
+      (** exact simulator invocations actually performed — in guided
+          mode this includes the surrogate's calibration runs, so
+          [computed / total] is the honest exact-simulation fraction *)
   reused : int;  (** points served from the store without simulating *)
   quarantined : int;  (** corrupt entries found (then recomputed) *)
+  inferred : int;
+      (** points published from an equivalence or window-saturation
+          certificate instead of a simulation (always 0 unguided) *)
+  pruned : int;
+      (** points skipped because their machine was provably dominated
+          in its loop-class context (always 0 without [frontier_stop]) *)
   deferred : int;
       (** points another lease-holding process computed while we waited
           (always 0 without [lease]) *)
   stolen : int;
       (** expired/torn leases this run stole (always 0 without [lease]) *)
 }
+
+type guided = { budget : int option; frontier_stop : bool }
+(** Guided-mode policy. [budget] caps the exact simulations this run
+    may perform (calibration included; [None] = unlimited); with
+    [frontier_stop] the sweep stops simulating a machine's loop-class
+    cells once a fully-simulated machine dominates its surrogate upper
+    confidence bound — see {!run}. *)
 
 val meta_of_point : Axes.point -> (string * Mfu_util.Json.t) list
 (** The human-consumption ["meta"] block {!run} attaches to every entry
@@ -53,6 +69,7 @@ val run :
   ?resume:bool ->
   ?lease:Lease.t ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?guided:guided ->
   store:Store.t ->
   Axes.point list ->
   (Axes.point * Mfu_sim.Sim_types.result) list * stats
@@ -87,6 +104,38 @@ val run :
     interleaving because publication is idempotent; leases only remove
     duplicated work, they are not needed for correctness.
 
-    @raise Invalid_argument if [batch < 1], or if the same key appears
-    twice in the job list (the deduplication contract of
-    {!Axes.enumerate} protects concurrent writers). *)
+    [guided] switches to the surrogate-guided driver. Points are
+    simulated best-first in {!Axes.rank} order, and three certificates
+    replace simulations with published inferences or skips:
+
+    - {e equivalence}: an RUU with one issue unit is simulated once and
+      its result published for all three interconnects (structural);
+      RUUs with 2-4 issue units on the shared bus share one
+      representative (empirical, pinned by the differential suite);
+    - {e window saturation}: when a simulated RUU cell's occupancy
+      histogram proves the window never gated a dispatch, every deeper
+      window of the same chain inherits its result byte-for-byte (under
+      the banked N-bus only across sizes the issue width divides);
+    - {e dominance pruning} (with [frontier_stop]): once every loop of
+      a machine's class context is either resolved or predictable, the
+      machine is skipped as soon as some fully-simulated machine beats
+      its upper confidence bound — surrogate prediction inflated by the
+      family's committed worst-case error {!Mfu_model.max_bound} —
+      strictly in both cost and rate. Exact ties are never decided by
+      the model, so as long as the committed bounds hold, the Pareto
+      frontier over the returned results is byte-identical to a full
+      sweep's.
+
+    Inferred and pruned points are tallied in [stats]; [computed]
+    counts every exact simulator invocation including the model's
+    calibration runs. With [budget] the run stops launching simulations
+    once the budget is spent, and with [frontier_stop] (or a spent
+    budget) the returned list covers only the points that resolved — a
+    subset of the request, unlike the unguided contract. Guided runs
+    ignore [batch] (best-first order defeats lane grouping) and do not
+    compose with [lease].
+
+    @raise Invalid_argument if [batch < 1], if [guided] is combined
+    with [lease], or if the same key appears twice in the job list (the
+    deduplication contract of {!Axes.enumerate} protects concurrent
+    writers). *)

@@ -1,0 +1,611 @@
+module Config = Mfu_isa.Config
+module Fu = Mfu_isa.Fu
+module Sim_types = Mfu_sim.Sim_types
+module Single_issue = Mfu_sim.Single_issue
+module Dep_single = Mfu_sim.Dep_single
+module Buffer_issue = Mfu_sim.Buffer_issue
+module Ruu = Mfu_sim.Ruu
+module Livermore = Mfu_loops.Livermore
+module Metrics = Sim_types.Metrics
+
+(* -- machines ---------------------------------------------------------------- *)
+
+type machine =
+  | Single of Single_issue.organization
+  | Dep of Dep_single.scheme
+  | Buffer of {
+      policy : Buffer_issue.policy;
+      stations : int;
+      bus : Sim_types.bus_model;
+    }
+  | Ruu of {
+      issue_units : int;
+      ruu_size : int;
+      bus : Sim_types.bus_model;
+      branches : Ruu.branch_handling;
+    }
+
+let machine_to_string = function
+  | Single org ->
+      Printf.sprintf "single(%s)" (Single_issue.organization_to_string org)
+  | Dep scheme -> Printf.sprintf "dep(%s)" (Dep_single.scheme_to_string scheme)
+  | Buffer { policy; stations; bus } ->
+      Printf.sprintf "buffer(%s,stations=%d,bus=%s)"
+        (Buffer_issue.policy_to_string policy)
+        stations
+        (Sim_types.bus_model_to_string bus)
+  | Ruu { issue_units; ruu_size; bus; branches } ->
+      Printf.sprintf "ruu(units=%d,size=%d,bus=%s,branches=%s)" issue_units
+        ruu_size
+        (Sim_types.bus_model_to_string bus)
+        (Ruu.branch_handling_to_string branches)
+
+let issue_units_of = function
+  | Single _ | Dep _ -> 1
+  | Buffer { stations; _ } -> stations
+  | Ruu { issue_units; _ } -> issue_units
+
+let window_of = function
+  | Single _ | Dep _ -> 0
+  | Buffer { stations; _ } -> stations
+  | Ruu { ruu_size; _ } -> ruu_size
+
+let bus_of = function
+  | Single _ | Dep _ -> Sim_types.One_bus
+  | Buffer { bus; _ } | Ruu { bus; _ } -> bus
+
+let cost m =
+  let units = issue_units_of m in
+  let bus =
+    match bus_of m with
+    | Sim_types.One_bus -> 1
+    | Sim_types.N_bus -> units
+    | Sim_types.X_bar -> units * units
+  in
+  float_of_int ((4 * units) + window_of m + bus)
+
+type family = Single_family | Dep_family | Buffer_family | Ruu_family
+
+let family = function
+  | Single _ -> Single_family
+  | Dep _ -> Dep_family
+  | Buffer _ -> Buffer_family
+  | Ruu _ -> Ruu_family
+
+let family_name = function
+  | Single_family -> "single"
+  | Dep_family -> "dep"
+  | Buffer_family -> "buffer"
+  | Ruu_family -> "ruu"
+
+let all_families = [ Single_family; Dep_family; Buffer_family; Ruu_family ]
+
+(* -- documented error bounds -------------------------------------------------- *)
+
+(* Committed after measuring [validate] on the documented grid (the
+   paper's table 1-8 axes extended to window 150/200 and all three
+   interconnects, all four configurations, all fourteen loops; measured
+   buffer mean/max/under 1.4%/14.9%/2.9%, RUU 8.1%/44.5%/12.8%). The
+   single-issue and dependency-resolution families calibrate on the
+   target machine itself, so their prediction is exact by construction;
+   the buffer and RUU rows are genuine extrapolations from one reference
+   corner per (policy/branch-handling, config, loop). [mean_bound] gates
+   the CI error table; [max_bound] covers the worst single-point error
+   in either direction; [under_bound] covers only under-prediction
+   (relative to the prediction), the one direction an upper confidence
+   bound cares about — the model errs optimistic far more than
+   pessimistic, so this is the tight constant the guided sweep inflates
+   a prediction by before it dares prune a machine. *)
+let mean_bound = function
+  | Single_family | Dep_family -> 1e-9
+  | Buffer_family -> 0.03
+  | Ruu_family -> 0.10
+
+let max_bound = function
+  | Single_family | Dep_family -> 1e-9
+  | Buffer_family -> 0.20
+  | Ruu_family -> 0.47
+
+let under_bound = function
+  | Single_family | Dep_family -> 1e-9
+  | Buffer_family -> 0.04
+  | Ruu_family -> 0.15
+
+(* -- calibration -------------------------------------------------------------- *)
+
+(* The deepest window the model is validated for — and the window of the
+   RUU reference corner. The reference must be at the top of the domain:
+   its occupancy histogram has to record *demand*, not its own capacity,
+   or every prediction above the reference window extrapolates blind.
+   (The paper grid stops at 100, but loops 13/14 keep filling a window
+   past 150 on the 11-unit configurations, so a 100-deep reference
+   under-predicts deep-window machines by up to 30%.) *)
+let validated_window = 200
+
+(* The reference corner a machine's prediction extrapolates from: the
+   most parallel configuration of its family — widest issue, deepest
+   validated window, and the crossbar interconnect — so every target is
+   priced by *removing* capacity from measured demand histograms rather
+   than by inventing parallelism the reference never exhibited. The
+   interconnect has to be at the top too: pricing the crossbar off a
+   banked-bus run under-predicts it by up to 34% on bus-heavy vector
+   loops, because bank conflicts the crossbar never feels are baked into
+   the banked reference's cycle count. *)
+let reference = function
+  | (Single _ | Dep _) as m -> m
+  | Buffer { policy; _ } ->
+      Buffer { policy; stations = 8; bus = Sim_types.N_bus }
+  | Ruu { branches; _ } ->
+      Ruu
+        {
+          issue_units = 4;
+          ruu_size = validated_window;
+          bus = Sim_types.X_bar;
+          branches;
+        }
+
+(* The cheap anchor runs beside the reference: the same corner with the
+   shallowest paper-grid window (pricing window starvation the reference
+   never feels) and with each constrained interconnect (pricing bus
+   serialization the crossbar reference never feels). Single/dep
+   machines have no axes to anchor. *)
+let low_window_anchor = function
+  | (Single _ | Dep _) as m -> m
+  | Buffer { policy; _ } ->
+      Buffer { policy; stations = 1; bus = Sim_types.N_bus }
+  | Ruu { branches; _ } ->
+      Ruu { issue_units = 4; ruu_size = 10; bus = Sim_types.X_bar; branches }
+
+(* A third measured point on the window axis, between starvation and
+   saturation: one hyperbola through the two extremes overshoots
+   mid-windows by up to 20% on loops whose occupancy demand is bimodal,
+   so the window term interpolates piecewise through this corner. *)
+let mid_window_anchor = function
+  | (Single _ | Dep _) as m -> m
+  | Buffer { policy; _ } ->
+      Buffer { policy; stations = 4; bus = Sim_types.N_bus }
+  | Ruu { branches; _ } ->
+      Ruu { issue_units = 4; ruu_size = 40; bus = Sim_types.X_bar; branches }
+
+let one_bus_anchor = function
+  | (Single _ | Dep _) as m -> m
+  | Buffer { policy; _ } ->
+      Buffer { policy; stations = 8; bus = Sim_types.One_bus }
+  | Ruu { branches; _ } ->
+      Ruu
+        {
+          issue_units = 4;
+          ruu_size = validated_window;
+          bus = Sim_types.One_bus;
+          branches;
+        }
+
+(* Banked-bus serialization floor: the reference corner on the N-bus.
+   Identical to the reference for families whose reference already uses
+   the banked bus (then it costs no extra run). *)
+let n_bus_anchor = function
+  | (Single _ | Dep _) as m -> m
+  | Buffer { policy; _ } ->
+      Buffer { policy; stations = 8; bus = Sim_types.N_bus }
+  | Ruu { branches; _ } ->
+      Ruu
+        {
+          issue_units = 4;
+          ruu_size = validated_window;
+          bus = Sim_types.N_bus;
+          branches;
+        }
+
+type calib = {
+  c_reference : machine;
+  c_config : Config.t;
+  c_loop : int;
+  c_scale : int;
+  c_exact : Sim_types.result;  (** the reference's exact simulation result *)
+  c_stall_cycles : int;  (** cycles the reference lost to any stall cause *)
+  c_fixed_stalls : int;
+      (** the subset of [c_stall_cycles] that does not shrink or hide
+          when the issue stage narrows: branch-resolution freezes and
+          the end-of-trace pipeline drain *)
+  c_issued : int array;  (** issued-per-cycle histogram at the reference *)
+  c_occupancy : int array;  (** window-fill histogram at the reference *)
+  c_issue_cycles : int;
+      (** cycles in which the reference issued at least one instruction
+          (derived from [c_issued]; memoized because [predict] is on
+          the per-point hot path of the guided sweep) *)
+  c_work : int;  (** total issue slots demanded: sum over [c_issued] of k*cycles *)
+  c_max_occupancy : int;
+      (** deepest window fill the reference ever recorded (derived from
+          [c_occupancy]) — the window-saturation corner *)
+  c_width_env : float array;
+      (** [c_width_env.(n)]: the issue-width term at width [n], already
+          taken as the monotone envelope over widths [n..n_ref] (index 0
+          unused). Precomputed so [predict] is a lookup, not a loop. *)
+  c_low_window : int;  (** window depth of the starvation anchor *)
+  c_low_cycles : int;  (** cycles at the starvation anchor *)
+  c_mid_window : int;  (** window depth of the mid-window anchor *)
+  c_mid_cycles : int;  (** cycles at the mid-window anchor *)
+  c_one_bus_cycles : int;  (** cycles at the shared-bus anchor *)
+  c_n_bus_cycles : int;  (** cycles at the banked-bus anchor *)
+}
+
+let simulate_exact ?metrics machine config trace =
+  match machine with
+  | Single org -> Single_issue.simulate ?metrics ~config org trace
+  | Dep scheme -> Dep_single.simulate ?metrics ~config scheme trace
+  | Buffer { policy; stations; bus } ->
+      Buffer_issue.simulate ?metrics ~config ~policy ~stations ~bus trace
+  | Ruu { issue_units; ruu_size; bus; branches } ->
+      Ruu.simulate ?metrics ~branches ~config ~issue_units ~ruu_size ~bus trace
+
+let calibration_count = Atomic.make 0
+let calibration_runs () = Atomic.get calibration_count
+
+(* One metrics run per (reference machine, config, loop, scale), shared
+   process-wide: the serve daemon ranks from concurrent client threads
+   and the guided sweep prices thousands of points off the same few
+   references, so the memo is the difference between "one cheap metrics
+   run per loop class" and re-simulating per query. *)
+let calib_memo : (machine * Config.t * int * int, calib) Hashtbl.t =
+  Hashtbl.create 64
+
+let calib_lock = Mutex.create ()
+
+let calibrate ~config ~loop ~scale m =
+  let r = reference m in
+  let key = (r, config, loop, scale) in
+  let memoized =
+    Mutex.protect calib_lock (fun () -> Hashtbl.find_opt calib_memo key)
+  in
+  match memoized with
+  | Some c -> c
+  | None ->
+      let trace = Livermore.trace (Livermore.scaled ~scale loop) in
+      let metrics = Metrics.create () in
+      let exact = simulate_exact ~metrics r config trace in
+      Atomic.incr calibration_count;
+      let low = low_window_anchor r in
+      let low_cycles, low_window =
+        if low = r then (exact.Sim_types.cycles, window_of r)
+        else begin
+          Atomic.incr calibration_count;
+          ((simulate_exact low config trace).Sim_types.cycles, window_of low)
+        end
+      in
+      let mid = mid_window_anchor r in
+      let mid_cycles, mid_window =
+        if mid = r then (exact.Sim_types.cycles, window_of r)
+        else if mid = low then (low_cycles, low_window)
+        else begin
+          Atomic.incr calibration_count;
+          ((simulate_exact mid config trace).Sim_types.cycles, window_of mid)
+        end
+      in
+      let one_bus = one_bus_anchor r in
+      let one_bus_cycles =
+        if one_bus = r then exact.Sim_types.cycles
+        else begin
+          Atomic.incr calibration_count;
+          (simulate_exact one_bus config trace).Sim_types.cycles
+        end
+      in
+      let n_bus = n_bus_anchor r in
+      let n_bus_cycles =
+        if n_bus = r then exact.Sim_types.cycles
+        else begin
+          Atomic.incr calibration_count;
+          (simulate_exact n_bus config trace).Sim_types.cycles
+        end
+      in
+      let stall_cycles = Metrics.total_stall_cycles metrics in
+      let fixed_stalls =
+        Metrics.stall_cycles metrics Sim_types.Metrics.Branch
+        + Metrics.stall_cycles metrics Sim_types.Metrics.Drain
+      in
+      let issue_cycles = ref 0 and work = ref 0 in
+      Array.iteri
+        (fun k cycles ->
+          if k >= 1 then begin
+            issue_cycles := !issue_cycles + cycles;
+            work := !work + (cycles * k)
+          end)
+        metrics.Metrics.issued_per_cycle;
+      let issue_cycles = !issue_cycles and work = !work in
+      let width_env =
+        (* See the width-term commentary in [predict]: entry [n] is the
+           monotone envelope of the closed-form width cost over widths
+           [n..n_ref], filled from the reference width downwards. *)
+        let n_ref = issue_units_of r in
+        let elastic = stall_cycles - fixed_stalls in
+        let width_at n' =
+          let slots = max issue_cycles ((work + n' - 1) / n') in
+          let hide =
+            if slots = 0 then 1.0
+            else float_of_int issue_cycles /. float_of_int slots
+          in
+          float_of_int fixed_stalls
+          +. float_of_int slots
+          +. (float_of_int elastic *. hide)
+        in
+        let env = Array.make (n_ref + 1) 0.0 in
+        env.(n_ref) <- width_at n_ref;
+        for n' = n_ref - 1 downto 1 do
+          env.(n') <- Float.max env.(n' + 1) (width_at n')
+        done;
+        env
+      in
+      let c =
+        {
+          c_reference = r;
+          c_config = config;
+          c_loop = loop;
+          c_scale = scale;
+          c_exact = exact;
+          c_stall_cycles = stall_cycles;
+          c_fixed_stalls = fixed_stalls;
+          c_issued = Array.copy metrics.Metrics.issued_per_cycle;
+          c_occupancy = Array.copy metrics.Metrics.occupancy;
+          c_issue_cycles = issue_cycles;
+          c_work = work;
+          c_max_occupancy =
+            (let m = ref 0 in
+             Array.iteri
+               (fun q cycles -> if cycles > 0 then m := q)
+               metrics.Metrics.occupancy;
+             !m);
+          c_width_env = width_env;
+          c_low_window = low_window;
+          c_low_cycles = low_cycles;
+          c_mid_window = mid_window;
+          c_mid_cycles = mid_cycles;
+          c_one_bus_cycles = one_bus_cycles;
+          c_n_bus_cycles = n_bus_cycles;
+        }
+      in
+      Mutex.protect calib_lock (fun () ->
+          match Hashtbl.find_opt calib_memo key with
+          | Some c -> c
+          | None ->
+              Hashtbl.replace calib_memo key c;
+              c)
+
+(* -- prediction --------------------------------------------------------------- *)
+
+(* The deepest window fill the reference ever recorded: for any target
+   window at least this deep, the window can never be the binding
+   resource, so the prediction collapses to the reference's exact cycle
+   count — the same saturation plateau the exact simulators exhibit. *)
+let max_occupancy c = c.c_max_occupancy
+
+(* Operational bottleneck law anchored on three measured corners: each
+   resource's demand, re-priced at the target's capacity, is an estimate
+   of the target's cycle count; the prediction takes the binding one.
+
+   - issue width [n]: a reference cycle that issued [k] instructions
+     needs [ceil(k/n)] issue slots at width [n], on top of the
+     reference's stall cycles (dependences and branches do not shrink
+     when the machine narrows);
+   - window depth [w]: piecewise hyperbolic in 1/w through the
+     starvation, mid-window, and saturation corners (see the window
+     term below);
+   - result interconnect: the measured shared-bus and banked-bus
+     anchors (bus serialization is insensitive to issue width once
+     width >= 2, which the exact simulators exhibit as identical cycle
+     counts).
+
+   All terms are nonincreasing in their capacity, so the predicted issue
+   rate is monotone in units, window depth, and bus width by
+   construction (the QCheck property in test_model), even though the
+   exact simulators are measurably non-monotone in window depth. At the
+   three anchors the prediction reproduces the measured rate. *)
+let predict c m =
+  if reference m <> c.c_reference then
+    invalid_arg
+      (Printf.sprintf "Mfu_model.predict: %s priced with a %s calibration"
+         (machine_to_string m)
+         (machine_to_string c.c_reference));
+  match m with
+  | Single _ | Dep _ -> Sim_types.issue_rate c.c_exact
+  | Buffer _ | Ruu _ ->
+      let n = issue_units_of m in
+      let w = window_of m in
+      let ref_cycles = float_of_int c.c_exact.Sim_types.cycles in
+      let c_width =
+        (* Issue slots at width [n']: every reference issue cycle still
+           needs one slot (issue order is preserved, so cycles cannot
+           merge), and the total instruction count needs [N/n'] slots of
+           capacity — the larger bound binds. Charging ceil(k/n') per
+           reference cycle would bill a 4-wide burst two full slots at
+           width 3 that the real machine overlaps with its neighbours.
+           Stalls split by elasticity: branch freezes and the end drain
+           cost the same absolute cycles at any width, while
+           dependence/structural stalls overlap with issue
+           serialization in proportion to how busy the narrow issue
+           stage is — the surviving fraction is [issue_cycles/slots],
+           which is 1 at the reference (anchor exact) and vanishes as
+           serialization dominates. The closed form can dip for
+           mid-widths when stalls outnumber issue cycles, so the term
+           takes the monotone envelope over widths [n..n_ref]: cycles
+           never decrease as the machine narrows, which is what the
+           QCheck monotonicity property pins. *)
+        let n_ref = Array.length c.c_width_env - 1 in
+        if n <= n_ref then c.c_width_env.(n)
+        else begin
+          (* wider than the reference: the envelope is the single
+             closed-form cost at width [n] (no deeper widths to fold) *)
+          let slots =
+            max c.c_issue_cycles ((c.c_work + n - 1) / n)
+          in
+          let hide =
+            if slots = 0 then 1.0
+            else float_of_int c.c_issue_cycles /. float_of_int slots
+          in
+          float_of_int c.c_fixed_stalls
+          +. float_of_int slots
+          +. (float_of_int (c.c_stall_cycles - c.c_fixed_stalls) *. hide)
+        end
+      in
+      let c_window =
+        (* Piecewise hyperbolic in 1/w — the queueing-theoretic shape
+           of a capacity-[w] station's stretch — through three measured
+           corners: the starvation anchor, the mid-window anchor, and
+           the saturation point given by the deepest occupancy the
+           reference ever reached (beyond which the window cannot bind
+           and the term is exactly the reference cycle count). Each
+           piece is nonincreasing in [w] and the mid corner is clamped
+           between its neighbours, so the term stays monotone even
+           where the exact simulators are not. *)
+        let w_sat = max_occupancy c in
+        if w >= w_sat || w_sat <= c.c_low_window then ref_cycles
+        else
+          let interp ~w_lo ~cyc_lo ~w_hi ~cyc_hi =
+            let k =
+              Float.max 0.0
+                ((cyc_lo -. cyc_hi)
+                /. ((1.0 /. float_of_int w_lo) -. (1.0 /. float_of_int w_hi)))
+            in
+            let c_inf = cyc_hi -. (k /. float_of_int w_hi) in
+            Float.max ref_cycles (c_inf +. (k /. float_of_int w))
+          in
+          let lo = float_of_int c.c_low_cycles in
+          let w_mid = c.c_mid_window in
+          if w_mid <= c.c_low_window || w_mid >= w_sat then
+            interp ~w_lo:c.c_low_window ~cyc_lo:lo ~w_hi:w_sat
+              ~cyc_hi:ref_cycles
+          else
+            let mid =
+              Float.max ref_cycles (Float.min lo (float_of_int c.c_mid_cycles))
+            in
+            if w <= w_mid then
+              interp ~w_lo:c.c_low_window ~cyc_lo:lo ~w_hi:w_mid ~cyc_hi:mid
+            else interp ~w_lo:w_mid ~cyc_lo:mid ~w_hi:w_sat ~cyc_hi:ref_cycles
+      in
+      let c_bus =
+        (* Measured serialization floors, chained with [max] so the
+           prediction is monotone in interconnect capacity by
+           construction even if a measured anchor inverts (the banked
+           floor can never undercut the crossbar's ref_cycles, nor the
+           shared floor the banked one). *)
+        let n_bus_floor =
+          Float.max ref_cycles (float_of_int c.c_n_bus_cycles)
+        in
+        match bus_of m with
+        | Sim_types.X_bar -> 0.0
+        | Sim_types.N_bus -> n_bus_floor
+        | Sim_types.One_bus ->
+            Float.max n_bus_floor (float_of_int c.c_one_bus_cycles)
+      in
+      let cycles = Float.max c_width (Float.max c_window c_bus) in
+      float_of_int c.c_exact.Sim_types.instructions /. cycles
+
+let predict_rate ~config ~loop ~scale m = predict (calibrate ~config ~loop ~scale m) m
+
+(* -- validation --------------------------------------------------------------- *)
+
+type error_row = {
+  e_family : family;
+  e_points : int;
+  e_mean : float;
+  e_max : float;
+  e_under : float;
+  e_bound : float;
+  e_ok : bool;
+}
+
+let all_loops = List.init 14 (fun i -> i + 1)
+
+let validation_machines = function
+  | Single_family -> List.map (fun o -> Single o) Single_issue.all_organizations
+  | Dep_family -> [ Dep Dep_single.Scoreboard; Dep Dep_single.Tomasulo ]
+  | Buffer_family ->
+      List.concat_map
+        (fun policy ->
+          List.concat_map
+            (fun stations ->
+              List.map
+                (fun bus -> Buffer { policy; stations; bus })
+                [ Sim_types.N_bus; Sim_types.One_bus ])
+            [ 1; 2; 4; 8 ])
+        [ Buffer_issue.In_order; Buffer_issue.Out_of_order ]
+  | Ruu_family ->
+      (* The paper's window grid extended to the top of the validated
+         domain, under all three interconnects: these are exactly the
+         machines the guided sweep prices, so the committed bounds have
+         to be measured where the pruning happens. *)
+      List.concat_map
+        (fun issue_units ->
+          List.concat_map
+            (fun ruu_size ->
+              List.map
+                (fun bus ->
+                  Ruu { issue_units; ruu_size; bus; branches = Ruu.Stall })
+                [ Sim_types.N_bus; Sim_types.One_bus; Sim_types.X_bar ])
+            [ 10; 20; 30; 40; 50; 100; 150; validated_window ])
+        [ 1; 2; 3; 4 ]
+
+let validate ?jobs () =
+  let cells =
+    List.concat_map
+      (fun fam ->
+        List.concat_map
+          (fun m ->
+            List.concat_map
+              (fun config ->
+                List.map (fun loop -> (fam, m, config, loop)) all_loops)
+              Config.all)
+          (validation_machines fam))
+      all_families
+  in
+  (* Warm every calibration on the pool first (the memo makes racing
+     workers merely redundant, never wrong, but pre-warming distinct
+     references avoids the duplicated metrics runs entirely). *)
+  let refs =
+    List.sort_uniq compare
+      (List.map (fun (_, m, config, loop) -> (reference m, config, loop)) cells)
+  in
+  ignore
+    (Mfu_util.Pool.map ?jobs
+       (fun (r, config, loop) -> ignore (calibrate ~config ~loop ~scale:1 r))
+       refs);
+  let errors =
+    Mfu_util.Pool.map ?jobs
+      (fun (fam, m, config, loop) ->
+        let c = calibrate ~config ~loop ~scale:1 m in
+        let predicted = predict c m in
+        let exact =
+          if m = c.c_reference then Sim_types.issue_rate c.c_exact
+          else
+            Sim_types.issue_rate
+              (simulate_exact m config
+                 (Livermore.trace (Livermore.scaled ~scale:1 loop)))
+        in
+        ( fam,
+          Float.abs (predicted -. exact) /. exact,
+          Float.max 0.0 ((exact -. predicted) /. predicted) ))
+      cells
+  in
+  List.map
+    (fun fam ->
+      let errs =
+        List.filter_map
+          (fun (f, e, u) -> if f = fam then Some (e, u) else None)
+          errors
+      in
+      let points = List.length errs in
+      let mean =
+        List.fold_left (fun a (e, _) -> a +. e) 0.0 errs /. float_of_int points
+      in
+      let mx = List.fold_left (fun a (e, _) -> Float.max a e) 0.0 errs in
+      let under = List.fold_left (fun a (_, u) -> Float.max a u) 0.0 errs in
+      let bound = mean_bound fam in
+      {
+        e_family = fam;
+        e_points = points;
+        e_mean = mean;
+        e_max = mx;
+        e_under = under;
+        e_bound = bound;
+        e_ok =
+          mean <= bound && mx <= max_bound fam && under <= under_bound fam;
+      })
+    all_families

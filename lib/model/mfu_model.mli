@@ -1,0 +1,202 @@
+(** Calibrated queueing-network surrogate for the exact simulators.
+
+    One cheap metrics run of a family's {e reference corner} — its most
+    parallel paper-grid configuration — per (config, loop, scale) yields
+    demand histograms: instructions issued per cycle, window occupancy
+    per cycle, stall cycles, and result-bus demand. [predict] then
+    prices {e any} machine of the family in microseconds by re-pricing
+    those demands at the target's capacities and taking the binding
+    bottleneck (an operational-law estimate in the spirit of Carroll &
+    Lin's queueing model for FU/issue-queue sizing):
+
+    - issue width [n]: a cycle that issued [k] instructions costs
+      [ceil(k/n)] slots;
+    - window depth [w]: piecewise hyperbolic in 1/w through the
+      measured starvation, mid-window, and saturation corners;
+    - result interconnect: measured serialization floors from the
+      shared-bus and banked-bus anchor runs (bank conflicts and bus
+      waits the crossbar reference never feels).
+
+    Every term is monotone in its capacity, so predictions never
+    decrease when units, window, or bus width grow (QCheck-enforced) —
+    even though the exact simulators are measurably non-monotone in
+    window depth. At the reference itself the prediction is exact.
+
+    The model deliberately knows nothing about stores or sweeps; the
+    explore layer builds ranking and guided pruning on top of it, and
+    [validate] measures it against the exact simulators on the paper
+    grids so the error bounds the pruning margin relies on are
+    committed, rendered ([tables.exe --model-error]), and CI-gated. *)
+
+module Sim_types = Mfu_sim.Sim_types
+
+(** The machine taxonomy of the design space — the home of the type
+    {!Mfu_explore.Axes} re-exports, so model and explore layers agree
+    by construction. *)
+type machine =
+  | Single of Mfu_sim.Single_issue.organization
+  | Dep of Mfu_sim.Dep_single.scheme
+  | Buffer of {
+      policy : Mfu_sim.Buffer_issue.policy;
+      stations : int;
+      bus : Sim_types.bus_model;
+    }
+  | Ruu of {
+      issue_units : int;
+      ruu_size : int;
+      bus : Sim_types.bus_model;
+      branches : Mfu_sim.Ruu.branch_handling;
+    }
+
+val machine_to_string : machine -> string
+
+val issue_units_of : machine -> int
+val window_of : machine -> int
+val bus_of : machine -> Sim_types.bus_model
+
+val cost : machine -> float
+(** Hardware-cost figure for Pareto analysis: [4*units + window + bus]
+    where bus counts 1 (shared), [units] (N-bus) or [units^2]
+    (crossbar). *)
+
+type family = Single_family | Dep_family | Buffer_family | Ruu_family
+
+val family : machine -> family
+val family_name : family -> string
+val all_families : family list
+
+(** {1 Calibration} *)
+
+val validated_window : int
+(** The deepest window (RUU size) the committed error bounds cover —
+    also the window of the RUU reference corner, which must sit at the
+    top of the domain so its occupancy histogram records demand rather
+    than its own capacity. The guided sweep refuses to prune machines
+    with deeper windows: the model still predicts them (monotonically),
+    but no bound vouches for the prediction out there. *)
+
+val reference : machine -> machine
+(** The calibration corner the machine's prediction extrapolates from:
+    itself for single/dep; [stations=8, N-bus] per policy for buffer
+    machines; [units=4, size={!validated_window}, crossbar] per branch
+    handling for RUU machines — every capacity axis, the interconnect
+    included, at the top of the domain, so targets are priced by
+    removing capacity from measured demand. *)
+
+val low_window_anchor : machine -> machine
+(** The reference corner with the shallowest paper-grid window
+    ([size=10] RUU / [stations=1] buffer) — the measured starvation
+    point the window term interpolates toward. *)
+
+val mid_window_anchor : machine -> machine
+(** The reference corner at a mid-depth window ([size=40] RUU /
+    [stations=4] buffer) — a third measured point on the window axis
+    that pins the interpolation where a single starvation-to-saturation
+    hyperbola overshoots. *)
+
+val one_bus_anchor : machine -> machine
+(** The reference corner on the shared result bus — the measured
+    serialization floor for shared-bus targets. *)
+
+val n_bus_anchor : machine -> machine
+(** The reference corner on the banked result bus — the measured
+    bank-conflict floor for banked-bus targets. Equal to {!reference}
+    for families whose reference already uses the banked bus. *)
+
+type calib = {
+  c_reference : machine;
+  c_config : Mfu_isa.Config.t;
+  c_loop : int;
+  c_scale : int;
+  c_exact : Sim_types.result;
+  c_stall_cycles : int;
+  c_fixed_stalls : int;
+  c_issued : int array;
+  c_occupancy : int array;
+  c_issue_cycles : int;
+  c_work : int;
+  c_max_occupancy : int;
+  c_width_env : float array;
+  c_low_window : int;
+  c_low_cycles : int;
+  c_mid_window : int;
+  c_mid_cycles : int;
+  c_one_bus_cycles : int;
+  c_n_bus_cycles : int;
+}
+
+val calibrate :
+  config:Mfu_isa.Config.t -> loop:int -> scale:int -> machine -> calib
+(** One exact metrics run of [reference m] plus the anchor runs (window
+    starvation, mid-window, shared bus, banked bus) on the loop's
+    trace, memoized process-wide per (reference, config, loop, scale)
+    and safe to call from concurrent threads and pool workers. *)
+
+val calibration_runs : unit -> int
+(** Exact simulations performed by [calibrate] so far (cache misses
+    only) — the guided sweep counts these against its simulation
+    budget. *)
+
+val predict : calib -> machine -> float
+(** Predicted issue rate; pure arithmetic over the calibration
+    histograms (no trace access).
+    @raise Invalid_argument if the calibration belongs to a different
+    reference than [reference m]. *)
+
+val predict_rate :
+  config:Mfu_isa.Config.t -> loop:int -> scale:int -> machine -> float
+(** [predict (calibrate ...) m]. *)
+
+(** {1 Documented error bounds} *)
+
+val mean_bound : family -> float
+(** Committed ceiling on the family's {e mean} relative issue-rate
+    error over the validation grid; [validate] marks a family failing
+    when exceeded, and CI fails the model-error job. *)
+
+val max_bound : family -> float
+(** Committed ceiling on the family's {e worst} single-point relative
+    error, in either direction. *)
+
+val under_bound : family -> float
+(** Committed ceiling on the family's worst {e under}-prediction,
+    measured relative to the prediction: on the validation grid,
+    [exact <= predicted * (1 + under_bound family)] at every cell. The
+    model errs optimistic far more than pessimistic, so this constant
+    is much tighter than {!max_bound}. The guided sweep multiplies a
+    prediction by [1 + under_bound family] to form the upper confidence
+    bound it prunes against, so this is the constant the
+    byte-identical-frontier guarantee leans on. *)
+
+(** {1 Validation} *)
+
+val simulate_exact :
+  ?metrics:Sim_types.Metrics.t ->
+  machine ->
+  Mfu_isa.Config.t ->
+  Mfu_exec.Trace.t ->
+  Sim_types.result
+(** Dispatch to the machine's exact simulator — the ground truth
+    [validate] and the model tests compare predictions against. *)
+
+type error_row = {
+  e_family : family;
+  e_points : int;  (** validation cells measured *)
+  e_mean : float;  (** mean relative issue-rate error *)
+  e_max : float;  (** worst relative issue-rate error *)
+  e_under : float;
+      (** worst under-prediction, relative to the prediction — the
+          directional error {!under_bound} commits to *)
+  e_bound : float;  (** [mean_bound] of the family *)
+  e_ok : bool;
+      (** [e_mean <= mean_bound], [e_max <= max_bound] {e and}
+          [e_under <= under_bound] — all committed constants hold on
+          the grid *)
+}
+
+val validate : ?jobs:int -> unit -> error_row list
+(** Exact-vs-predicted comparison over the documented grid — the
+    paper's table 1 organizations, both dependency-resolution schemes,
+    the buffer family at stations 1/2/4/8 under both buses, and the
+    full table 7/8 RUU grid — across all four configurations and all
+    fourteen loops. Runs on the domain pool; one row per family. *)

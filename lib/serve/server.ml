@@ -52,6 +52,7 @@ type config = {
   lease_ttl : float;
   request_timeout : float;
   queue_capacity : int;
+  guided : bool;
 }
 
 let default_config ~store_dir ~listen =
@@ -65,6 +66,7 @@ let default_config ~store_dir ~listen =
     lease_ttl = 60.;
     request_timeout = 30.;
     queue_capacity = 256;
+    guided = true;
   }
 
 type conn = { fd : Unix.file_descr; thread : Thread.t option ref }
@@ -183,8 +185,28 @@ let process st ~emit keyed =
             | Lease.Held _ -> false)
           owned
   in
-  (* Pass 4: compute what is ours as lane batches on the pool. Each
-     point publishes and streams the moment its batch lands. *)
+  (* Pass 4: compute what is ours as lane batches on the pool, best
+     predicted machines first: the surrogate's Pareto-optimality
+     ranking decides service order, so a client streaming a large
+     query sees the interesting corners of the design space land
+     early instead of axis-enumeration order. Ranking prices points
+     from memoized calibration runs, so the reorder costs a few exact
+     reference simulations on the first query per context and nothing
+     after. Each point publishes and streams the moment its batch
+     lands. *)
+  let mine =
+    if st.cfg.guided && List.compare_length_with mine 1 > 0 then begin
+      let order = Hashtbl.create (List.length mine) in
+      List.iteri
+        (fun i (p, _) -> Hashtbl.replace order p i)
+        (Axes.rank (List.map fst mine));
+      List.stable_sort
+        (fun (p, _) (q, _) ->
+          compare (Hashtbl.find order p) (Hashtbl.find order q))
+        mine
+    end
+    else mine
+  in
   let batches = Sweep.batches ~batch:st.cfg.batch mine in
   (match
      Pool.try_map ?jobs:st.cfg.jobs

@@ -53,12 +53,19 @@ type config = {
   lease_ttl : float;
   request_timeout : float;  (** per-read socket deadline, seconds *)
   queue_capacity : int;  (** per-client buffered events *)
+  guided : bool;
+      (** order each query's cache-miss computations by
+          {!Mfu_explore.Axes.rank} (surrogate-predicted
+          Pareto-optimality) instead of axis-enumeration order, so
+          streaming clients see the promising corners of the design
+          space first. Purely a service-order policy: every admitted
+          point is still computed, and store bytes are unchanged. *)
 }
 
 val default_config : store_dir:string -> listen:addr -> config
 (** [batch = 8], [max_points = 4096], [lease = true],
     [lease_ttl = 60.], [request_timeout = 30.],
-    [queue_capacity = 256]. *)
+    [queue_capacity = 256], [guided = true]. *)
 
 type t
 

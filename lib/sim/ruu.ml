@@ -216,7 +216,8 @@ let dispatch_pass st ~t =
           | Sim_types.One_bus | Sim_types.N_bus -> !bank_used land (1 lsl b) = 0
           | Sim_types.X_bar -> true
         in
-        if bank_ok && operand_ready_cycle entry <= t then begin
+        let ready = operand_ready_cycle entry <= t in
+        if ready then begin
           let fu_ok =
             (not (Fu.is_shared_unit entry.fu))
             || st.fu_last_used.(Fu.index entry.fu) <> t
@@ -227,7 +228,18 @@ let dispatch_pass st ~t =
             (not entry.needs_result_bus)
             || result_bus_free st ~cycle:completion ~bank:b
           in
-          if fu_ok && bus_ok then begin
+          (* A ready entry with a free unit the interconnect turned
+             away (bank claimed this cycle, or no write-back slot at
+             completion): the bus shaped this run. Recorded so a
+             conflict-free N-bus run can certify its crossbar twin
+             byte-identical (see Mfu_explore.Sweep). An entry whose
+             unit is busy is refused on any interconnect, so it never
+             counts. *)
+          (if fu_ok && not (bank_ok && bus_ok) then
+             match st.metrics with
+             | Some m -> Metrics.record_bus_reject m
+             | None -> ());
+          if bank_ok && fu_ok && bus_ok then begin
             entry.dispatched <- true;
             entry.completion <- completion;
             (match st.metrics with
@@ -693,6 +705,10 @@ module Fast = struct
               (not st.s_needs_bus.(slot))
               || result_bus_free st ~cycle:completion ~bank:b
             in
+            (if fu_ok && not bus_ok then
+               match st.metrics with
+               | Some m -> Metrics.record_bus_reject m
+               | None -> ());
             if fu_ok && bus_ok then begin
               st.s_dispatched.(slot) <- true;
               st.s_completion.(slot) <- completion;
@@ -729,10 +745,19 @@ module Fast = struct
             dispatch_loop st ~t ~total_budget ~bank_used ~slot:nxt ~min_blocked
               dispatched
         end
-        else
+        else begin
+          (* bank taken this cycle: mirror the reference walker's
+             bus-reject accounting for ready entries with a free unit *)
+          (match st.metrics with
+          | Some m when operand_ready_cycle st slot <= t ->
+              let fu = st.s_fu.(slot) in
+              if (not Packed.shared_unit.(fu)) || st.fu_last_used.(fu) <> t
+              then Metrics.record_bus_reject m
+          | _ -> ());
           dispatch_loop st ~t ~total_budget ~bank_used ~slot:nxt
             ~min_blocked:(min min_blocked (t + 1))
             dispatched
+        end
       end
       else
         (* issued this very cycle: undispatched but not yet eligible *)

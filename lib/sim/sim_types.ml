@@ -60,6 +60,7 @@ module Metrics = struct
     fu_busy : int array;
     mutable issued_per_cycle : int array;
     mutable occupancy : int array;
+    mutable bus_rejects : int;
   }
 
   let create () =
@@ -71,6 +72,7 @@ module Metrics = struct
       fu_busy = Array.make Fu.count 0;
       issued_per_cycle = Array.make 8 0;
       occupancy = Array.make 8 0;
+      bus_rejects = 0;
     }
 
   (* Histograms grow on demand: simulators record widths/depths bounded by
@@ -106,6 +108,8 @@ module Metrics = struct
   let record_fu_busy m fu n =
     m.fu_busy.(Fu.index fu) <- m.fu_busy.(Fu.index fu) + n
 
+  let record_bus_reject m = m.bus_rejects <- m.bus_rejects + 1
+
   let record_occupancy m depth =
     if depth < 0 then invalid_arg "Metrics.record_occupancy";
     m.occupancy <- grown m.occupancy depth;
@@ -120,6 +124,7 @@ module Metrics = struct
       fu_busy = Array.copy m.fu_busy;
       issued_per_cycle = Array.copy m.issued_per_cycle;
       occupancy = Array.copy m.occupancy;
+      bus_rejects = m.bus_rejects;
     }
 
   let hist_at a i = if i < Array.length a then a.(i) else 0
@@ -150,7 +155,8 @@ module Metrics = struct
       (fun i v ->
         m.occupancy.(i) <-
           m.occupancy.(i) + (times * (v - hist_at lo.occupancy i)))
-      hi.occupancy
+      hi.occupancy;
+    m.bus_rejects <- m.bus_rejects + (times * (hi.bus_rejects - lo.bus_rejects))
 
   (* Histogram arrays compare by logical content: physical lengths differ
      with growth history, trailing zeros do not count. *)
@@ -166,6 +172,7 @@ module Metrics = struct
     && a.stalls = b.stalls && a.fu_busy = b.fu_busy
     && hist_equal a.issued_per_cycle b.issued_per_cycle
     && hist_equal a.occupancy b.occupancy
+    && a.bus_rejects = b.bus_rejects
 
   let stall_cycles m cause = m.stalls.(cause_index cause)
   let total_stall_cycles m = Array.fold_left ( + ) 0 m.stalls

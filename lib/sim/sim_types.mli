@@ -71,6 +71,12 @@ module Metrics : sig
         (** histogram: [issued_per_cycle.(k)] cycles issued [k] instructions *)
     mutable occupancy : int array;
         (** histogram of buffer / RUU / in-flight-window fill per cycle *)
+    mutable bus_rejects : int;
+        (** dispatch attempts rejected by the result-bus interconnect
+            (bank already claimed this cycle, or no free slot at the
+            completion cycle). Zero means the interconnect never
+            influenced a dispatch decision — the certificate the guided
+            sweep uses to transfer an N-bus result to the crossbar. *)
   }
 
   val create : unit -> t
@@ -87,6 +93,9 @@ module Metrics : sig
 
   val record_instructions : t -> int -> unit
   val record_fu_busy : t -> Mfu_isa.Fu.kind -> int -> unit
+
+  val record_bus_reject : t -> unit
+  (** Book one dispatch attempt the interconnect turned away. *)
 
   val record_occupancy : t -> int -> unit
   (** Book one cycle at the given fill depth.
