@@ -12,11 +12,11 @@ module Json = Mfu_util.Json
 
 open Cmdliner
 
-let run connect_addr timeout spec point stats quiet =
+let run connect_addr timeout retries spec point stats quiet =
   match Server.addr_of_string connect_addr with
   | Error e -> `Error (false, e)
   | Ok addr -> (
-      match Client.connect ~timeout addr with
+      match Client.connect_retry ~timeout ~retries addr with
       | exception Unix.Unix_error (err, _, _) ->
           `Error
             ( false,
@@ -80,6 +80,14 @@ let timeout =
   let doc = "Per-read socket deadline in seconds." in
   Arg.(value & opt float 60. & info [ "timeout" ] ~docv:"SEC" ~doc)
 
+let retries =
+  let doc =
+    "Extra connect attempts on transient failures (connection refused, \
+     timed out, unix socket not yet bound), with capped jittered \
+     exponential backoff. 0 connects exactly once."
+  in
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+
 let spec =
   let doc =
     "Axes spec to query: a preset ($(b,table7), $(b,table8), \
@@ -105,6 +113,9 @@ let cmd =
   let doc = "query an mfu-serve result server" in
   let info = Cmd.info "mfu-client" ~doc in
   Cmd.v info
-    Term.(ret (const run $ connect_addr $ timeout $ spec $ point $ stats $ quiet))
+    Term.(
+      ret
+        (const run $ connect_addr $ timeout $ retries $ spec $ point $ stats
+       $ quiet))
 
 let () = exit (Cmd.eval cmd)

@@ -9,7 +9,7 @@ module Server = Mfu_serve.Server
 open Cmdliner
 
 let run listen store_dir jobs batch max_points no_lease lease_ttl
-    request_timeout queue_capacity no_guided =
+    request_timeout queue_capacity no_guided cache_entries =
   match Server.addr_of_string listen with
   | Error e -> `Error (false, e)
   | Ok addr ->
@@ -25,6 +25,7 @@ let run listen store_dir jobs batch max_points no_lease lease_ttl
           request_timeout;
           queue_capacity;
           guided = not no_guided;
+          cache_entries;
         };
       `Ok ()
 
@@ -91,6 +92,14 @@ let no_guided =
   in
   Arg.(value & flag & info [ "no-guided" ] ~doc)
 
+let cache_entries =
+  let doc =
+    "Capacity of the in-memory decoded-result cache consulted before \
+     every store lookup (LRU; 0 disables). Hits show up as \
+     $(b,cache_hits) in query summaries and on $(b,/stats)."
+  in
+  Arg.(value & opt int 8192 & info [ "cache" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "serve the multiple-functional-unit result store" in
   let info = Cmd.info "mfu-serve" ~doc in
@@ -99,6 +108,6 @@ let cmd =
       ret
         (const run $ listen $ store_dir $ jobs $ batch $ max_points
        $ no_lease $ lease_ttl $ request_timeout $ queue_capacity
-       $ no_guided))
+       $ no_guided $ cache_entries))
 
 let () = exit (Cmd.eval cmd)

@@ -84,6 +84,11 @@ let print_store_stats store =
   let s = Store.stats store in
   Printf.printf "store %s: %d entries, %d bytes, %d quarantined\n"
     (Store.root store) s.Store.entries s.Store.bytes s.Store.quarantined_count;
+  Printf.printf
+    "layout: %d loose, %d packed in %d segment(s) (%d bytes on disk, %d \
+     shadowed record(s)), %d foreign file(s) skipped\n"
+    s.Store.loose_entries s.Store.packed_entries s.Store.segment_count
+    s.Store.segment_bytes s.Store.shadowed_records s.Store.foreign_files;
   let occupied = ref 0 in
   let mn = ref max_int in
   let mx = ref 0 in
@@ -99,6 +104,18 @@ let print_store_stats store =
     !occupied !mn
     (float_of_int s.Store.entries /. 256.)
     !mx
+
+let print_compaction store (c : Store.compaction) =
+  match c.Store.segment with
+  | None -> Printf.eprintf "[sweep] store %s: nothing to compact\n%!"
+              (Store.root store)
+  | Some seq ->
+      Printf.eprintf
+        "[sweep] store %s: segment %08d written (%d bytes): %d loose \
+         folded (%d bytes reclaimed), %d rewritten, %d dead dropped\n\
+         %!"
+        (Store.root store) seq c.Store.pack_bytes c.Store.folded
+        c.Store.reclaimed_bytes c.Store.rewritten c.Store.dropped
 
 (* Per-family point breakdown of an enumerated job list. *)
 let family_breakdown points =
@@ -140,7 +157,8 @@ let print_dry_run ~guided ~top points =
   end
 
 let run axes_spec store_dir resume pareto table top jobs batch lease lease_ttl
-    guided budget frontier_stop dry_run store_stats =
+    guided budget frontier_stop dry_run store_stats compact compact_full
+    compact_threshold unpack =
   match Axes.of_string axes_spec with
   | Error e -> `Error (false, "bad --axes spec: " ^ e)
   | Ok axes ->
@@ -149,6 +167,26 @@ let run axes_spec store_dir resume pareto table top jobs batch lease lease_ttl
         `Error (false, "--budget and --frontier-stop require --guided")
       else if guided && lease then
         `Error (false, "--guided does not compose with --lease")
+      else if compact_full && not compact then
+        `Error (false, "--full requires --compact")
+      else if (compact || compact_full) && unpack then
+        `Error (false, "--compact and --unpack are mutually exclusive")
+      else if compact then begin
+        (* Standalone maintenance: fold the store and exit. *)
+        let store = Store.open_ store_dir in
+        print_compaction store (Store.compact ~full:compact_full store);
+        if store_stats then print_store_stats store;
+        `Ok ()
+      end
+      else if unpack then begin
+        let store = Store.open_ store_dir in
+        let n = Store.unpack store in
+        Printf.eprintf "[sweep] store %s: %d entr%s restored to loose files\n%!"
+          (Store.root store) n
+          (if n = 1 then "y" else "ies");
+        if store_stats then print_store_stats store;
+        `Ok ()
+      end
       else if store_stats then begin
         print_store_stats (Store.open_ store_dir);
         `Ok ()
@@ -194,6 +232,10 @@ let run axes_spec store_dir resume pareto table top jobs batch lease lease_ttl
           if lease <> None then
             Printf.eprintf "[sweep] leases: %d deferred, %d stolen\n%!"
               stats.Sweep.deferred stats.Sweep.stolen;
+          (match compact_threshold with
+          | Some n when (Store.stats store).Store.loose_entries >= n ->
+              print_compaction store (Store.compact store)
+          | Some _ | None -> ());
           (match table with Some n -> print_table n results | None -> ());
           if pareto then print_pareto ?top results points;
           `Ok ()
@@ -269,10 +311,47 @@ let lease_ttl =
 
 let store_stats =
   let doc =
-    "Print store statistics (entries, bytes, quarantine, shard fanout) and \
-     exit without sweeping."
+    "Print store statistics (entries, bytes, loose/packed layout, segment \
+     footprint, quarantine, shard fanout) and exit without sweeping; with \
+     $(b,--compact) or $(b,--unpack), print them after the operation."
   in
   Arg.(value & flag & info [ "store-stats" ] ~doc)
+
+let compact =
+  let doc =
+    "Fold loose store entries into a packed segment (crash-safe: loose \
+     files are deleted only after the segment is durable) and exit \
+     without sweeping. Rendered output is byte-identical before and \
+     after, and $(b,--resume) on the packed store recomputes nothing."
+  in
+  Arg.(value & flag & info [ "compact" ] ~doc)
+
+let compact_full =
+  let doc =
+    "With $(b,--compact): also rewrite existing segments into the new \
+     one, dropping shadowed (superseded) records, so the store converges \
+     to a single pack file."
+  in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let compact_threshold =
+  let doc =
+    "After the sweep, compact automatically if at least $(docv) loose \
+     entries are present — keeps long resumable campaigns from \
+     accumulating thousands of per-point files."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "compact-threshold" ] ~docv:"N" ~doc)
+
+let unpack =
+  let doc =
+    "Restore every packed entry to its loose file (byte-identical to the \
+     file that was packed), delete the segments, and exit without \
+     sweeping — the inverse of $(b,--compact)."
+  in
+  Arg.(value & flag & info [ "unpack" ] ~doc)
 
 let top =
   let doc =
@@ -327,6 +406,7 @@ let cmd =
       ret
         (const run $ axes_spec $ store_dir $ resume $ pareto $ table $ top
        $ jobs $ batch $ lease $ lease_ttl $ guided $ budget $ frontier_stop
-       $ dry_run $ store_stats))
+       $ dry_run $ store_stats $ compact $ compact_full $ compact_threshold
+       $ unpack))
 
 let () = exit (Cmd.eval cmd)

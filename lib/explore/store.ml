@@ -3,8 +3,124 @@ module Sim_types = Mfu_sim.Sim_types
 
 let schema = "mfu-result/v1"
 let manifest_schema = "mfu-store/v1"
+let pack_magic = "mfu-pack/v1\n"
+let pack_idx_magic = "mfu-pack-idx/v1\n"
 
-type t = { root : string }
+(* ------------------------------------------------------------------ *)
+(* In-memory index                                                    *)
+
+(* One live packed record: where its verbatim payload lives inside
+   segments/<seq>.pack, plus the result decoded (and digest-verified)
+   when the segment was loaded — a warm hit costs no syscall. *)
+type packed = {
+  seg : int;
+  off : int;  (* offset of the record header in the pack file *)
+  len : int;  (* total record length, header to trailing digest *)
+  payload_bytes : int;
+  result : Sim_types.result;
+}
+
+(* Index entry for one key digest. [loose] is the size of the loose
+   entry file known to exist at scan/put time; its contents are still
+   read and validated on every access, exactly as before packing
+   existed, so external writers and external corruption stay visible
+   without reopening the store. [packed] is the decoded segment record.
+   A loose file shadows a packed record for the same digest: new writes
+   always land loose, so the loose side is never staler than the pack. *)
+type ent = {
+  digest : string;  (* 16 raw bytes *)
+  mutable loose : int option;
+  mutable packed : packed option;
+}
+
+let ent_live e = e.loose <> None || e.packed <> None
+
+(* Open-addressing table keyed by key digest ({!Mfu_util.Int_table}
+   style: linear probing over a power-of-two array, load kept under
+   1/2). The probe key is the digest's first 63 bits; the stored digest
+   string confirms identity, so an MD5-prefix collision merely lengthens
+   a probe chain. Slots are never removed — an entry with neither a
+   loose file nor a packed record reads as absent — so probe chains need
+   no tombstones. *)
+module Dtbl = struct
+  type t = {
+    mutable hashes : int array;  (* -1 = free *)
+    mutable ents : ent option array;
+    mutable size : int;
+    mutable mask : int;
+  }
+
+  let hash_of digest = Int64.to_int (String.get_int64_le digest 0) land max_int
+
+  let create () =
+    {
+      hashes = Array.make 1024 (-1);
+      ents = Array.make 1024 None;
+      size = 0;
+      mask = 1023;
+    }
+
+  let find_slot t h digest =
+    let i = ref (h land t.mask) in
+    let r = ref (-1) in
+    while !r < 0 do
+      match t.ents.(!i) with
+      | None -> r := !i
+      | Some e when t.hashes.(!i) = h && String.equal e.digest digest ->
+          r := !i
+      | Some _ -> i := (!i + 1) land t.mask
+    done;
+    !r
+
+  let grow t =
+    let old = t.ents in
+    let cap = 2 * (t.mask + 1) in
+    t.hashes <- Array.make cap (-1);
+    t.ents <- Array.make cap None;
+    t.mask <- cap - 1;
+    t.size <- 0;
+    Array.iter
+      (function
+        | None -> ()
+        | Some e ->
+            let h = hash_of e.digest in
+            let i = find_slot t h e.digest in
+            t.hashes.(i) <- h;
+            t.ents.(i) <- Some e;
+            t.size <- t.size + 1)
+      old
+
+  let find t digest = t.ents.(find_slot t (hash_of digest) digest)
+
+  (* The entry for [digest], inserting an empty one if absent. *)
+  let upsert t digest =
+    if 2 * (t.size + 1) > t.mask + 1 then grow t;
+    let h = hash_of digest in
+    let i = find_slot t h digest in
+    match t.ents.(i) with
+    | Some e -> e
+    | None ->
+        let e = { digest; loose = None; packed = None } in
+        t.hashes.(i) <- h;
+        t.ents.(i) <- Some e;
+        t.size <- t.size + 1;
+        e
+
+  let iter f t = Array.iter (function Some e -> f e | None -> ()) t.ents
+end
+
+type seg = { seq : int; file_bytes : int; mutable records : int }
+
+type index = {
+  tbl : Dtbl.t;
+  mutable segs : seg list;  (* ascending seq *)
+  mutable max_seq : int;
+  mutable replay_dead : int;  (* packed records superseded by later ones *)
+  mutable foreign : int;  (* non-entry files seen under objects/ *)
+  mutable seg_stamp : float;  (* segments/ mtime at the last scan *)
+}
+
+type t = { root : string; lock : Mutex.t; idx : index }
 
 let root t = t.root
 
@@ -22,14 +138,26 @@ let mkdir_p path =
 let objects_dir t = Filename.concat t.root "objects"
 let tmp_dir t = Filename.concat t.root "tmp"
 let quarantine_dir t = Filename.concat t.root "quarantine"
+let segments_dir t = Filename.concat t.root "segments"
 let manifest_path t = Filename.concat t.root "MANIFEST.json"
 let digest_of_key key = Digest.to_hex (Digest.string key)
-
 let shard_dir t digest = Filename.concat (objects_dir t) (String.sub digest 0 2)
 
 let entry_path t ~key =
   let digest = digest_of_key key in
   Filename.concat (shard_dir t digest) (digest ^ ".json")
+
+let loose_path_of_raw t raw =
+  let hex = Digest.to_hex raw in
+  Filename.concat
+    (Filename.concat (objects_dir t) (String.sub hex 0 2))
+    (hex ^ ".json")
+
+let segment_pack_path t ~seq =
+  Filename.concat (segments_dir t) (Printf.sprintf "%08d.pack" seq)
+
+let segment_idx_path t ~seq =
+  Filename.concat (segments_dir t) (Printf.sprintf "%08d.idx" seq)
 
 (* Atomic publication: write the full payload to a private file in tmp/
    and rename it into place. rename(2) within one filesystem is atomic,
@@ -42,34 +170,23 @@ let entry_path t ~key =
    under multi-process draining (lease steals included). *)
 let temp_counter = Atomic.make 0
 
-let write_atomically t ~temp_name ~dest text =
+let write_atomically ?(fsync = false) t ~temp_name ~dest text =
   mkdir_p (Filename.dirname dest);
   let temp =
     Filename.concat (tmp_dir t)
       (Printf.sprintf "%s.%d.%d" temp_name (Unix.getpid ())
          (Atomic.fetch_and_add temp_counter 1))
   in
-  let oc = open_out temp in
+  let oc = open_out_bin temp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc text);
+    (fun () ->
+      output_string oc text;
+      if fsync then begin
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc)
+      end);
   Sys.rename temp dest
-
-let entry_count t =
-  let dir = objects_dir t in
-  if not (Sys.file_exists dir) then 0
-  else
-    Array.fold_left
-      (fun acc shard ->
-        let sub = Filename.concat dir shard in
-        if Sys.is_directory sub then
-          acc
-          + List.length
-              (List.filter
-                 (fun f -> Filename.check_suffix f ".json")
-                 (Array.to_list (Sys.readdir sub)))
-        else acc)
-      0 (Sys.readdir dir)
 
 let quarantined t =
   let dir = quarantine_dir t in
@@ -77,11 +194,11 @@ let quarantined t =
   else List.sort String.compare (Array.to_list (Sys.readdir dir))
 
 (* A leftover staging file means a writer died between open_out and
-   rename. Reads never see it (entries live under objects/), but it would
-   accumulate forever, so open_ sweeps stale ones. The age threshold
-   protects a live writer in another process that is mid-publication:
-   writes take milliseconds, so a staging file minutes old is certainly
-   an orphan of a killed process. *)
+   rename. Reads never see it (entries live under objects/), but it
+   would accumulate forever, so open_ sweeps stale ones. The age
+   threshold protects a live writer in another process that is
+   mid-publication: writes take milliseconds, so a staging file minutes
+   old is certainly an orphan of a killed process. *)
 let sweep_tmp ?(older_than = 600.) t =
   let dir = tmp_dir t in
   if not (Sys.file_exists dir) then 0
@@ -101,96 +218,24 @@ let sweep_tmp ?(older_than = 600.) t =
       0 (Sys.readdir dir)
   end
 
-type stats = {
-  entries : int;
-  bytes : int;
-  quarantined_count : int;
-  fanout_histogram : int array;
-}
-
-let stats t =
-  let fanout = Array.make 256 0 in
-  let entries = ref 0 in
-  let bytes = ref 0 in
-  let dir = objects_dir t in
-  (if Sys.file_exists dir then
-     Array.iter
-       (fun shard ->
-         let sub = Filename.concat dir shard in
-         match int_of_string_opt ("0x" ^ shard) with
-         | Some s
-           when String.length shard = 2 && s >= 0 && s < 256
-                && Sys.is_directory sub ->
-             Array.iter
-               (fun f ->
-                 if Filename.check_suffix f ".json" then begin
-                   incr entries;
-                   fanout.(s) <- fanout.(s) + 1;
-                   match Unix.stat (Filename.concat sub f) with
-                   | st -> bytes := !bytes + st.Unix.st_size
-                   | exception Unix.Unix_error _ -> ()
-                 end)
-               (Sys.readdir sub)
-         | _ -> ())
-       (Sys.readdir dir));
-  {
-    entries = !entries;
-    bytes = !bytes;
-    quarantined_count = List.length (quarantined t);
-    fanout_histogram = fanout;
-  }
-
-let manifest_json t =
-  Json.Obj
-    [
-      ("schema", Json.String manifest_schema);
-      ("result_schema", Json.String schema);
-      ("sim_version", Json.String Axes.sim_version);
-      ("entries", Json.Int (entry_count t));
-    ]
-
-let refresh_manifest t =
-  write_atomically t ~temp_name:"MANIFEST.json.tmp" ~dest:(manifest_path t)
-    (Json.to_string (manifest_json t) ^ "\n")
-
-let open_ root_path =
-  let t = { root = root_path } in
-  mkdir_p (objects_dir t);
-  mkdir_p (tmp_dir t);
-  mkdir_p (quarantine_dir t);
-  ignore (sweep_tmp t);
-  if not (Sys.file_exists (manifest_path t)) then refresh_manifest t;
-  t
-
-let put ?(meta = []) t ~key result =
-  let digest = digest_of_key key in
-  let json =
-    Json.Obj
-      ([
-         ("schema", Json.String schema);
-         ("key", Json.String key);
-         ("digest", Json.String digest);
-         ( "result",
-           Json.Obj
-             [
-               ("cycles", Json.Int result.Sim_types.cycles);
-               ("instructions", Json.Int result.Sim_types.instructions);
-             ] );
-       ]
-      @ if meta = [] then [] else [ ("meta", Json.Obj meta) ])
-  in
-  write_atomically t
-    ~temp_name:(digest ^ ".json.tmp")
-    ~dest:(entry_path t ~key)
-    (Json.to_string json ^ "\n")
-
 (* Move a failed entry aside rather than deleting it: the quarantine
    preserves the corrupt bytes for diagnosis while making the key look
    absent, so the sweep recomputes it. *)
 let quarantine t path =
   mkdir_p (quarantine_dir t);
   let dest = Filename.concat (quarantine_dir t) (Filename.basename path) in
-  try Sys.rename path dest with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ())
+  try Sys.rename path dest
+  with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let quarantine_bytes t ~name text =
+  mkdir_p (quarantine_dir t);
+  let dest = Filename.concat (quarantine_dir t) name in
+  try
+    let oc = open_out_bin dest in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text)
+  with Sys_error _ -> ()
 
 let validate ~digest text =
   match Json.of_string text with
@@ -219,10 +264,439 @@ let validate ~digest text =
             | _ -> Error "bad result payload")
       | _ -> Error "missing required field")
 
-let lookup t ~key =
-  let path = entry_path t ~key in
-  match open_in path with
-  | exception Sys_error _ -> `Miss
+(* Extract the key string from a validated entry payload. *)
+let key_of_payload payload =
+  match Json.of_string payload with
+  | Error _ -> None
+  | Ok j -> Option.bind (Json.member "key" j) Json.to_str
+
+(* ------------------------------------------------------------------ *)
+(* Segment format                                                     *)
+
+(* A pack record is
+     u32BE key-length | u32BE payload-length | key | payload
+       | MD5(key ^ payload)
+   with the payload being the loose entry file's bytes verbatim —
+   packing and unpacking are byte-exact inverses, and the trailing
+   digest proves a record intact without re-validating its JSON. *)
+let record_append buf ~key ~payload =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 (Int32.of_int (String.length key));
+  Bytes.set_int32_be b 4 (Int32.of_int (String.length payload));
+  Buffer.add_bytes buf b;
+  Buffer.add_string buf key;
+  Buffer.add_string buf payload;
+  Buffer.add_string buf (Digest.string (key ^ payload))
+
+let record_length ~key ~payload =
+  8 + String.length key + String.length payload + 16
+
+(* Parse and digest-check the record at [off]. *)
+let record_read pack off =
+  let len = String.length pack in
+  if off + 8 > len then Error "record header out of bounds"
+  else
+    let klen = Int32.to_int (String.get_int32_be pack off) in
+    let plen = Int32.to_int (String.get_int32_be pack (off + 4)) in
+    if klen <= 0 || plen <= 0 || klen > 65536 || off + 8 + klen + plen + 16 > len
+    then Error "record frame out of bounds"
+    else
+      let key = String.sub pack (off + 8) klen in
+      let payload = String.sub pack (off + 8 + klen) plen in
+      let stored = String.sub pack (off + 8 + klen + plen) 16 in
+      if not (String.equal stored (Digest.string (key ^ payload))) then
+        Error "record digest mismatch"
+      else Ok (key, payload, 8 + klen + plen + 16)
+
+(* The .idx sidecar — u32BE count, then per record a 16-byte key digest
+   and u64BE offset, closed by an MD5 of the entry area. It is advisory
+   (rebuilt from the pack when missing or damaged) but it is what keeps
+   the rest of a segment readable past a corrupt record: lengths inside
+   a damaged record cannot be trusted, offsets from the sidecar can. *)
+let idx_render entries =
+  let buf =
+    Buffer.create
+      (String.length pack_idx_magic + (24 * List.length entries) + 20)
+  in
+  Buffer.add_string buf pack_idx_magic;
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 (Int32.of_int (List.length entries));
+  Buffer.add_subbytes buf b 0 4;
+  List.iter
+    (fun (digest, off) ->
+      Buffer.add_string buf digest;
+      Bytes.set_int64_be b 0 (Int64.of_int off);
+      Buffer.add_bytes buf b)
+    entries;
+  let body =
+    String.sub (Buffer.contents buf)
+      (String.length pack_idx_magic)
+      (Buffer.length buf - String.length pack_idx_magic)
+  in
+  Buffer.add_string buf (Digest.string body);
+  Buffer.contents buf
+
+let read_file_opt path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          try Some (really_input_string ic (in_channel_length ic))
+          with End_of_file | Sys_error _ -> None)
+
+let idx_parse ~pack_len text =
+  let m = String.length pack_idx_magic in
+  if
+    String.length text < m + 4 + 16
+    || not (String.equal (String.sub text 0 m) pack_idx_magic)
+  then None
+  else
+    let count = Int32.to_int (String.get_int32_be text m) in
+    let body_len = 4 + (24 * count) in
+    if count < 0 || String.length text <> m + body_len + 16 then None
+    else if
+      not
+        (String.equal
+           (String.sub text (m + body_len) 16)
+           (Digest.string (String.sub text m body_len)))
+    then None
+    else begin
+      let entries = ref [] in
+      let ok = ref true in
+      for i = count - 1 downto 0 do
+        let base = m + 4 + (24 * i) in
+        let digest = String.sub text base 16 in
+        let off = Int64.to_int (String.get_int64_be text (base + 16)) in
+        if off < String.length pack_magic || off >= pack_len then ok := false;
+        entries := (digest, off) :: !entries
+      done;
+      let prev = ref (-1) in
+      List.iter
+        (fun (_, off) ->
+          if off <= !prev then ok := false;
+          prev := off)
+        !entries;
+      if !ok then Some !entries else None
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Open-time scan                                                     *)
+
+let insert_packed t ~seg_meta e p =
+  (match e.packed with
+  | Some _ ->
+      (* A later record (or later segment) supersedes an earlier one;
+         the dead bytes stay on disk until a full compaction. *)
+      t.idx.replay_dead <- t.idx.replay_dead + 1
+  | None -> ());
+  e.packed <- Some p;
+  seg_meta.records <- seg_meta.records + 1
+
+(* Load segments/<seq>.pack into the index: one sequential read of the
+   whole file, each record digest-verified and its payload validated
+   and decoded exactly once — the "validate per open, not per read"
+   half of the store. A record failing its digest is copied to
+   quarantine/ and skipped; with an idx sidecar the remaining records
+   stay reachable, without one the unframeable tail is quarantined
+   whole and the sidecar is rebuilt from what survived. *)
+let load_segment t seq =
+  let path = segment_pack_path t ~seq in
+  match read_file_opt path with
+  | None -> ()
+  | Some pack
+    when String.length pack < String.length pack_magic
+         || not
+              (String.equal
+                 (String.sub pack 0 (String.length pack_magic))
+                 pack_magic) ->
+      quarantine_bytes t ~name:(Printf.sprintf "pack-%08d.bad-magic" seq) pack;
+      (try Sys.remove path with Sys_error _ -> ())
+  | Some pack ->
+      let seg_meta = { seq; file_bytes = String.length pack; records = 0 } in
+      let idx_entries =
+        Option.bind
+          (read_file_opt (segment_idx_path t ~seq))
+          (idx_parse ~pack_len:(String.length pack))
+      in
+      let accept ~off key payload reclen =
+        let raw = Digest.string key in
+        match validate ~digest:(Digest.to_hex raw) payload with
+        | Ok r ->
+            let e = Dtbl.upsert t.idx.tbl raw in
+            insert_packed t ~seg_meta e
+              {
+                seg = seq;
+                off;
+                len = reclen;
+                payload_bytes = String.length payload;
+                result = r;
+              };
+            true
+        | Error _ ->
+            quarantine_bytes t
+              ~name:(Printf.sprintf "pack-%08d-%d.record" seq off)
+              (String.sub pack off reclen);
+            false
+      in
+      (match idx_entries with
+      | Some entries ->
+          List.iter
+            (fun (digest, off) ->
+              match record_read pack off with
+              | Ok (key, payload, reclen)
+                when String.equal (Digest.string key) digest ->
+                  ignore (accept ~off key payload reclen)
+              | Ok (_, _, reclen) ->
+                  quarantine_bytes t
+                    ~name:(Printf.sprintf "pack-%08d-%d.record" seq off)
+                    (String.sub pack off reclen)
+              | Error _ ->
+                  (* Framing from the sidecar: quarantine just this
+                     record's span, up to the next entry or EOF. *)
+                  let next =
+                    List.fold_left
+                      (fun acc (_, o) -> if o > off && o < acc then o else acc)
+                      (String.length pack) entries
+                  in
+                  quarantine_bytes t
+                    ~name:(Printf.sprintf "pack-%08d-%d.record" seq off)
+                    (String.sub pack off (next - off)))
+            entries
+      | None ->
+          let rebuilt = ref [] in
+          let off = ref (String.length pack_magic) in
+          let stop = ref false in
+          while (not !stop) && !off < String.length pack do
+            match record_read pack !off with
+            | Ok (key, payload, reclen) ->
+                if accept ~off:!off key payload reclen then
+                  rebuilt := (Digest.string key, !off) :: !rebuilt;
+                off := !off + reclen
+            | Error _ ->
+                quarantine_bytes t
+                  ~name:(Printf.sprintf "pack-%08d-%d.tail" seq !off)
+                  (String.sub pack !off (String.length pack - !off));
+                stop := true
+          done;
+          write_atomically t
+            ~temp_name:(Printf.sprintf "%08d.idx.tmp" seq)
+            ~dest:(segment_idx_path t ~seq)
+            (idx_render (List.rev !rebuilt)));
+      t.idx.segs <- t.idx.segs @ [ seg_meta ];
+      t.idx.max_seq <- max t.idx.max_seq seq
+
+let seg_seqs_on_disk t =
+  let dir = segments_dir t in
+  if not (Sys.file_exists dir) then []
+  else
+    Array.to_list (Sys.readdir dir)
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".pack" then
+             int_of_string_opt (Filename.chop_suffix f ".pack")
+           else None)
+    |> List.sort compare
+
+let seg_dir_stamp t =
+  match Unix.stat (segments_dir t) with
+  | st -> st.Unix.st_mtime
+  | exception Unix.Unix_error _ -> 0.
+
+(* Pick up segments published by another process since our last scan.
+   Segments are append-only and immutable once renamed into place, so a
+   refresh only loads sequence numbers we have not seen. *)
+let rescan_segments_locked t =
+  t.idx.seg_stamp <- seg_dir_stamp t;
+  List.iter
+    (fun seq -> if seq > t.idx.max_seq then load_segment t seq)
+    (seg_seqs_on_disk t)
+
+let is_hex s =
+  String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let is_dir_no_err path = try Sys.is_directory path with Sys_error _ -> false
+
+(* Record the loose entries by name only — contents are read (and fully
+   validated) on access. Anything that is not a well-formed entry file
+   for its shard is skipped and counted, never a reason to fail the
+   open: store roots drained by several lease processes accumulate
+   stray files (editor droppings, partial transfers, foreign tooling). *)
+let scan_loose t =
+  let dir = objects_dir t in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun shard ->
+        let sub = Filename.concat dir shard in
+        if String.length shard = 2 && is_hex shard && is_dir_no_err sub then
+          Array.iter
+            (fun f ->
+              let path = Filename.concat sub f in
+              if
+                String.length f = 37
+                && Filename.check_suffix f ".json"
+                && is_hex (String.sub f 0 32)
+                && String.equal (String.sub f 0 2) shard
+                && not (is_dir_no_err path)
+              then begin
+                match Unix.stat path with
+                | st ->
+                    let e =
+                      Dtbl.upsert t.idx.tbl
+                        (Digest.from_hex (String.sub f 0 32))
+                    in
+                    e.loose <- Some st.Unix.st_size
+                | exception Unix.Unix_error _ -> ()
+              end
+              else t.idx.foreign <- t.idx.foreign + 1)
+            (Sys.readdir sub)
+        else t.idx.foreign <- t.idx.foreign + 1)
+      (Sys.readdir dir)
+
+(* ------------------------------------------------------------------ *)
+(* Stats and manifest                                                 *)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  loose_entries : int;
+  packed_entries : int;
+  segment_count : int;
+  segment_bytes : int;
+  shadowed_records : int;
+  foreign_files : int;
+  quarantined_count : int;
+  fanout_histogram : int array;
+}
+
+(* O(index): one pass over the in-memory table, no directory walk. The
+   numbers describe this handle's view — entries other processes
+   published after our open and that we have not looked up yet are not
+   counted (seeing those would need the directory walk this replaced). *)
+let stats_locked t =
+  let fanout = Array.make 256 0 in
+  let entries = ref 0 in
+  let bytes = ref 0 in
+  let loose = ref 0 in
+  let packed = ref 0 in
+  let shadow_pairs = ref 0 in
+  Dtbl.iter
+    (fun e ->
+      if ent_live e then begin
+        incr entries;
+        fanout.(Char.code e.digest.[0]) <- fanout.(Char.code e.digest.[0]) + 1;
+        match (e.loose, e.packed) with
+        | Some sz, None ->
+            incr loose;
+            bytes := !bytes + sz
+        | Some sz, Some _ ->
+            incr loose;
+            incr shadow_pairs;
+            bytes := !bytes + sz
+        | None, Some p ->
+            incr packed;
+            bytes := !bytes + p.payload_bytes
+        | None, None -> ()
+      end)
+    t.idx.tbl;
+  {
+    entries = !entries;
+    bytes = !bytes;
+    loose_entries = !loose;
+    packed_entries = !packed;
+    segment_count = List.length t.idx.segs;
+    segment_bytes = List.fold_left (fun a s -> a + s.file_bytes) 0 t.idx.segs;
+    shadowed_records = !shadow_pairs + t.idx.replay_dead;
+    foreign_files = t.idx.foreign;
+    quarantined_count = List.length (quarantined t);
+    fanout_histogram = fanout;
+  }
+
+let stats t = Mutex.protect t.lock (fun () -> stats_locked t)
+let entry_count t = (stats t).entries
+
+let manifest_json ~entries ~segments =
+  Json.Obj
+    [
+      ("schema", Json.String manifest_schema);
+      ("result_schema", Json.String schema);
+      ("sim_version", Json.String Axes.sim_version);
+      ("entries", Json.Int entries);
+      ("segments", Json.Int segments);
+    ]
+
+let refresh_manifest t =
+  let s = stats t in
+  write_atomically t ~temp_name:"MANIFEST.json.tmp" ~dest:(manifest_path t)
+    (Json.to_string
+       (manifest_json ~entries:s.entries ~segments:s.segment_count)
+    ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Open                                                               *)
+
+let open_ root_path =
+  let t =
+    {
+      root = root_path;
+      lock = Mutex.create ();
+      idx =
+        {
+          tbl = Dtbl.create ();
+          segs = [];
+          max_seq = 0;
+          replay_dead = 0;
+          foreign = 0;
+          seg_stamp = 0.;
+        };
+    }
+  in
+  mkdir_p (objects_dir t);
+  mkdir_p (tmp_dir t);
+  mkdir_p (quarantine_dir t);
+  mkdir_p (segments_dir t);
+  ignore (sweep_tmp t);
+  t.idx.seg_stamp <- seg_dir_stamp t;
+  List.iter (load_segment t) (seg_seqs_on_disk t);
+  scan_loose t;
+  if not (Sys.file_exists (manifest_path t)) then refresh_manifest t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Reads and writes                                                   *)
+
+let entry_text ~key result ~meta =
+  let digest = digest_of_key key in
+  let json =
+    Json.Obj
+      ([
+         ("schema", Json.String schema);
+         ("key", Json.String key);
+         ("digest", Json.String digest);
+         ( "result",
+           Json.Obj
+             [
+               ("cycles", Json.Int result.Sim_types.cycles);
+               ("instructions", Json.Int result.Sim_types.instructions);
+             ] );
+       ]
+      @ if meta = [] then [] else [ ("meta", Json.Obj meta) ])
+  in
+  Json.to_string json ^ "\n"
+
+let put ?(meta = []) t ~key result =
+  let digest = digest_of_key key in
+  let text = entry_text ~key result ~meta in
+  write_atomically t
+    ~temp_name:(digest ^ ".json.tmp")
+    ~dest:(entry_path t ~key) text;
+  Mutex.protect t.lock (fun () ->
+      let e = Dtbl.upsert t.idx.tbl (Digest.string key) in
+      e.loose <- Some (String.length text))
+
+let read_loose t path ~digest =
+  match open_in_bin path with
+  | exception Sys_error _ -> `Vanished
   | ic -> (
       let text =
         Fun.protect
@@ -231,10 +705,345 @@ let lookup t ~key =
             try Ok (really_input_string ic (in_channel_length ic))
             with End_of_file | Sys_error _ -> Error "short read")
       in
-      match Result.bind text (validate ~digest:(digest_of_key key)) with
-      | Ok result -> `Hit result
+      match Result.bind text (validate ~digest) with
+      | Ok result -> `Valid result
       | Error _ ->
           quarantine t path;
-          `Corrupt)
+          `Invalid)
 
-let find t ~key = match lookup t ~key with `Hit r -> Some r | `Miss | `Corrupt -> None
+let lookup t ~key =
+  let raw = Digest.string key in
+  let ent = Mutex.protect t.lock (fun () -> Dtbl.find t.idx.tbl raw) in
+  (* hex digest and loose path are only materialized on the slow
+     branches: the warm packed hit below must stay one hash and one
+     table probe, nothing else *)
+  let hex () = Digest.to_hex raw in
+  let path () = loose_path_of_raw t raw in
+  let packed_hit () =
+    Mutex.protect t.lock (fun () ->
+        match Dtbl.find t.idx.tbl raw with
+        | Some { packed = Some p; _ } -> Some p.result
+        | _ -> None)
+  in
+  match ent with
+  | Some { packed = Some p; loose = None; _ } ->
+      (* Warm packed hit: the record was digest-verified and decoded
+         when its segment loaded — no syscall here. *)
+      `Hit p.result
+  | Some ({ loose = Some _; _ } as e) -> (
+      match read_loose t (path ()) ~digest:(hex ()) with
+      | `Valid result -> `Hit result
+      | `Invalid -> (
+          Mutex.protect t.lock (fun () -> e.loose <- None);
+          (* A valid packed copy underneath the quarantined loose file
+             still answers: same key, same content address. *)
+          match packed_hit () with Some r -> `Hit r | None -> `Corrupt)
+      | `Vanished -> (
+          (* The loose file went away under us — almost certainly a
+             compaction by another process. Fold in any new segments
+             and retry from memory before conceding a miss. *)
+          Mutex.protect t.lock (fun () ->
+              e.loose <- None;
+              rescan_segments_locked t);
+          match packed_hit () with Some r -> `Hit r | None -> `Miss))
+  | Some { packed = None; loose = None; _ } | None -> (
+      (* Not live in the index: either truly absent or published by
+         another process after our open. Probe the loose path
+         (publications always land loose), then check for segments we
+         have not seen. *)
+      let path = path () in
+      match read_loose t path ~digest:(hex ()) with
+      | `Valid result ->
+          Mutex.protect t.lock (fun () ->
+              let e = Dtbl.upsert t.idx.tbl raw in
+              e.loose <-
+                Some
+                  (match Unix.stat path with
+                  | st -> st.Unix.st_size
+                  | exception Unix.Unix_error _ -> 0));
+          `Hit result
+      | `Invalid -> `Corrupt
+      | `Vanished ->
+          let stamp = seg_dir_stamp t in
+          if stamp > Mutex.protect t.lock (fun () -> t.idx.seg_stamp) then begin
+            Mutex.protect t.lock (fun () -> rescan_segments_locked t);
+            match packed_hit () with Some r -> `Hit r | None -> `Miss
+          end
+          else `Miss)
+
+let find t ~key =
+  match lookup t ~key with `Hit r -> Some r | `Miss | `Corrupt -> None
+
+let mem t ~key =
+  let raw = Digest.string key in
+  match Mutex.protect t.lock (fun () -> Dtbl.find t.idx.tbl raw) with
+  | Some e when ent_live e -> true
+  | Some _ | None -> Sys.file_exists (entry_path t ~key)
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                         *)
+
+type compaction = {
+  folded : int;  (* loose entries folded into the new segment *)
+  rewritten : int;  (* packed records carried into it (full mode) *)
+  dropped : int;  (* dead records left behind with deleted segments *)
+  segment : int option;  (* sequence number written, if any *)
+  pack_bytes : int;
+  reclaimed_bytes : int;  (* loose bytes deleted behind the barrier *)
+}
+
+let no_compaction =
+  {
+    folded = 0;
+    rewritten = 0;
+    dropped = 0;
+    segment = None;
+    pack_bytes = 0;
+    reclaimed_bytes = 0;
+  }
+
+type crash_point = Crash_before_publish | Crash_after_publish
+
+let pread_record t p =
+  match open_in_bin (segment_pack_path t ~seq:p.seg) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          try
+            seek_in ic p.off;
+            let s = really_input_string ic p.len in
+            match record_read s 0 with
+            | Ok (k, pl, _) -> Some (k, pl)
+            | Error _ -> None
+          with End_of_file | Sys_error _ -> None)
+
+(* Fold every loose entry (re-validated on the way in) into one new
+   segment; with [full], live records of existing segments are
+   rewritten into it too and the old segments deleted, so shadowed
+   records are dropped and the store converges to a single pack.
+
+   Publish order is the crash-safety argument: the pack is staged in
+   tmp/, fsynced, renamed into segments/, then its sidecar likewise,
+   and only after both are durable are the folded loose files (and with
+   [full] the superseded segments) deleted. A crash at any point leaves
+   every point reachable — at worst a loose file coexists with its
+   packed copy (identical content, loose wins) or an orphan staging
+   file awaits sweep_tmp. [crash] is a test hook simulating kill -9 at
+   the two interesting points. *)
+let compact_locked ?(full = false) ?crash t =
+  let live_loose = ref [] in
+  Dtbl.iter
+    (fun e -> if e.loose <> None then live_loose := e :: !live_loose)
+    t.idx.tbl;
+  (* Gather loose entries, re-validating: only bytes that pass the same
+     checks a read applies are worth making durable. A loose file that
+     fails is quarantined here instead of at its next read. *)
+  let loose_items =
+    List.filter_map
+      (fun e ->
+        let path = loose_path_of_raw t e.digest in
+        match read_loose t path ~digest:(Digest.to_hex e.digest) with
+        | `Valid result -> (
+            match read_file_opt path with
+            | Some payload -> (
+                match key_of_payload payload with
+                | Some key -> Some (e, path, key, payload, result)
+                | None ->
+                    e.loose <- None;
+                    None)
+            | None ->
+                e.loose <- None;
+                None)
+        | `Invalid | `Vanished ->
+            e.loose <- None;
+            None)
+      (List.rev !live_loose)
+  in
+  (* In full mode, carry the live packed records forward too. *)
+  let rewrite_items =
+    if not full then []
+    else begin
+      let acc = ref [] in
+      Dtbl.iter
+        (fun e ->
+          match (e.loose, e.packed) with
+          | None, Some p -> (
+              match pread_record t p with
+              | Some (key, payload) -> acc := (e, p, key, payload) :: !acc
+              | None -> e.packed <- None)
+          | _ -> ())
+        t.idx.tbl;
+      List.sort
+        (fun (_, a, _, _) (_, b, _, _) ->
+          compare (a.seg, a.off) (b.seg, b.off))
+        !acc
+    end
+  in
+  let old_segs = t.idx.segs in
+  let old_records = List.fold_left (fun a s -> a + s.records) 0 old_segs in
+  let worthwhile =
+    loose_items <> []
+    || full
+       && old_segs <> []
+       && (List.length old_segs > 1 || t.idx.replay_dead > 0)
+  in
+  if not worthwhile then no_compaction
+  else begin
+    let seq = t.idx.max_seq + 1 in
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf pack_magic;
+    let idx_entries = ref [] in
+    let add ~key ~payload =
+      let off = Buffer.length buf in
+      record_append buf ~key ~payload;
+      idx_entries := (Digest.string key, off) :: !idx_entries;
+      off
+    in
+    (* Rewritten survivors first, then the fresher loose entries:
+       replay order within the segment keeps later records winning,
+       matching the loose-shadows-packed rule. *)
+    let rewrite_offs =
+      List.map
+        (fun (e, p, key, payload) ->
+          (e, p.result, add ~key ~payload, key, payload))
+        rewrite_items
+    in
+    let loose_offs =
+      List.map
+        (fun (e, path, key, payload, result) ->
+          (e, path, result, add ~key ~payload, key, payload))
+        loose_items
+    in
+    let pack_text = Buffer.contents buf in
+    (match crash with
+    | Some Crash_before_publish ->
+        (* Simulated kill -9 between staging and rename: the only
+           residue is a tmp/ file that sweep_tmp will collect. *)
+        let staged =
+          Filename.concat (tmp_dir t)
+            (Printf.sprintf "%08d.pack.staged.%d" seq (Unix.getpid ()))
+        in
+        let oc = open_out_bin staged in
+        output_string oc pack_text;
+        close_out oc;
+        Unix._exit 42
+    | _ -> ());
+    write_atomically ~fsync:true t
+      ~temp_name:(Printf.sprintf "%08d.pack.tmp" seq)
+      ~dest:(segment_pack_path t ~seq) pack_text;
+    write_atomically ~fsync:true t
+      ~temp_name:(Printf.sprintf "%08d.idx.tmp" seq)
+      ~dest:(segment_idx_path t ~seq)
+      (idx_render (List.rev !idx_entries));
+    (match crash with
+    | Some Crash_after_publish ->
+        (* Simulated kill -9 after the segment is durable but before
+           the deletion barrier: loose files coexist with their packed
+           copies; the loose side wins on replay, content identical. *)
+        Unix._exit 42
+    | _ -> ());
+    (* Deletion barrier: the segment and sidecar are on disk. *)
+    let reclaimed = ref 0 in
+    List.iter
+      (fun (_, path, _, _, _, payload) ->
+        reclaimed := !reclaimed + String.length payload;
+        try Sys.remove path with Sys_error _ -> ())
+      loose_offs;
+    if full then
+      List.iter
+        (fun s ->
+          (try Sys.remove (segment_pack_path t ~seq:s.seq)
+           with Sys_error _ -> ());
+          try Sys.remove (segment_idx_path t ~seq:s.seq)
+          with Sys_error _ -> ())
+        old_segs;
+    (* Update the in-memory view to match. *)
+    let seg_meta = { seq; file_bytes = String.length pack_text; records = 0 } in
+    if full then begin
+      t.idx.segs <- [];
+      t.idx.replay_dead <- 0;
+      Dtbl.iter (fun e -> e.packed <- None) t.idx.tbl
+    end;
+    let install e ~off ~key ~payload result =
+      (match e.packed with
+      | Some _ -> t.idx.replay_dead <- t.idx.replay_dead + 1
+      | None -> ());
+      e.packed <-
+        Some
+          {
+            seg = seq;
+            off;
+            len = record_length ~key ~payload;
+            payload_bytes = String.length payload;
+            result;
+          };
+      seg_meta.records <- seg_meta.records + 1
+    in
+    List.iter
+      (fun (e, result, off, key, payload) ->
+        install e ~off ~key ~payload result)
+      rewrite_offs;
+    List.iter
+      (fun (e, _path, result, off, key, payload) ->
+        install e ~off ~key ~payload result;
+        e.loose <- None)
+      loose_offs;
+    t.idx.segs <- (if full then [ seg_meta ] else t.idx.segs @ [ seg_meta ]);
+    t.idx.max_seq <- seq;
+    t.idx.seg_stamp <- seg_dir_stamp t;
+    {
+      folded = List.length loose_offs;
+      rewritten = List.length rewrite_offs;
+      dropped =
+        (if full then max 0 (old_records - List.length rewrite_offs) else 0);
+      segment = Some seq;
+      pack_bytes = String.length pack_text;
+      reclaimed_bytes = !reclaimed;
+    }
+  end
+
+let compact ?full ?crash t =
+  let c = Mutex.protect t.lock (fun () -> compact_locked ?full ?crash t) in
+  if c.segment <> None then refresh_manifest t;
+  c
+
+(* Inverse of compaction: write every live packed record back as a
+   loose entry file — byte-identical to the file that was packed, since
+   payloads are preserved verbatim — then delete the segments. *)
+let unpack t =
+  let restored =
+    Mutex.protect t.lock (fun () ->
+        let restored = ref 0 in
+        Dtbl.iter
+          (fun e ->
+            match (e.loose, e.packed) with
+            | None, Some p -> (
+                match pread_record t p with
+                | Some (key, payload) ->
+                    write_atomically t
+                      ~temp_name:(digest_of_key key ^ ".json.tmp")
+                      ~dest:(loose_path_of_raw t e.digest)
+                      payload;
+                    e.loose <- Some (String.length payload);
+                    e.packed <- None;
+                    incr restored
+                | None -> e.packed <- None)
+            | _, Some _ -> e.packed <- None
+            | _, None -> ())
+          t.idx.tbl;
+        List.iter
+          (fun s ->
+            (try Sys.remove (segment_pack_path t ~seq:s.seq)
+             with Sys_error _ -> ());
+            try Sys.remove (segment_idx_path t ~seq:s.seq)
+            with Sys_error _ -> ())
+          t.idx.segs;
+        t.idx.segs <- [];
+        t.idx.replay_dead <- 0;
+        t.idx.seg_stamp <- seg_dir_stamp t;
+        !restored)
+  in
+  refresh_manifest t;
+  restored

@@ -1,12 +1,14 @@
-(** Crash-safe, content-addressed result store.
+(** Crash-safe, content-addressed result store with packed segments.
 
     Layout under the store root:
 
     {v
-    MANIFEST.json            mfu-store/v1: schemas, sim version, entry count
-    objects/<p>/<digest>.json  one mfu-result/v1 entry; <p> = first 2 hex chars
-    tmp/                     staging area for atomic writes
-    quarantine/              entries that failed validation, kept for autopsy
+    MANIFEST.json              mfu-store/v1: schemas, sim version, counts
+    objects/<p>/<digest>.json  one loose mfu-result/v1 entry; <p> = 2 hex chars
+    segments/<seq>.pack        packed, append-only batches of entries
+    segments/<seq>.idx         advisory per-segment offset sidecar
+    tmp/                       staging area for atomic writes
+    quarantine/                entries/records that failed validation
     v}
 
     An entry is keyed by the MD5 digest of its canonical {!Axes.key}
@@ -14,16 +16,34 @@
     result can never be confused across configurations, workloads, or
     simulator revisions. Every write goes through a temp file in [tmp/]
     followed by an atomic [rename], so a killed process leaves either a
-    complete entry or none — never a torn one (a stale temp file is
-    harmless and ignored).
+    complete entry or none — never a torn one.
 
-    Reads re-validate everything: JSON well-formedness, the
-    [mfu-result/v1] schema tag, agreement between the stored key, the
-    stored digest, and the file name, and sane result fields. An entry
-    failing any check is {e quarantined} — moved aside into
-    [quarantine/], preserving the evidence — and reported as absent, so
-    a corrupt store heals by recomputation instead of crashing the
-    sweep. *)
+    {2 Loose vs packed}
+
+    New results always land as {e loose} files — one per entry, exactly
+    the pre-segment format, preserving the lease/steal idempotent
+    publication semantics byte for byte. {!compact} folds loose entries
+    into an append-only [segments/<seq>.pack] (length-prefixed key +
+    verbatim payload records, each closed by an MD5), deleting the loose
+    files only after the segment and its sidecar are durable on disk.
+
+    {!open_} builds an in-memory index over both worlds: segment
+    records are digest-verified, validated, and decoded {e once}, so a
+    warm packed hit is a pure memory read; loose entries are indexed by
+    name and keep the original read-and-validate-per-access contract,
+    so entries published (or corrupted) by other processes stay visible
+    without reopening. A loose file shadows a packed record of the same
+    digest, and within segments a higher sequence number wins, so a
+    crash between segment publication and loose-file deletion leaves
+    harmless duplicates, never losses.
+
+    Reads of loose entries re-validate everything: JSON
+    well-formedness, the [mfu-result/v1] schema tag, agreement between
+    the stored key, the stored digest, and the file name, and sane
+    result fields. Anything failing a check — loose file or segment
+    record — is {e quarantined}: moved (or copied) into [quarantine/],
+    preserving the evidence, and reported as absent so the store heals
+    by recomputation instead of crashing the sweep. *)
 
 val schema : string
 (** ["mfu-result/v1"] — the per-entry schema tag. *)
@@ -31,12 +51,20 @@ val schema : string
 val manifest_schema : string
 (** ["mfu-store/v1"]. *)
 
+val pack_magic : string
+(** ["mfu-pack/v1\n"] — first bytes of every segment file. *)
+
 type t
 (** An open store rooted at a directory. *)
 
 val open_ : string -> t
-(** Open (creating directories and an initial manifest as needed). The
-    root directory is created with its parents. *)
+(** Open (creating directories and an initial manifest as needed) and
+    build the in-memory index: load every segment sequentially —
+    validating and decoding each record once, quarantining corrupt ones
+    — then scan [objects/] shard directories for loose entry names.
+    Foreign files in the shard directories (anything that is not
+    [<32 hex>.json] in its own shard) are skipped and counted, never a
+    reason to fail the open. *)
 
 val root : t -> string
 
@@ -44,8 +72,14 @@ val digest_of_key : string -> string
 (** Hex MD5 of a canonical key — the entry's content address. *)
 
 val entry_path : t -> key:string -> string
-(** Absolute path the entry for [key] occupies (whether or not it
+(** Absolute path the loose entry for [key] occupies (whether or not it
     exists). *)
+
+val segment_pack_path : t -> seq:int -> string
+(** Path of segment [seq]'s pack file. *)
+
+val segment_idx_path : t -> seq:int -> string
+(** Path of segment [seq]'s sidecar. *)
 
 val put :
   ?meta:(string * Mfu_util.Json.t) list ->
@@ -53,25 +87,34 @@ val put :
   key:string ->
   Mfu_sim.Sim_types.result ->
   unit
-(** Write (or atomically replace) the entry for [key]. [meta] is
-    attached under a ["meta"] field for human consumption; it is not
-    validated on read. Safe to call concurrently from pool worker
-    domains, server threads, and {e other processes}, including two
-    writers racing on the same key: each writer stages under a private
-    temp name (digest + pid + counter) and the atomic renames serialize,
-    so the surviving entry is always one writer's complete bytes. *)
+(** Write (or atomically replace) the loose entry for [key] and index
+    it. [meta] is attached under a ["meta"] field for human
+    consumption; it is not validated on read. Safe to call concurrently
+    from pool worker domains, server threads, and {e other processes},
+    including two writers racing on the same key: each writer stages
+    under a private temp name (digest + pid + counter) and the atomic
+    renames serialize, so the surviving entry is always one writer's
+    complete bytes. *)
 
 val lookup :
   t -> key:string -> [ `Hit of Mfu_sim.Sim_types.result | `Miss | `Corrupt ]
-(** Validated read. [`Corrupt] means an entry existed but failed
+(** Read through the index. A packed hit returns the result decoded at
+    open time without touching the disk; a loose hit re-reads and
+    re-validates the file. [`Corrupt] means an entry existed but failed
     validation and has been quarantined (the caller should recompute,
-    exactly as for [`Miss]). *)
+    exactly as for [`Miss]). When a loose file vanishes underneath the
+    handle — another process compacted — new segments are folded in and
+    the read is answered from them. *)
 
 val find : t -> key:string -> Mfu_sim.Sim_types.result option
 (** [lookup] with [`Corrupt] collapsed to [None]. *)
 
+val mem : t -> key:string -> bool
+(** Index membership (no content validation). Falls back to one [stat]
+    for keys other processes may have published after our open. *)
+
 val entry_count : t -> int
-(** Number of entry files currently in [objects/]. *)
+(** Number of live entries in this handle's index. *)
 
 val quarantined : t -> string list
 (** File names currently in [quarantine/], sorted. *)
@@ -86,21 +129,65 @@ val sweep_tmp : ?older_than:float -> t -> int
     file around. *)
 
 type stats = {
-  entries : int;  (** entry files under [objects/] *)
-  bytes : int;  (** total size of those entry files *)
+  entries : int;  (** live entries (loose or packed) in the index *)
+  bytes : int;  (** payload bytes of those entries *)
+  loose_entries : int;  (** entries whose live copy is a loose file *)
+  packed_entries : int;  (** entries served from a segment record *)
+  segment_count : int;  (** pack files under [segments/] *)
+  segment_bytes : int;  (** their total on-disk size *)
+  shadowed_records : int;
+      (** dead segment records: superseded by a later segment or by a
+          loose rewrite — reclaimable by [compact ~full:true] *)
+  foreign_files : int;  (** non-entry files skipped by the open scan *)
   quarantined_count : int;  (** files in [quarantine/] *)
   fanout_histogram : int array;
-      (** entries per 2-hex shard, indexed 0..255 — the shape the
+      (** live entries per 2-hex shard, indexed 0..255 — the shape the
           sharding layer balances *)
 }
 
 val stats : t -> stats
-(** One pass over [objects/] and [quarantine/]. [sweep.exe
-    --store-stats] prints it and the serve daemon's [/stats] endpoint
-    embeds it. *)
+(** O(index): one pass over the in-memory table plus a [quarantine/]
+    listing — no [objects/] walk. [sweep.exe --store-stats] prints it
+    and the serve daemon's [/stats] endpoint embeds it. The numbers are
+    this handle's view: entries other processes published after our
+    open and that we have not looked up yet are not counted. *)
+
+type compaction = {
+  folded : int;  (** loose entries folded into the new segment *)
+  rewritten : int;  (** packed records carried into it (full mode) *)
+  dropped : int;  (** dead records deleted with their old segments *)
+  segment : int option;  (** sequence number written, if any *)
+  pack_bytes : int;  (** size of the new pack file *)
+  reclaimed_bytes : int;  (** loose bytes deleted behind the barrier *)
+}
+
+val no_compaction : compaction
+(** The all-zero record returned when there was nothing to do. *)
+
+type crash_point = Crash_before_publish | Crash_after_publish
+(** Test hooks: simulate kill -9 either before the segment rename (only
+    tmp/ residue remains) or after it but before the loose files are
+    deleted (loose and packed copies coexist; loose wins on replay). *)
+
+val compact : ?full:bool -> ?crash:crash_point -> t -> compaction
+(** Fold every loose entry into one new segment, re-validating each on
+    the way in (failures are quarantined, exactly as a read would).
+    Loose files are deleted only {e after} the pack and its sidecar are
+    fsynced and renamed into place — the deletion barrier that makes a
+    crash at any instant lose nothing. With [full], live records of
+    existing segments are rewritten into the new one and the old
+    segments deleted, dropping shadowed records. Returns
+    {!no_compaction} when there is nothing worth writing. *)
+
+val unpack : t -> int
+(** Inverse of {!compact}: write every live packed record back as a
+    loose entry file — byte-identical to the file that was packed,
+    payloads are preserved verbatim — then delete all segments. Returns
+    the number of entries restored. A store is therefore convertible
+    between the two layouts in both directions at any time. *)
 
 val refresh_manifest : t -> unit
 (** Rewrite [MANIFEST.json] (atomically) to reflect the current entry
-    count. The manifest is advisory — resume decisions always come from
-    the entries themselves — so a manifest left stale by a crash is
-    repaired here, never trusted. *)
+    and segment counts. The manifest is advisory — resume decisions
+    always come from the entries themselves — so a manifest left stale
+    by a crash is repaired here, never trusted. *)

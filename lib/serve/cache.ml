@@ -1,0 +1,73 @@
+module Sim_types = Mfu_sim.Sim_types
+
+(* Classic doubly-linked LRU: the table maps a canonical point key to
+   its list node; the list is ordered most- to least-recently used and
+   eviction pops the tail. Entries are content-addressed results —
+   identical key always means identical result — so there is no
+   invalidation protocol, only capacity pressure. *)
+type node = {
+  key : string;
+  result : Sim_types.result;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* eviction candidate *)
+}
+
+let create ~capacity =
+  {
+    capacity;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create (max 16 (min capacity 4096));
+    head = None;
+    tail = None;
+  }
+
+let capacity t = t.capacity
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  if t.capacity <= 0 then None
+  else
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> None
+        | Some n ->
+            unlink t n;
+            push_front t n;
+            Some n.result)
+
+let add t key result =
+  if t.capacity > 0 then
+    Mutex.protect t.lock (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some n -> unlink t n
+        | None -> ());
+        Hashtbl.replace t.tbl key
+          (let n = { key; result; prev = None; next = None } in
+           push_front t n;
+           n);
+        while Hashtbl.length t.tbl > t.capacity do
+          match t.tail with
+          | None -> Hashtbl.reset t.tbl (* unreachable, defensive *)
+          | Some n ->
+              unlink t n;
+              Hashtbl.remove t.tbl n.key
+        done)

@@ -1,0 +1,28 @@
+(** Bounded LRU of decoded results, keyed by canonical point key.
+
+    Sits in front of {!Mfu_explore.Store.lookup} in the serve
+    scheduler: a hit skips the store entirely (for loose entries that
+    is an [open]+[read]+parse+validate round-trip; for packed ones a
+    mutex and a probe). Results are content-addressed — the same key
+    always denotes the same result for a given simulator version, which
+    is part of the key — so entries never go stale and there is no
+    invalidation protocol, only capacity eviction.
+
+    Thread-safe; every operation is a short critical section. A
+    capacity of zero disables the cache entirely ([find] always misses,
+    [add] is a no-op). *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+
+val length : t -> int
+(** Current number of cached results. *)
+
+val find : t -> string -> Mfu_sim.Sim_types.result option
+(** Lookup by canonical key, refreshing recency on hit. *)
+
+val add : t -> string -> Mfu_sim.Sim_types.result -> unit
+(** Insert (or refresh) a result, evicting least-recently-used entries
+    beyond capacity. *)

@@ -20,6 +20,33 @@ let connect ?(timeout = 60.) addr =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* Connect-time failures that mean "the server is not accepting yet"
+   rather than "this will never work": a daemon still binding its
+   socket (ECONNREFUSED; ENOENT for a unix path not yet created), or a
+   SYN lost to an overloaded accept queue (ETIMEDOUT). *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ETIMEDOUT | Unix.ENOENT | Unix.ECONNRESET ->
+      true
+  | _ -> false
+
+let connect_retry ?timeout ?(retries = 3) ?(base_delay = 0.05) addr =
+  let rec go attempt =
+    match connect ?timeout addr with
+    | t -> t
+    | exception Unix.Unix_error (e, _, _) when transient e && attempt < retries
+      ->
+        (* Capped exponential backoff with full jitter, so a herd of
+           smoke-test clients racing one server bind does not retry in
+           lockstep. *)
+        let cap = 2.0 in
+        let span =
+          Float.min cap (base_delay *. Float.pow 2. (float_of_int attempt))
+        in
+        Unix.sleepf (span *. (0.5 +. Random.float 0.5));
+        go (attempt + 1)
+  in
+  go 0
+
 let http_error resp body =
   let msg =
     match Protocol.error_of_body body with Some m -> m | None -> body

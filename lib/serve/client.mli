@@ -12,6 +12,16 @@ val connect : ?timeout:float -> Server.addr -> t
 (** [timeout] (default 60 s) is the per-read socket deadline — longer
     than the server's so a busy compute still streams within it. *)
 
+val connect_retry :
+  ?timeout:float -> ?retries:int -> ?base_delay:float -> Server.addr -> t
+(** {!connect}, retrying up to [retries] (default 3) extra times on
+    transient connect failures — [ECONNREFUSED], [ETIMEDOUT], [ENOENT]
+    (a unix socket path not yet bound), [ECONNRESET] — with capped
+    exponential backoff and full jitter starting at [base_delay]
+    (default 50 ms, cap 2 s). Smoke scripts that race a daemon's bind
+    stop flaking without sleeping pessimistically. Other errors, and
+    exhaustion, re-raise the underlying [Unix.Unix_error]. *)
+
 val close : t -> unit
 
 val query :

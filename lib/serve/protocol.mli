@@ -44,6 +44,10 @@ type aborted_event = {
 type summary = {
   total : int;
   store_hits : int;
+  cache_hits : int;
+      (** store hits answered from the server's decoded-result LRU — a
+          subset of [store_hits], never in addition to it. Absent (0)
+          in summaries from pre-cache servers. *)
   computed : int;
   inflight_hits : int;
   quarantined : int;

@@ -53,6 +53,7 @@ type config = {
   request_timeout : float;
   queue_capacity : int;
   guided : bool;
+  cache_entries : int;
 }
 
 let default_config ~store_dir ~listen =
@@ -67,6 +68,7 @@ let default_config ~store_dir ~listen =
     request_timeout = 30.;
     queue_capacity = 256;
     guided = true;
+    cache_entries = 8192;
   }
 
 type conn = { fd : Unix.file_descr; thread : Thread.t option ref }
@@ -74,6 +76,7 @@ type conn = { fd : Unix.file_descr; thread : Thread.t option ref }
 type t = {
   cfg : config;
   store : Store.t;
+  cache : Cache.t;
   lease : Lease.t option;
   inflight : Inflight.t;
   metrics : Metrics.t;
@@ -92,6 +95,7 @@ type t = {
 
 type tally = {
   mutable store_hits : int;
+  mutable cache_hits : int;
   mutable computed : int;
   mutable inflight_hits : int;
   mutable quarantined : int;
@@ -135,6 +139,7 @@ let process st ~emit keyed =
   let tally =
     {
       store_hits = 0;
+      cache_hits = 0;
       computed = 0;
       inflight_hits = 0;
       quarantined = 0;
@@ -144,6 +149,8 @@ let process st ~emit keyed =
     }
   in
   let emit_point point key result source =
+    (* Every settled point warms the LRU, whatever path settled it. *)
+    Cache.add st.cache key result;
     emit (Protocol.Point (Protocol.point_event ~point ~key ~result ~source))
   in
   (* A point this query gives up on still gets an event: the stream
@@ -152,18 +159,27 @@ let process st ~emit keyed =
     tally.aborted <- tally.aborted + 1;
     emit (Protocol.Aborted (Protocol.aborted_event ~point ~key ~reason))
   in
-  (* Pass 1: stream store hits as they are found. *)
+  (* Pass 1: stream store hits as they are found, consulting the
+     decoded-result LRU before touching the store. A cache hit counts
+     as a store hit on the wire (same provenance, same bytes) and is
+     additionally tallied as such. *)
   let misses = ref [] in
   List.iter
     (fun ((p, k) as pk) ->
-      match Store.lookup st.store ~key:k with
-      | `Hit r ->
+      match Cache.find st.cache k with
+      | Some r ->
           tally.store_hits <- tally.store_hits + 1;
+          tally.cache_hits <- tally.cache_hits + 1;
           emit_point p k r Protocol.Store
-      | `Corrupt ->
-          tally.quarantined <- tally.quarantined + 1;
-          misses := pk :: !misses
-      | `Miss -> misses := pk :: !misses)
+      | None -> (
+          match Store.lookup st.store ~key:k with
+          | `Hit r ->
+              tally.store_hits <- tally.store_hits + 1;
+              emit_point p k r Protocol.Store
+          | `Corrupt ->
+              tally.quarantined <- tally.quarantined + 1;
+              misses := pk :: !misses
+          | `Miss -> misses := pk :: !misses))
     keyed;
   let misses = List.rev !misses in
   (* Pass 2: claim each miss; one owner per key process-wide. *)
@@ -321,6 +337,8 @@ let process st ~emit keyed =
       settle ())
     held;
   Metrics.add_store_hits st.metrics tally.store_hits;
+  Metrics.add_cache_hits st.metrics tally.cache_hits;
+  Metrics.add_cache_misses st.metrics (List.length keyed - tally.cache_hits);
   Metrics.add_computed st.metrics tally.computed;
   Metrics.add_inflight_hits st.metrics tally.inflight_hits;
   tally
@@ -329,6 +347,7 @@ let summary_of_tally total (t : tally) =
   {
     Protocol.total;
     store_hits = t.store_hits;
+    cache_hits = t.cache_hits;
     computed = t.computed;
     inflight_hits = t.inflight_hits;
     quarantined = t.quarantined;
@@ -433,14 +452,14 @@ let handle_point st fd (req : Http.request) =
                (List.length points)))
 
 let handle_stats st fd =
-  let s = Store.stats st.store in
   let doc =
     Metrics.to_json st.metrics
       ~in_flight:(Inflight.active st.inflight)
       ~dedups:(Inflight.dedups st.inflight)
       ~pool_inflight:(Pool.inflight ())
-      ~store_entries:s.Store.entries ~store_bytes:s.Store.bytes
-      ~store_quarantined:s.Store.quarantined_count
+      ~cache_entries:(Cache.length st.cache)
+      ~cache_capacity:(Cache.capacity st.cache)
+      ~store:(Store.stats st.store)
   in
   Http.respond fd (Json.to_string ~indent:0 doc)
 
@@ -555,6 +574,7 @@ let start cfg =
     {
       cfg;
       store;
+      cache = Cache.create ~capacity:cfg.cache_entries;
       lease;
       inflight = Inflight.create ();
       metrics = Metrics.create ();

@@ -60,12 +60,16 @@ type config = {
           streaming clients see the promising corners of the design
           space first. Purely a service-order policy: every admitted
           point is still computed, and store bytes are unchanged. *)
+  cache_entries : int;
+      (** capacity of the decoded-result LRU consulted before every
+          store lookup; 0 disables it. Hits are reported both in query
+          summaries ([cache_hits]) and on [/stats]. *)
 }
 
 val default_config : store_dir:string -> listen:addr -> config
 (** [batch = 8], [max_points = 4096], [lease = true],
     [lease_ttl = 60.], [request_timeout = 30.],
-    [queue_capacity = 256], [guided = true]. *)
+    [queue_capacity = 256], [guided = true], [cache_entries = 8192]. *)
 
 type t
 

@@ -292,6 +292,236 @@ let test_store_stats () =
       Alcotest.(check int) "entry moved out" 19 s'.Store.entries;
       Alcotest.(check int) "quarantine counted" 1 s'.Store.quarantined_count)
 
+(* -- packed segments --------------------------------------------------------- *)
+
+let pack_key i = Printf.sprintf "mfu-point/v1 pack-key-%d" i
+
+let pack_result i = { Sim_types.cycles = 1000 + i; instructions = 100 + i }
+
+let populate store n =
+  List.iter
+    (fun i -> Store.put store ~key:(pack_key i) (pack_result i))
+    (List.init n Fun.id)
+
+let check_all_hit ?(msg = "packed lookup hits") store n =
+  List.iter
+    (fun i ->
+      match Store.lookup store ~key:(pack_key i) with
+      | `Hit r -> Alcotest.(check bool) msg true (r = pack_result i)
+      | `Miss | `Corrupt ->
+          Alcotest.fail (Printf.sprintf "%s: key %d missing" msg i))
+    (List.init n Fun.id)
+
+let test_compact_roundtrip () =
+  with_store (fun store ->
+      let n = 25 in
+      populate store n;
+      let loose_texts =
+        List.init n (fun i -> read_file (Store.entry_path store ~key:(pack_key i)))
+      in
+      let c = Store.compact store in
+      Alcotest.(check int) "all loose entries folded" n c.Store.folded;
+      Alcotest.(check bool) "a segment was written" true
+        (c.Store.segment = Some 1);
+      Alcotest.(check bool) "pack has bytes" true (c.Store.pack_bytes > 0);
+      Alcotest.(check bool) "loose bytes reclaimed" true
+        (c.Store.reclaimed_bytes > 0);
+      Alcotest.(check bool) "pack file exists" true
+        (Sys.file_exists (Store.segment_pack_path store ~seq:1));
+      Alcotest.(check bool) "idx sidecar exists" true
+        (Sys.file_exists (Store.segment_idx_path store ~seq:1));
+      List.iteri
+        (fun i _ ->
+          Alcotest.(check bool) "loose file gone" false
+            (Sys.file_exists (Store.entry_path store ~key:(pack_key i))))
+        loose_texts;
+      check_all_hit store n;
+      let s = Store.stats store in
+      Alcotest.(check int) "entries unchanged" n s.Store.entries;
+      Alcotest.(check int) "no loose entries left" 0 s.Store.loose_entries;
+      Alcotest.(check int) "all entries packed" n s.Store.packed_entries;
+      Alcotest.(check int) "one segment" 1 s.Store.segment_count;
+      Alcotest.(check bool) "nothing to do twice" true
+        (Store.compact store = Store.no_compaction);
+      (* A cold reopen serves the same results from the pack alone. *)
+      let reopened = Store.open_ (Store.root store) in
+      check_all_hit ~msg:"reopened packed lookup hits" reopened n;
+      (* unpack restores the exact loose bytes and removes the segments *)
+      Alcotest.(check int) "unpack restores every entry" n
+        (Store.unpack store);
+      List.iteri
+        (fun i text ->
+          Alcotest.(check string) "restored loose file is byte-identical" text
+            (read_file (Store.entry_path store ~key:(pack_key i))))
+        loose_texts;
+      Alcotest.(check bool) "segments deleted" false
+        (Sys.file_exists (Store.segment_pack_path store ~seq:1));
+      let s' = Store.stats store in
+      Alcotest.(check int) "back to loose" n s'.Store.loose_entries;
+      Alcotest.(check int) "no segments" 0 s'.Store.segment_count)
+
+(* kill -9 at the two interesting instants of a compaction. The child
+   process runs the real compaction code up to the injected crash point
+   and _exits; the parent then reopens cold and checks that no entry
+   was lost or duplicated. *)
+let crash_during_compaction crash check =
+  with_store (fun store ->
+      let n = 12 in
+      populate store n;
+      (match Unix.fork () with
+      | 0 ->
+          (* exits 42 inside compact at the crash point *)
+          (try ignore (Store.compact ~crash store) with _ -> ());
+          Unix._exit 99
+      | pid -> (
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 42 -> ()
+          | _ -> Alcotest.fail "child did not stop at the crash point"));
+      let reopened = Store.open_ (Store.root store) in
+      Alcotest.(check int) "no entry lost or duplicated" n
+        (Store.entry_count reopened);
+      check_all_hit ~msg:"post-crash lookup hits" reopened n;
+      check reopened n)
+
+let test_compact_crash_before_publish () =
+  crash_during_compaction Store.Crash_before_publish (fun store n ->
+      let s = Store.stats store in
+      (* the segment never appeared: only tmp/ residue, swept as usual *)
+      Alcotest.(check int) "no segment published" 0 s.Store.segment_count;
+      Alcotest.(check int) "all entries still loose" n s.Store.loose_entries;
+      Alcotest.(check bool) "staging residue swept" true
+        (Store.sweep_tmp ~older_than:0. store >= 1))
+
+let test_compact_crash_after_publish () =
+  crash_during_compaction Store.Crash_after_publish (fun store n ->
+      let s = Store.stats store in
+      (* both copies exist; loose shadows packed, so nothing is wrong *)
+      Alcotest.(check int) "segment published" 1 s.Store.segment_count;
+      Alcotest.(check int) "loose copies survive" n s.Store.loose_entries;
+      Alcotest.(check int) "packed copies shadowed" n s.Store.shadowed_records;
+      (* a full compaction converges the store back to one clean pack *)
+      let c = Store.compact ~full:true store in
+      Alcotest.(check int) "loose copies folded" n c.Store.folded;
+      let s' = Store.stats store in
+      Alcotest.(check int) "one segment again" 1 s'.Store.segment_count;
+      Alcotest.(check int) "no shadowed records" 0 s'.Store.shadowed_records;
+      Alcotest.(check int) "entry count stable" n s'.Store.entries;
+      check_all_hit ~msg:"converged lookup hits" store n)
+
+(* A handle that indexed loose entries before another process compacted
+   them must keep answering: the vanished loose file triggers a segment
+   rescan, and the read is served from the new pack. *)
+let test_reader_during_compaction () =
+  with_store (fun reader ->
+      let n = 10 in
+      populate reader n;
+      let compactor = Store.open_ (Store.root reader) in
+      let c = Store.compact compactor in
+      Alcotest.(check int) "compactor folded everything" n c.Store.folded;
+      check_all_hit ~msg:"reader follows the compaction" reader n;
+      let s = Store.stats reader in
+      Alcotest.(check int) "reader sees packed entries" n
+        s.Store.packed_entries)
+
+let test_corrupt_segment_record () =
+  with_store (fun store ->
+      let n = 5 in
+      populate store n;
+      Store.compact store |> ignore;
+      let pack_path = Store.segment_pack_path store ~seq:1 in
+      let pack = read_file pack_path in
+      (* flip a byte inside record 2's key: its MD5 closes over the key,
+         so validation fails for exactly that record, and the idx
+         sidecar preserves framing for the rest *)
+      let victim = 2 in
+      let pos =
+        let needle = pack_key victim in
+        let rec find i =
+          if i + String.length needle > String.length pack then
+            Alcotest.fail "victim key not found in pack"
+          else if String.sub pack i (String.length needle) = needle then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      let bytes = Bytes.of_string pack in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+      let oc = open_out_bin pack_path in
+      output_bytes oc bytes;
+      close_out oc;
+      let reopened = Store.open_ (Store.root store) in
+      Alcotest.(check bool) "victim record is gone" true
+        (Store.lookup reopened ~key:(pack_key victim) = `Miss);
+      List.iter
+        (fun i ->
+          if i <> victim then
+            match Store.lookup reopened ~key:(pack_key i) with
+            | `Hit r ->
+                Alcotest.(check bool) "other records survive" true
+                  (r = pack_result i)
+            | `Miss | `Corrupt ->
+                Alcotest.fail
+                  (Printf.sprintf "record %d lost to a neighbour's corruption" i))
+        (List.init n Fun.id);
+      Alcotest.(check bool) "corrupt record quarantined" true
+        (List.length (Store.quarantined reopened) >= 1))
+
+let test_idx_rebuilt_when_missing () =
+  with_store (fun store ->
+      let n = 8 in
+      populate store n;
+      Store.compact store |> ignore;
+      let idx = Store.segment_idx_path store ~seq:1 in
+      Sys.remove idx;
+      let reopened = Store.open_ (Store.root store) in
+      check_all_hit ~msg:"sequential scan recovers every record" reopened n;
+      Alcotest.(check bool) "idx sidecar rebuilt" true (Sys.file_exists idx))
+
+let test_put_shadows_packed () =
+  with_store (fun store ->
+      populate store 3;
+      Store.compact store |> ignore;
+      (* republish key 1 with different numbers: the loose write wins *)
+      let fresh = { Sim_types.cycles = 777777; instructions = 4242 } in
+      Store.put store ~key:(pack_key 1) fresh;
+      Alcotest.(check bool) "loose rewrite shadows the packed record" true
+        (Store.find store ~key:(pack_key 1) = Some fresh);
+      let s = Store.stats store in
+      Alcotest.(check int) "entry count stable" 3 s.Store.entries;
+      Alcotest.(check int) "one shadowed record" 1 s.Store.shadowed_records;
+      (* the same is true for a cold reopen *)
+      let reopened = Store.open_ (Store.root store) in
+      Alcotest.(check bool) "reopen prefers the loose copy" true
+        (Store.find reopened ~key:(pack_key 1) = Some fresh);
+      (* and a full compaction drops the dead record *)
+      let c = Store.compact ~full:true store in
+      Alcotest.(check bool) "dead record dropped" true (c.Store.dropped >= 1);
+      let s' = Store.stats store in
+      Alcotest.(check int) "no shadowed records" 0 s'.Store.shadowed_records;
+      Alcotest.(check int) "one segment" 1 s'.Store.segment_count;
+      Alcotest.(check bool) "fresh result survived the rewrite" true
+        (Store.find store ~key:(pack_key 1) = Some fresh))
+
+let test_foreign_files_tolerated () =
+  with_store (fun store ->
+      populate store 2;
+      let objects = Filename.concat (Store.root store) "objects" in
+      (* a stray top-level file and a stray file inside a shard dir *)
+      let write path text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      write (Filename.concat objects "README.txt") "not an entry\n";
+      let shard = Filename.dirname (Store.entry_path store ~key:(pack_key 0)) in
+      write (Filename.concat shard "notes.orig") "editor backup\n";
+      let reopened = Store.open_ (Store.root store) in
+      let s = Store.stats reopened in
+      Alcotest.(check int) "entries unaffected" 2 s.Store.entries;
+      Alcotest.(check int) "foreign files counted, not fatal" 2
+        s.Store.foreign_files;
+      check_all_hit ~msg:"entries still served" reopened 2)
+
 (* Two processes racing to publish the same mfu-point/v1 key: exactly
    one valid entry must survive, and every reader must see one writer's
    complete bytes. The children synchronize on a pipe so both write
@@ -487,6 +717,25 @@ let () =
           Alcotest.test_case "stats" `Quick test_store_stats;
           Alcotest.test_case "concurrent publication race" `Quick
             test_store_concurrent_publication;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "compact/unpack roundtrip" `Quick
+            test_compact_roundtrip;
+          Alcotest.test_case "crash before segment publish" `Quick
+            test_compact_crash_before_publish;
+          Alcotest.test_case "crash after segment publish" `Quick
+            test_compact_crash_after_publish;
+          Alcotest.test_case "reader survives concurrent compaction" `Quick
+            test_reader_during_compaction;
+          Alcotest.test_case "corrupt record quarantined, rest served" `Quick
+            test_corrupt_segment_record;
+          Alcotest.test_case "idx rebuilt when missing" `Quick
+            test_idx_rebuilt_when_missing;
+          Alcotest.test_case "loose rewrite shadows packed" `Quick
+            test_put_shadows_packed;
+          Alcotest.test_case "foreign files tolerated" `Quick
+            test_foreign_files_tolerated;
         ] );
       ( "sweep",
         [

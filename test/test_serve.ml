@@ -68,10 +68,10 @@ let spec_1pt = "units=1;size=10;bus=nbus;config=m11br5;loops=5"
 
 let summ = Alcotest.of_pp (fun ppf (s : Protocol.summary) ->
     Format.fprintf ppf
-      "{total=%d; store=%d; computed=%d; inflight=%d; quar=%d; def=%d; \
-       stolen=%d; aborted=%d}"
-      s.Protocol.total s.Protocol.store_hits s.Protocol.computed
-      s.Protocol.inflight_hits s.Protocol.quarantined
+      "{total=%d; store=%d; cache=%d; computed=%d; inflight=%d; quar=%d; \
+       def=%d; stolen=%d; aborted=%d}"
+      s.Protocol.total s.Protocol.store_hits s.Protocol.cache_hits
+      s.Protocol.computed s.Protocol.inflight_hits s.Protocol.quarantined
       s.Protocol.lease_deferred s.Protocol.lease_stolen s.Protocol.aborted)
 
 let query_ok ?on_event c ~spec =
@@ -92,6 +92,7 @@ let test_cold_then_warm () =
             {
               Protocol.total = 2;
               store_hits = 0;
+              cache_hits = 0;
               computed = 2;
               inflight_hits = 0;
               quarantined = 0;
@@ -109,6 +110,7 @@ let test_cold_then_warm () =
             {
               Protocol.total = 2;
               store_hits = 2;
+              cache_hits = 2;
               computed = 0;
               inflight_hits = 0;
               quarantined = 0;
@@ -208,6 +210,7 @@ let test_concurrent_clients_dedup () =
                 {
                   Protocol.total = 1;
                   store_hits = 0;
+                  cache_hits = 0;
                   computed = 0;
                   inflight_hits = 1;
                   quarantined = 0;
@@ -363,6 +366,123 @@ let test_store_bytes_match_sweep () =
               Alcotest.(check string) "entry bytes identical" (read swept)
                 (read served_root))
             points))
+
+(* Serving straight off a packed store: sweep + compact a store before
+   the server ever opens it, then check the first query is pure store
+   hits (decoded segment records, no recomputation) and the second is
+   answered from the hot-entry cache. *)
+let test_serve_from_packed_store () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf (dir ^ ".leases"))
+    (fun () ->
+      let store = Store.open_ dir in
+      let points =
+        match Axes.of_string spec_2pts with
+        | Ok a -> Axes.enumerate a
+        | Error e -> Alcotest.fail e
+      in
+      (* an earlier test's Server.stop may have drained the pool *)
+      Mfu_util.Pool.resume ();
+      let _ = Sweep.run ~jobs:1 ~store points in
+      let c = Store.compact store in
+      Alcotest.(check int) "both points packed" 2 c.Store.folded;
+      let cfg =
+        {
+          (Server.default_config ~store_dir:dir
+             ~listen:(Server.Tcp ("127.0.0.1", 0)))
+          with
+          jobs = Some 2;
+          lease = false;
+          request_timeout = 5.;
+        }
+      in
+      let t = Server.start cfg in
+      Fun.protect
+        ~finally:(fun () -> Server.stop t)
+        (fun () ->
+          with_client t (fun cl ->
+              let first = query_ok cl ~spec:spec_2pts in
+              Alcotest.check summ "first query: pure packed store hits"
+                {
+                  Protocol.total = 2;
+                  store_hits = 2;
+                  cache_hits = 0;
+                  computed = 0;
+                  inflight_hits = 0;
+                  quarantined = 0;
+                  lease_deferred = 0;
+                  lease_stolen = 0;
+                  aborted = 0;
+                }
+                first;
+              let second = query_ok cl ~spec:spec_2pts in
+              Alcotest.(check int) "second query served from the cache" 2
+                second.Protocol.cache_hits;
+              Alcotest.(check int) "cache hits still count as store hits" 2
+                second.Protocol.store_hits;
+              (* the server's stats expose the packed layout *)
+              match Client.stats cl with
+              | Error e -> Alcotest.failf "stats failed: %s" e
+              | Ok doc ->
+                  let member k j = Option.get (Json.member k j) in
+                  let store_doc = member "store" doc in
+                  Alcotest.(check int) "stats: packed entries" 2
+                    (Option.get (Json.to_int (member "packed" store_doc)));
+                  Alcotest.(check int) "stats: no loose entries" 0
+                    (Option.get (Json.to_int (member "loose" store_doc)));
+                  Alcotest.(check bool) "stats: cache hits recorded" true
+                    (Option.get (Json.to_int (member "cache_hits" doc)) >= 2))))
+
+(* connect_retry rides out a server that binds late, and still fails
+   cleanly when nobody ever listens. *)
+let test_connect_retry () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf (dir ^ ".leases"))
+    (fun () ->
+      Sys.mkdir dir 0o755;
+      let sock = Filename.concat dir "late.sock" in
+      let addr = Server.Unix_sock sock in
+      (* nobody listening: exhaustion re-raises the transient error *)
+      (match Client.connect_retry ~retries:1 ~base_delay:0.01 addr with
+      | _ -> Alcotest.fail "connected to nothing"
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+          ());
+      (* server binds ~150 ms after the client starts dialing *)
+      let server = ref None in
+      let binder =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.15;
+            let cfg =
+              {
+                (Server.default_config
+                   ~store_dir:(Filename.concat dir "store") ~listen:addr)
+                with
+                jobs = Some 1;
+                lease = false;
+                request_timeout = 5.;
+              }
+            in
+            server := Some (Server.start cfg))
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Thread.join binder;
+          Option.iter Server.stop !server)
+        (fun () ->
+          let c = Client.connect_retry ~timeout:30. ~retries:8 addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              Alcotest.(check bool) "healthy once the bind lands" true
+                (Client.healthz c))))
 
 (* The bounded queue under pressure: with capacity 2, a producer's
    third push blocks until the consumer pops, and closing releases
@@ -556,6 +676,7 @@ let test_protocol_roundtrip () =
     {
       Protocol.total = 9;
       store_hits = 4;
+      cache_hits = 2;
       computed = 3;
       inflight_hits = 2;
       quarantined = 1;
@@ -611,5 +732,9 @@ let () =
           Alcotest.test_case "unix-domain socket" `Quick test_unix_socket;
           Alcotest.test_case "store bytes match a plain sweep" `Quick
             test_store_bytes_match_sweep;
+          Alcotest.test_case "serves a packed store, caches warm hits"
+            `Quick test_serve_from_packed_store;
+          Alcotest.test_case "connect retry rides out a late bind" `Quick
+            test_connect_retry;
         ] );
     ]
